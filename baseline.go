@@ -1,0 +1,154 @@
+package morestress
+
+import (
+	"time"
+
+	"repro/internal/chiplet"
+	"repro/internal/field"
+	"repro/internal/mesh"
+	"repro/internal/reffem"
+	"repro/internal/superpose"
+)
+
+// ReferenceResult is a completed full-resolution conventional FEM solve —
+// the ground-truth baseline played by ANSYS in the paper.
+type ReferenceResult struct {
+	// VM is the mid-plane von Mises field on the same sample grid as the
+	// reduced-order results.
+	VM *Field
+	// Raw retains the underlying solve for further post-processing.
+	Raw *reffem.Result
+	// TotalTime covers assembly + solve + sampling.
+	TotalTime time.Duration
+	// DoFs is the number of free fine-mesh DoFs.
+	DoFs int
+}
+
+// ReferenceArray solves a standalone clamped array on the full fine mesh
+// (one fine block mesh replicated per block) and samples the mid-plane von
+// Mises field with gs samples per block.
+func ReferenceArray(cfg Config, rows, cols int, deltaT float64, gs int, opt SolverOptions) (*ReferenceResult, error) {
+	return referenceArray(cfg, rows, cols, deltaT, gs, opt, false)
+}
+
+// ReferenceArrayQuadratic is ReferenceArray with 20-node serendipity
+// elements (the ANSYS SOLID186 class) — a higher-fidelity ground truth on
+// the same mesh.
+func ReferenceArrayQuadratic(cfg Config, rows, cols int, deltaT float64, gs int, opt SolverOptions) (*ReferenceResult, error) {
+	return referenceArray(cfg, rows, cols, deltaT, gs, opt, true)
+}
+
+func referenceArray(cfg Config, rows, cols int, deltaT float64, gs int, opt SolverOptions, quadratic bool) (*ReferenceResult, error) {
+	start := time.Now()
+	r, err := reffem.Solve(&reffem.Problem{
+		Geom: cfg.Geometry, Mats: cfg.Materials, Res: cfg.Resolution,
+		Bx: cols, By: rows, Kind: cfg.Structure,
+		DeltaT: deltaT, BC: reffem.ClampedTopBottom,
+		Quadratic: quadratic,
+		Opt:       opt, Workers: cfg.workers(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &ReferenceResult{Raw: r, DoFs: r.DoFs}
+	if gs > 0 {
+		res.VM = r.SampleVM(gs, cfg.workers())
+	}
+	res.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// ReferenceEmbedded solves the scenario-2 sub-model (TSV array + dummy ring)
+// on the full fine mesh under the coarse-package boundary displacements —
+// the ground truth for sub-modeling, cropped to the TSV array region.
+func ReferenceEmbedded(cfg Config, pkg *CoarsePackage, spec EmbeddedSpec, gs int, opt SolverOptions) (*ReferenceResult, error) {
+	start := time.Now()
+	pitch := cfg.Geometry.Pitch
+	origin, err := chiplet.SubmodelOrigin(pkg.Coarse.Stack, spec.Location, spec.Width(pitch))
+	if err != nil {
+		return nil, err
+	}
+	var isDummy func(int, int) bool
+	if spec.DummyRing > 0 {
+		isDummy = spec.IsDummy
+	}
+	r, err := reffem.Solve(&reffem.Problem{
+		Geom: cfg.Geometry, Mats: cfg.Materials, Res: cfg.Resolution,
+		Bx: spec.totalCols(), By: spec.totalRows(),
+		IsDummy: isDummy,
+		DeltaT:  pkg.DeltaT(), BC: reffem.PrescribedBoundary,
+		BoundaryDisp: func(p mesh.Vec3) [3]float64 {
+			return pkg.DisplacementAt(origin.Add(p))
+		},
+		Opt: opt, Workers: cfg.workers(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &ReferenceResult{Raw: r, DoFs: r.DoFs}
+	if gs > 0 {
+		full := r.VMField(cfg.Geometry, spec.totalCols(), spec.totalRows(), gs, pkg.DeltaT(), cfg.workers())
+		d := spec.DummyRing
+		res.VM = full.Crop(d*gs, d*gs, (d+spec.Cols)*gs, (d+spec.Rows)*gs)
+	}
+	res.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// Superposition wraps the linear superposition baseline of [Jung DAC'12]:
+// a one-shot single-TSV kernel that estimates array stress by superposing
+// per-TSV stress deviations.
+type Superposition struct {
+	Kernel *superpose.Kernel
+	cfg    Config
+}
+
+// BuildSuperposition runs the baseline's one-shot stage: a single-TSV fine
+// FEM solve on a (2·radius+1)² neighbourhood, sampled at gs points per
+// block edge (the estimate later uses the same gs).
+func BuildSuperposition(cfg Config, radius, gs int, opt SolverOptions) (*Superposition, error) {
+	k, err := superpose.BuildKernel(cfg.Geometry, cfg.Materials, cfg.Resolution, radius, gs, opt, cfg.workers())
+	if err != nil {
+		return nil, err
+	}
+	return &Superposition{Kernel: k, cfg: cfg}, nil
+}
+
+// EstimateArray estimates the mid-plane von Mises field of a standalone
+// clamped Rows×Cols array.
+func (s *Superposition) EstimateArray(rows, cols int, deltaT float64) *Field {
+	return s.Kernel.EstimateArray(cols, rows, nil, deltaT, s.Kernel.GS, nil, s.cfg.workers())
+}
+
+// EstimateEmbedded estimates the scenario-2 array stress: the coarse package
+// stress is the background and per-TSV deviations are superposed on top —
+// exactly the baseline the paper shows failing near sharp background
+// gradients (loc3/loc5). The returned field covers the TSV array region.
+func (s *Superposition) EstimateEmbedded(pkg *CoarsePackage, spec EmbeddedSpec) (*Field, error) {
+	pitch := s.cfg.Geometry.Pitch
+	origin, err := chiplet.SubmodelOrigin(pkg.Coarse.Stack, spec.Location, spec.Width(pitch))
+	if err != nil {
+		return nil, err
+	}
+	zMid := origin.Z + s.cfg.Geometry.Height/2
+	isTSV := func(bx, by int) bool { return !spec.IsDummy(bx, by) }
+	if spec.DummyRing == 0 {
+		isTSV = nil
+	}
+	bg := func(x, y float64) [6]float64 {
+		return pkg.StressAt(Vec3{X: origin.X + x, Y: origin.Y + y, Z: zMid})
+	}
+	full := s.Kernel.EstimateArray(spec.totalCols(), spec.totalRows(), isTSV,
+		pkg.DeltaT(), s.Kernel.GS, bg, s.cfg.workers())
+	d := spec.DummyRing
+	gs := s.Kernel.GS
+	return full.Crop(d*gs, d*gs, (d+spec.Cols)*gs, (d+spec.Rows)*gs), nil
+}
+
+// NormalizedMAE returns the paper's error metric: mean absolute error of a
+// against the reference ref, normalized by the maximum reference von Mises
+// stress (§5.2).
+func NormalizedMAE(a, ref *Field) float64 { return field.NormalizedMAE(a, ref) }
+
+// MAE returns the unnormalized mean absolute error.
+func MAE(a, ref *Field) float64 { return field.MAE(a, ref) }

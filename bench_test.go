@@ -1,0 +1,290 @@
+package morestress
+
+// Benchmark harness: one bench per table/figure of the paper's evaluation
+// (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured results). Array sizes are scaled down from the paper's
+// 10×10–50×50 so that the full fine-mesh reference stays solvable in bench
+// time on one machine; cmd/repro -full runs the paper-scale sweep.
+//
+// Errors are attached to the timing benches via b.ReportMetric as
+// "err%" (normalized MAE vs the full fine-mesh reference, the paper's
+// metric).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+const (
+	benchDeltaT = -250.0
+	benchGS     = 20 // per-block sampling (paper: 100; scaled for bench time)
+)
+
+// Lazily shared fixtures so that expensive one-shot stages run once across
+// benches.
+var benchState struct {
+	mu      sync.Mutex
+	models  map[string]*Model
+	refs    map[string]*ReferenceResult
+	sups    map[string]*Superposition
+	pkgOnce sync.Once
+	pkg     *CoarsePackage
+	pkgErr  error
+}
+
+func benchConfig(pitch float64, nodes int) Config {
+	cfg := DefaultConfig(pitch)
+	cfg.Nodes = [3]int{nodes, nodes, nodes}
+	return cfg
+}
+
+func benchModel(b *testing.B, pitch float64, nodes int, dummy bool) *Model {
+	b.Helper()
+	benchState.mu.Lock()
+	defer benchState.mu.Unlock()
+	if benchState.models == nil {
+		benchState.models = map[string]*Model{}
+	}
+	key := fmt.Sprintf("p%g-n%d-d%v", pitch, nodes, dummy)
+	if m, ok := benchState.models[key]; ok {
+		return m
+	}
+	cfg := benchConfig(pitch, nodes)
+	var m *Model
+	var err error
+	if dummy {
+		m, err = BuildModelWithDummy(cfg)
+	} else {
+		m, err = BuildModel(cfg)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchState.models[key] = m
+	return m
+}
+
+func benchReference(b *testing.B, pitch float64, n int) *ReferenceResult {
+	b.Helper()
+	benchState.mu.Lock()
+	defer benchState.mu.Unlock()
+	if benchState.refs == nil {
+		benchState.refs = map[string]*ReferenceResult{}
+	}
+	key := fmt.Sprintf("p%g-n%d", pitch, n)
+	if r, ok := benchState.refs[key]; ok {
+		return r
+	}
+	ref, err := ReferenceArray(benchConfig(pitch, 5), n, n, benchDeltaT, benchGS,
+		SolverOptions{Tol: 1e-9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchState.refs[key] = ref
+	return ref
+}
+
+func benchSuperposition(b *testing.B, pitch float64) *Superposition {
+	b.Helper()
+	benchState.mu.Lock()
+	defer benchState.mu.Unlock()
+	if benchState.sups == nil {
+		benchState.sups = map[string]*Superposition{}
+	}
+	key := fmt.Sprintf("p%g", pitch)
+	if s, ok := benchState.sups[key]; ok {
+		return s
+	}
+	s, err := BuildSuperposition(benchConfig(pitch, 5), 2, benchGS, SolverOptions{Tol: 1e-9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchState.sups[key] = s
+	return s
+}
+
+func benchPackage(b *testing.B) *CoarsePackage {
+	b.Helper()
+	benchState.pkgOnce.Do(func() {
+		benchState.pkg, benchState.pkgErr = SolvePackage(DefaultPackage(),
+			DefaultPackageResolution(), benchDeltaT, SolverOptions{Tol: 1e-8}, 0)
+	})
+	if benchState.pkgErr != nil {
+		b.Fatal(benchState.pkgErr)
+	}
+	return benchState.pkg
+}
+
+// BenchmarkLocalStage measures the one-shot local stage (§4.2 / §5.3.1 text:
+// 301.6 s and 287.4 s in the paper at commercial mesh density).
+func BenchmarkLocalStage(b *testing.B) {
+	for _, pitch := range []float64{15, 10} {
+		b.Run(fmt.Sprintf("p=%g", pitch), func(b *testing.B) {
+			cfg := benchConfig(pitch, 5)
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildModel(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable1MOREStress measures the global stage (time column "Ours" of
+// Table 1) and attaches the error vs the fine reference.
+func BenchmarkTable1MOREStress(b *testing.B) {
+	for _, pitch := range []float64{15, 10} {
+		for _, n := range []int{4, 6, 8} {
+			b.Run(fmt.Sprintf("p=%g/size=%dx%d", pitch, n, n), func(b *testing.B) {
+				m := benchModel(b, pitch, 5, false)
+				ref := benchReference(b, pitch, n)
+				var res *ArrayResult
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var err error
+					res, err = m.SolveArray(ArraySpec{
+						Rows: n, Cols: n, DeltaT: benchDeltaT,
+						GridSamples: benchGS, Options: SolverOptions{Tol: 1e-9},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(100*NormalizedMAE(res.VM, ref.VM), "err%")
+				b.ReportMetric(float64(res.GlobalDoFs), "globalDoFs")
+			})
+		}
+	}
+}
+
+// BenchmarkTable1Reference measures the full fine-mesh FEM (the "ANSYS"
+// column of Table 1).
+func BenchmarkTable1Reference(b *testing.B) {
+	for _, pitch := range []float64{15, 10} {
+		for _, n := range []int{4, 6} {
+			b.Run(fmt.Sprintf("p=%g/size=%dx%d", pitch, n, n), func(b *testing.B) {
+				cfg := benchConfig(pitch, 5)
+				var ref *ReferenceResult
+				for i := 0; i < b.N; i++ {
+					var err error
+					ref, err = ReferenceArray(cfg, n, n, benchDeltaT, benchGS,
+						SolverOptions{Tol: 1e-9})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(ref.DoFs), "fineDoFs")
+			})
+		}
+	}
+}
+
+// BenchmarkTable1Superposition measures the linear superposition estimate
+// (the baseline columns of Table 1) and attaches its error.
+func BenchmarkTable1Superposition(b *testing.B) {
+	for _, pitch := range []float64{15, 10} {
+		for _, n := range []int{4, 6, 8} {
+			b.Run(fmt.Sprintf("p=%g/size=%dx%d", pitch, n, n), func(b *testing.B) {
+				s := benchSuperposition(b, pitch)
+				ref := benchReference(b, pitch, n)
+				var vm *Field
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					vm = s.EstimateArray(n, n, benchDeltaT)
+				}
+				b.StopTimer()
+				b.ReportMetric(100*NormalizedMAE(vm, ref.VM), "err%")
+			})
+		}
+	}
+}
+
+// BenchmarkTable2Embedded measures the sub-modeling global stage at the five
+// package locations of Fig. 5(b) (Table 2, "Ours" rows).
+func BenchmarkTable2Embedded(b *testing.B) {
+	for _, loc := range Locations {
+		b.Run(loc.String(), func(b *testing.B) {
+			m := benchModel(b, 15, 5, true)
+			pkg := benchPackage(b)
+			spec := EmbeddedSpec{
+				Rows: 5, Cols: 5, DummyRing: 2, Location: loc,
+				GridSamples: benchGS, Options: SolverOptions{Tol: 1e-9},
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := m.SolveEmbedded(pkg, spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable3Convergence sweeps the interpolation node count
+// (2,2,2)…(6,6,6) on a fixed array: global-stage runtime per n (Table 3 /
+// Fig. 6; the local-stage runtime column is BenchmarkTable3LocalStage).
+func BenchmarkTable3Convergence(b *testing.B) {
+	const n = 6
+	ref := (*ReferenceResult)(nil)
+	for _, nodes := range []int{2, 3, 4, 5, 6} {
+		b.Run(fmt.Sprintf("nodes=(%d,%d,%d)", nodes, nodes, nodes), func(b *testing.B) {
+			m := benchModel(b, 15, nodes, false)
+			if ref == nil {
+				ref = benchReference(b, 15, n)
+			}
+			var res *ArrayResult
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = m.SolveArray(ArraySpec{
+					Rows: n, Cols: n, DeltaT: benchDeltaT,
+					GridSamples: benchGS, Options: SolverOptions{Tol: 1e-9},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(100*NormalizedMAE(res.VM, ref.VM), "err%")
+			b.ReportMetric(float64(m.ElementDoFs()), "n")
+		})
+	}
+}
+
+// BenchmarkTable3LocalStage measures the one-shot local stage per node count
+// (the "one-shot local stage runtime" row of Table 3).
+func BenchmarkTable3LocalStage(b *testing.B) {
+	for _, nodes := range []int{2, 3, 4, 5, 6} {
+		b.Run(fmt.Sprintf("nodes=(%d,%d,%d)", nodes, nodes, nodes), func(b *testing.B) {
+			cfg := benchConfig(15, nodes)
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildModel(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGlobalSolver compares GMRES (the paper's choice) with CG
+// on the same global problem — a design-choice ablation from DESIGN.md §5.
+func BenchmarkAblationGlobalSolver(b *testing.B) {
+	for _, useCG := range []bool{false, true} {
+		name := "GMRES"
+		if useCG {
+			name = "CG"
+		}
+		b.Run(name, func(b *testing.B) {
+			m := benchModel(b, 15, 5, false)
+			for i := 0; i < b.N; i++ {
+				if _, err := m.SolveArray(ArraySpec{
+					Rows: 6, Cols: 6, DeltaT: benchDeltaT,
+					UseCG: useCG, Options: SolverOptions{Tol: 1e-9},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,193 @@
+// Command morestress is the command-line front end of the MORE-Stress
+// library: it builds reduced-order TSV unit-block models (the one-shot local
+// stage), stores them on disk, and solves standalone or package-embedded TSV
+// arrays (the global stage), printing runtime statistics and stress summaries
+// and optionally writing the mid-plane von Mises field as CSV.
+//
+// Usage:
+//
+//	morestress build -pitch 15 -nodes 5 -o model.bin [-dummy]
+//	morestress solve -model model.bin -rows 10 -cols 10 -dt -250 [-gs 100] [-out field.vtk] [-ascii]
+//	morestress embed -model model.bin -rows 7 -cols 7 -loc 3 [-ring 2] [-out field.csv]
+//	morestress info  -model model.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	morestress "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "build":
+		cmdBuild(os.Args[2:])
+	case "solve":
+		cmdSolve(os.Args[2:])
+	case "embed":
+		cmdEmbed(os.Args[2:])
+	case "info":
+		cmdInfo(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: morestress build|solve|embed|info [flags]")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "morestress:", err)
+		os.Exit(1)
+	}
+}
+
+func cmdBuild(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	pitch := fs.Float64("pitch", 15, "TSV pitch in um")
+	height := fs.Float64("height", 50, "TSV height in um")
+	diameter := fs.Float64("diameter", 5, "via diameter in um")
+	liner := fs.Float64("liner", 0.5, "liner thickness in um")
+	nodes := fs.Int("nodes", 5, "Lagrange interpolation nodes per axis")
+	dummy := fs.Bool("dummy", false, "also build the dummy (pure Si) block model")
+	quad := fs.Bool("quad", false, "use 20-node quadratic elements in the local stage")
+	out := fs.String("o", "model.bin", "output model file")
+	fail(fs.Parse(args))
+
+	cfg := morestress.DefaultConfig(*pitch)
+	cfg.Geometry = morestress.Geometry{Height: *height, Diameter: *diameter, Liner: *liner, Pitch: *pitch}
+	cfg.Nodes = [3]int{*nodes, *nodes, *nodes}
+	cfg.Quadratic = *quad
+
+	var m *morestress.Model
+	var err error
+	if *dummy {
+		m, err = morestress.BuildModelWithDummy(cfg)
+	} else {
+		m, err = morestress.BuildModel(cfg)
+	}
+	fail(err)
+	f, err := os.Create(*out)
+	fail(err)
+	defer f.Close()
+	fail(m.Save(f))
+	fmt.Printf("local stage done in %v: n = %d element DoFs, saved to %s\n",
+		m.LocalStageTime(), m.ElementDoFs(), *out)
+}
+
+func loadModel(path string) *morestress.Model {
+	f, err := os.Open(path)
+	fail(err)
+	defer f.Close()
+	m, err := morestress.LoadModel(f)
+	fail(err)
+	return m
+}
+
+// exportField writes the field in the format implied by the file extension
+// (.csv, .vtk, .pgm); spacing is the physical sample pitch for VTK.
+func exportField(path string, vm *morestress.Field, spacing float64) {
+	f, err := os.Create(path)
+	fail(err)
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(path, ".vtk"):
+		fail(vm.WriteVTK(f, "vonMises", spacing, spacing))
+	case strings.HasSuffix(path, ".pgm"):
+		fail(vm.WritePGM(f))
+	default:
+		fail(vm.WriteCSV(f))
+	}
+	fmt.Printf("wrote %dx%d von Mises field to %s\n", vm.NX, vm.NY, path)
+}
+
+func cmdSolve(args []string) {
+	fs := flag.NewFlagSet("solve", flag.ExitOnError)
+	model := fs.String("model", "model.bin", "model file from 'build'")
+	rows := fs.Int("rows", 10, "array rows")
+	cols := fs.Int("cols", 10, "array cols")
+	dt := fs.Float64("dt", -250, "thermal load in C")
+	gs := fs.Int("gs", 100, "von Mises samples per block edge")
+	tol := fs.Float64("tol", 1e-9, "solver tolerance")
+	useCG := fs.Bool("cg", false, "use CG instead of GMRES")
+	ascii := fs.Bool("ascii", false, "print an ASCII heatmap of the field")
+	out := fs.String("out", "", "write the field to this file (.csv, .vtk, or .pgm)")
+	fail(fs.Parse(args))
+
+	m := loadModel(*model)
+	res, err := m.SolveArray(morestress.ArraySpec{
+		Rows: *rows, Cols: *cols, DeltaT: *dt, GridSamples: *gs,
+		UseCG: *useCG, Options: morestress.SolverOptions{Tol: *tol},
+	})
+	fail(err)
+	fmt.Printf("global stage: %v (%d global DoFs, %d iterations, residual %.2e)\n",
+		res.GlobalTime, res.GlobalDoFs, res.Stats.Iterations, res.Stats.Residual)
+	fmt.Printf("mid-plane von Mises: max %.1f MPa, mean %.1f MPa\n", res.VM.Max(), res.VM.Mean())
+	if *out != "" {
+		exportField(*out, res.VM, m.Config.Geometry.Pitch/float64(*gs))
+	}
+	if *ascii {
+		fmt.Print(res.VM.RenderASCII(100))
+	}
+}
+
+func cmdEmbed(args []string) {
+	fs := flag.NewFlagSet("embed", flag.ExitOnError)
+	model := fs.String("model", "model.bin", "model file from 'build -dummy'")
+	rows := fs.Int("rows", 7, "TSV array rows")
+	cols := fs.Int("cols", 7, "TSV array cols")
+	ring := fs.Int("ring", 2, "dummy block rings")
+	locN := fs.Int("loc", 1, "package location 1..5 (Fig. 5(b))")
+	dt := fs.Float64("dt", -250, "thermal load in C")
+	gs := fs.Int("gs", 100, "von Mises samples per block edge")
+	tol := fs.Float64("tol", 1e-9, "solver tolerance")
+	out := fs.String("out", "", "write the field to this file (.csv, .vtk, or .pgm)")
+	fail(fs.Parse(args))
+	if *locN < 1 || *locN > 5 {
+		fail(fmt.Errorf("invalid location %d", *locN))
+	}
+
+	m := loadModel(*model)
+	pkg, err := morestress.SolvePackage(morestress.DefaultPackage(),
+		morestress.DefaultPackageResolution(), *dt, morestress.SolverOptions{Tol: *tol}, 0)
+	fail(err)
+	fmt.Printf("coarse package solve: %v\n", pkg.Coarse.SolveTime)
+	res, err := m.SolveEmbedded(pkg, morestress.EmbeddedSpec{
+		Rows: *rows, Cols: *cols, DummyRing: *ring,
+		Location:    morestress.Location(*locN),
+		GridSamples: *gs, Options: morestress.SolverOptions{Tol: *tol},
+	})
+	fail(err)
+	fmt.Printf("global stage at loc%d (origin %.0f,%.0f): %v, %d iterations\n",
+		*locN, res.Origin.X, res.Origin.Y, res.GlobalTime, res.Stats.Iterations)
+	fmt.Printf("TSV-array mid-plane von Mises: max %.1f MPa, mean %.1f MPa\n",
+		res.VM.Max(), res.VM.Mean())
+	if *out != "" {
+		exportField(*out, res.VM, m.Config.Geometry.Pitch/float64(*gs))
+	}
+}
+
+func cmdInfo(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	model := fs.String("model", "model.bin", "model file")
+	fail(fs.Parse(args))
+	m := loadModel(*model)
+	g := m.Config.Geometry
+	fmt.Printf("geometry: pitch %g, height %g, diameter %g, liner %g um\n",
+		g.Pitch, g.Height, g.Diameter, g.Liner)
+	fmt.Printf("interpolation nodes: %v -> n = %d element DoFs (%s)\n",
+		m.Config.Nodes, m.ElementDoFs(), strconv.Quote("Eq. 16"))
+	fmt.Printf("fine mesh per block: %d DoFs (%d free)\n",
+		m.TSV.Stats.FineDoFs, m.TSV.Stats.FreeDoFs)
+	fmt.Printf("has dummy block model: %v\n", m.Dummy != nil)
+}

@@ -1,0 +1,358 @@
+// Command repro regenerates every table and figure of the MORE-Stress
+// paper's evaluation (§5): Table 1 (standalone arrays, time/memory/error for
+// full FEM, linear superposition, and MORE-Stress), Table 2 (arrays embedded
+// at five package locations via sub-modeling), Table 3 and Fig. 6
+// (convergence with the interpolation node count).
+//
+// By default the array sizes are scaled down from the paper's 10×10–50×50 so
+// the full fine-mesh reference remains solvable on one machine; pass -full
+// for the paper-scale sweep (the reference ground truth is then computed only
+// up to -maxref blocks per side).
+//
+// Usage:
+//
+//	repro -exp table1|table2|table3|fig5|fig6|ablation|all [-full] [-gs 100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/chiplet"
+	"repro/internal/mesh"
+	"repro/internal/metrics"
+
+	morestress "repro"
+)
+
+var (
+	expFlag  = flag.String("exp", "all", "experiment: table1, table2, table3, fig5, fig6, ablation, or all")
+	fullFlag = flag.Bool("full", false, "paper-scale array sizes (10x10..50x50); much slower")
+	gsFlag   = flag.Int("gs", 50, "von Mises samples per block edge (paper: 100)")
+	nodeFlag = flag.Int("nodes", 5, "Lagrange interpolation nodes per axis for tables 1-2")
+	tolFlag  = flag.Float64("tol", 1e-9, "iterative solver tolerance")
+	maxRef   = flag.Int("maxref", 8, "largest array size solved by the fine reference")
+)
+
+func main() {
+	flag.Parse()
+	fmt.Printf("MORE-Stress reproduction driver (GOMAXPROCS=%d)\n", runtime.GOMAXPROCS(0))
+	switch *expFlag {
+	case "table1":
+		table1()
+	case "table2":
+		table2()
+	case "table3":
+		table3(false)
+	case "fig6":
+		table3(true)
+	case "ablation":
+		ablation()
+	case "fig5":
+		fig5()
+	case "all":
+		table1()
+		table2()
+		table3(false)
+		table3(true)
+		ablation()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expFlag)
+		os.Exit(2)
+	}
+}
+
+func opts() morestress.SolverOptions { return morestress.SolverOptions{Tol: *tolFlag} }
+
+func sizes() []int {
+	if *fullFlag {
+		return []int{10, 20, 30, 40, 50}
+	}
+	return []int{4, 6, 8, 10, 12}
+}
+
+const deltaT = -250.0
+
+func seconds(d time.Duration) string { return fmt.Sprintf("%.2fs", d.Seconds()) }
+
+func gb(b int64) string { return fmt.Sprintf("%.2fG", float64(b)/(1<<30)) }
+
+// table1 reproduces Table 1: standalone clamped arrays at p = 15 and 10 µm.
+func table1() {
+	fmt.Println("\n=== Table 1: standalone TSV arrays (Fig. 5(a)) ===")
+	for _, pitch := range []float64{15, 10} {
+		cfg := morestress.DefaultConfig(pitch)
+		cfg.Nodes = [3]int{*nodeFlag, *nodeFlag, *nodeFlag}
+
+		var model *morestress.Model
+		mLocal := metrics.Measure(func() {
+			var err error
+			model, err = morestress.BuildModel(cfg)
+			check(err)
+		})
+		fmt.Printf("\np = %g um: one-shot local stage %s (peak %s, n = %d element DoFs)\n",
+			pitch, seconds(mLocal.Elapsed), gb(mLocal.PeakHeapBytes), model.ElementDoFs())
+
+		var sup *morestress.Superposition
+		mSup := metrics.Measure(func() {
+			var err error
+			sup, err = morestress.BuildSuperposition(cfg, 2, *gsFlag, opts())
+			check(err)
+		})
+		fmt.Printf("superposition one-shot kernel: %s (peak %s)\n", seconds(mSup.Elapsed), gb(mSup.PeakHeapBytes))
+
+		fmt.Printf("%-14s %12s %12s %12s %12s %12s\n", "array size", "ref time", "ref mem", "method", "time/mem", "error")
+		for _, n := range sizes() {
+			var ref *morestress.ReferenceResult
+			refTime, refMem := "-", "-"
+			if n <= *maxRef {
+				m := metrics.Measure(func() {
+					var err error
+					ref, err = morestress.ReferenceArray(cfg, n, n, deltaT, *gsFlag, opts())
+					check(err)
+				})
+				refTime, refMem = seconds(m.Elapsed), gb(m.PeakHeapBytes)
+			}
+
+			var supVM *morestress.Field
+			mEst := metrics.Measure(func() { supVM = sup.EstimateArray(n, n, deltaT) })
+			supErr := "-"
+			if ref != nil {
+				supErr = fmt.Sprintf("%.2f%%", 100*morestress.NormalizedMAE(supVM, ref.VM))
+			}
+
+			var res *morestress.ArrayResult
+			mROM := metrics.Measure(func() {
+				var err error
+				res, err = model.SolveArray(morestress.ArraySpec{
+					Rows: n, Cols: n, DeltaT: deltaT, GridSamples: *gsFlag, Options: opts(),
+				})
+				check(err)
+			})
+			romErr := "-"
+			if ref != nil {
+				romErr = fmt.Sprintf("%.2f%%", 100*morestress.NormalizedMAE(res.VM, ref.VM))
+			}
+
+			fmt.Printf("%-14s %12s %12s %12s %12s %12s\n",
+				fmt.Sprintf("%dx%d", n, n), refTime, refMem,
+				"superpos.", seconds(mEst.Elapsed)+"/"+gb(mEst.PeakHeapBytes), supErr)
+			fmt.Printf("%-14s %12s %12s %12s %12s %12s\n",
+				"", "", "", "MORE-Stress", seconds(mROM.Elapsed)+"/"+gb(mROM.PeakHeapBytes), romErr)
+		}
+	}
+}
+
+// table2 reproduces Table 2: a TSV array embedded at five chiplet locations
+// through sub-modeling.
+func table2() {
+	fmt.Println("\n=== Table 2: embedded arrays at five chiplet locations (Fig. 5(b)) ===")
+	rows, cols, ring := 7, 7, 2
+	if *fullFlag {
+		rows, cols = 15, 15
+	}
+	for _, pitch := range []float64{15, 10} {
+		cfg := morestress.DefaultConfig(pitch)
+		cfg.Nodes = [3]int{*nodeFlag, *nodeFlag, *nodeFlag}
+		model, err := morestress.BuildModelWithDummy(cfg)
+		check(err)
+		pkg, err := morestress.SolvePackage(morestress.DefaultPackage(),
+			morestress.DefaultPackageResolution(), deltaT, opts(), 0)
+		check(err)
+		sup, err := morestress.BuildSuperposition(cfg, 2, *gsFlag, opts())
+		check(err)
+
+		fmt.Printf("\np = %g um, %dx%d TSV array + %d dummy rings (coarse package solve: %s)\n",
+			pitch, rows, cols, ring, seconds(pkg.Coarse.SolveTime))
+		fmt.Printf("%-6s %12s %12s %12s %12s %12s %12s\n",
+			"loc", "ref time", "MORE time", "MORE mem", "MORE err", "sup time", "sup err")
+		for _, loc := range morestress.Locations {
+			spec := morestress.EmbeddedSpec{
+				Rows: rows, Cols: cols, DummyRing: ring, Location: loc,
+				GridSamples: *gsFlag, Options: opts(),
+			}
+			var ref *morestress.ReferenceResult
+			refTime := "-"
+			if cols+2*ring <= *maxRef+4 {
+				m := metrics.Measure(func() {
+					var err error
+					ref, err = morestress.ReferenceEmbedded(cfg, pkg, spec, *gsFlag, opts())
+					check(err)
+				})
+				refTime = seconds(m.Elapsed)
+			}
+			var res *morestress.EmbeddedResult
+			mROM := metrics.Measure(func() {
+				var err error
+				res, err = model.SolveEmbedded(pkg, spec)
+				check(err)
+			})
+			var supVM *morestress.Field
+			mSup := metrics.Measure(func() {
+				var err error
+				supVM, err = sup.EstimateEmbedded(pkg, spec)
+				check(err)
+			})
+			romErr, supErr := "-", "-"
+			if ref != nil {
+				romErr = fmt.Sprintf("%.2f%%", 100*morestress.NormalizedMAE(res.VM, ref.VM))
+				supErr = fmt.Sprintf("%.2f%%", 100*morestress.NormalizedMAE(supVM, ref.VM))
+			}
+			fmt.Printf("%-6s %12s %12s %12s %12s %12s %12s\n",
+				loc.String(), refTime, seconds(mROM.Elapsed), gb(mROM.PeakHeapBytes), romErr,
+				seconds(mSup.Elapsed), supErr)
+		}
+	}
+}
+
+// table3 reproduces Table 3 (and, with series=true, the two Fig. 6 series):
+// convergence with the interpolation node count on a fixed array.
+func table3(series bool) {
+	n := 8
+	if *fullFlag {
+		n = 20
+	}
+	cfg := morestress.DefaultConfig(15)
+	var ref *morestress.ReferenceResult
+	if n <= *maxRef {
+		var err error
+		ref, err = morestress.ReferenceArray(cfg, n, n, deltaT, *gsFlag, opts())
+		check(err)
+	}
+	if series {
+		fmt.Printf("\n=== Fig. 6: error and global runtime vs element DoFs n (%dx%d array) ===\n", n, n)
+	} else {
+		fmt.Printf("\n=== Table 3: convergence on a %dx%d array, p = 15 um ===\n", n, n)
+		fmt.Printf("%-14s %6s %14s %14s %10s\n", "(nx,ny,nz)", "n", "local stage", "global stage", "error")
+	}
+	type pt struct {
+		n       int
+		err     float64
+		global  time.Duration
+		haveErr bool
+	}
+	var pts []pt
+	for _, nodes := range []int{2, 3, 4, 5, 6} {
+		c := cfg
+		c.Nodes = [3]int{nodes, nodes, nodes}
+		var model *morestress.Model
+		mLocal := metrics.Measure(func() {
+			var err error
+			model, err = morestress.BuildModel(c)
+			check(err)
+		})
+		var res *morestress.ArrayResult
+		mGlobal := metrics.Measure(func() {
+			var err error
+			res, err = model.SolveArray(morestress.ArraySpec{
+				Rows: n, Cols: n, DeltaT: deltaT, GridSamples: *gsFlag, Options: opts(),
+			})
+			check(err)
+		})
+		p := pt{n: model.ElementDoFs(), global: mGlobal.Elapsed}
+		errStr := "-"
+		if ref != nil {
+			p.err = morestress.NormalizedMAE(res.VM, ref.VM)
+			p.haveErr = true
+			errStr = fmt.Sprintf("%.2f%%", 100*p.err)
+		}
+		pts = append(pts, p)
+		if !series {
+			fmt.Printf("(%d,%d,%d)%6s %6d %14s %14s %10s\n",
+				nodes, nodes, nodes, "", p.n, seconds(mLocal.Elapsed), seconds(mGlobal.Elapsed), errStr)
+		}
+	}
+	if series {
+		fmt.Println("series error(n): n err%")
+		for _, p := range pts {
+			if p.haveErr {
+				fmt.Printf("  %4d %8.3f\n", p.n, 100*p.err)
+			}
+		}
+		fmt.Println("series runtime(n): n seconds")
+		for _, p := range pts {
+			fmt.Printf("  %4d %8.3f\n", p.n, p.global.Seconds())
+		}
+	}
+}
+
+// fig5 renders the scenario geometries (Fig. 5 of the paper) as ASCII
+// material maps: the TSV unit block's mid-height cross-section and the five
+// embedding locations in the chiplet.
+func fig5() {
+	fmt.Println("\n=== Fig. 5 scenario geometry ===")
+	geom := mesh.PaperGeometry(15)
+	g, err := mesh.NewBlock(geom, mesh.DefaultResolution(), mesh.KindTSV)
+	check(err)
+	fmt.Println("TSV unit block mid-height cross-section ('#' Cu, 'o' liner, '.' Si):")
+	fmt.Print(g.RenderSlice(geom.Height / 2))
+
+	st := morestress.DefaultPackage()
+	fmt.Printf("\nchiplet (Fig. 5(b)): substrate %g, interposer %g, die %g um\n",
+		st.SubstrateSize, st.InterposerSize, st.DieSize)
+	w := morestress.EmbeddedSpec{Rows: 7, Cols: 7, DummyRing: 2}.Width(geom.Pitch)
+	for _, loc := range morestress.Locations {
+		o, err := chiplet.SubmodelOrigin(st, loc, w)
+		check(err)
+		fmt.Printf("  %-5s sub-model at (%6.0f, %6.0f) um\n", loc, o.X, o.Y)
+	}
+}
+
+// ablation prints the design-choice comparisons of DESIGN.md §5: the global
+// solver family and the ground-truth element order.
+func ablation() {
+	fmt.Println("\n=== Ablations (DESIGN.md §5) ===")
+	cfg := morestress.DefaultConfig(15)
+	cfg.Nodes = [3]int{*nodeFlag, *nodeFlag, *nodeFlag}
+	model, err := morestress.BuildModel(cfg)
+	check(err)
+
+	n := 8
+	fmt.Printf("global solver on a %dx%d array:\n", n, n)
+	for _, mode := range []struct {
+		name  string
+		useCG bool
+	}{{"GMRES (paper)", false}, {"CG", true}} {
+		m := metrics.Measure(func() {
+			_, err := model.SolveArray(morestress.ArraySpec{
+				Rows: n, Cols: n, DeltaT: deltaT, UseCG: mode.useCG, Options: opts(),
+			})
+			check(err)
+		})
+		fmt.Printf("  %-14s %8s  (peak %s)\n", mode.name, seconds(m.Elapsed), gb(m.PeakHeapBytes))
+	}
+
+	fmt.Println("ground-truth element order (4x4 array, same mesh):")
+	for _, mode := range []struct {
+		name string
+		quad bool
+	}{{"trilinear", false}, {"quadratic", true}} {
+		var ref *morestress.ReferenceResult
+		m := metrics.Measure(func() {
+			var err error
+			if mode.quad {
+				ref, err = morestress.ReferenceArrayQuadratic(cfg, 4, 4, deltaT, *gsFlag, opts())
+			} else {
+				ref, err = morestress.ReferenceArray(cfg, 4, 4, deltaT, *gsFlag, opts())
+			}
+			check(err)
+		})
+		res, err := model.SolveArray(morestress.ArraySpec{
+			Rows: 4, Cols: 4, DeltaT: deltaT, GridSamples: *gsFlag, Options: opts(),
+		})
+		check(err)
+		fmt.Printf("  %-10s %8s, %8d DoFs, MORE-Stress error vs it: %.2f%%\n",
+			mode.name, seconds(m.Elapsed), ref.DoFs,
+			100*morestress.NormalizedMAE(res.VM, ref.VM))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}

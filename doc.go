@@ -1,0 +1,41 @@
+// Package morestress is a Go implementation of MORE-Stress, the model-order-
+// reduction algorithm for efficient thermal stress simulation of TSV arrays
+// in 2.5D/3D ICs (Zhu et al., DATE 2025, arXiv:2411.12690).
+//
+// Thermomechanical stress in 2.5D/3D integrated circuits arises from the
+// mismatch of thermal expansion coefficients between copper TSVs, their
+// dielectric liners, and the silicon substrate under the thermal load between
+// processing and room temperature. Full finite-element analysis of a large
+// TSV array is prohibitively expensive because the fine via geometry forces a
+// fine mesh over a large domain. MORE-Stress exploits the periodicity of the
+// array:
+//
+//   - A one-shot local stage (BuildModel) meshes a single p×p×h unit block,
+//     places equally spaced Lagrange interpolation nodes on its surface, and
+//     solves one Dirichlet problem per surface-node displacement component
+//     (plus one thermal problem) with a single sparse Cholesky factorization.
+//     The solutions are the local basis functions; projecting the fine
+//     operator onto them yields a small dense element stiffness and load.
+//
+//   - A global stage (Model.SolveArray) treats every unit block as an
+//     abstract finite element whose DoFs are the shared surface-node
+//     displacements, assembles a sparse global system for an arbitrary
+//     Bx×By array, applies boundary conditions by lifting, solves with
+//     GMRES, and reconstructs per-block displacement and stress fields from
+//     the basis.
+//
+//   - Sub-modeling (Model.SolveEmbedded) embeds an array anywhere in a
+//     package: a coarse package solve provides displacement boundary
+//     conditions for the array sub-model, with rings of pure-silicon "dummy"
+//     blocks keeping the boundary away from the region of interest.
+//
+// The package also provides the two baselines evaluated in the paper: a
+// conventional full-resolution FEM reference (ReferenceArray — the ground
+// truth played by ANSYS in the paper) and the linear superposition method
+// (BuildSuperposition), plus the error metrics, benchmark harness, and
+// example scenarios that regenerate every table and figure of the paper's
+// evaluation.
+//
+// All lengths are in µm, moduli in MPa, temperatures in °C; stresses come
+// out in MPa.
+package morestress

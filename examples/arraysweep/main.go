@@ -1,0 +1,56 @@
+// Arraysweep reproduces scenario 1 (Fig. 5(a)) at example scale: standalone
+// clamped TSV arrays of growing size at both paper pitches, comparing
+// MORE-Stress and the linear superposition baseline against the full
+// fine-mesh reference — the workload behind Table 1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	morestress "repro"
+)
+
+const deltaT = -250.0
+
+func main() {
+	const gs = 20
+	for _, pitch := range []float64{15, 10} {
+		fmt.Printf("=== pitch %g um ===\n", pitch)
+		cfg := morestress.DefaultConfig(pitch)
+
+		model, err := morestress.BuildModel(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("one-shot local stage: %v\n", model.LocalStageTime())
+
+		sup, err := morestress.BuildSuperposition(cfg, 2, gs, morestress.SolverOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%-8s %10s %10s %10s %10s %10s\n",
+			"size", "ref", "MORE", "MORE err", "superpos", "sup err")
+		for _, n := range []int{2, 4, 6} {
+			ref, err := morestress.ReferenceArray(cfg, n, n, deltaT, gs, morestress.SolverOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := model.SolveArray(morestress.ArraySpec{
+				Rows: n, Cols: n, DeltaT: deltaT, GridSamples: gs,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			supVM := sup.EstimateArray(n, n, deltaT)
+			fmt.Printf("%-8s %10v %10v %9.2f%% %10s %9.2f%%\n",
+				fmt.Sprintf("%dx%d", n, n),
+				ref.TotalTime.Round(1e6), res.GlobalTime.Round(1e6),
+				100*morestress.NormalizedMAE(res.VM, ref.VM),
+				"(fast)",
+				100*morestress.NormalizedMAE(supVM, ref.VM))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,45 @@
+package morestress
+
+import (
+	"io"
+
+	"repro/internal/fem"
+	"repro/internal/superpose"
+)
+
+// Field post-processing and export helpers re-exported from the internal
+// packages for downstream users.
+
+// VonMises returns the von Mises equivalent of a Voigt stress tensor
+// [σxx, σyy, σzz, σyz, σxz, σxy].
+func VonMises(s [6]float64) float64 { return fem.VonMises(s) }
+
+// PrincipalStresses returns σ1 ≥ σ2 ≥ σ3 of a Voigt stress tensor.
+func PrincipalStresses(s [6]float64) [3]float64 { return fem.PrincipalStresses(s) }
+
+// Tresca returns the maximum-shear criterion value σ1 − σ3.
+func Tresca(s [6]float64) float64 { return fem.Tresca(s) }
+
+// StressAt evaluates the reconstructed stress tensor at a global point of a
+// solved array (block-local reconstruction per Eq. 15).
+func (r *ArrayResult) StressAt(p Vec3) [6]float64 { return r.Solution.StressAt(p) }
+
+// DisplacementAt evaluates the reconstructed displacement at a global point.
+func (r *ArrayResult) DisplacementAt(p Vec3) [3]float64 { return r.Solution.DisplacementAt(p) }
+
+// StressAt evaluates the reconstructed stress tensor at a sub-model-local
+// point of an embedded solve.
+func (r *EmbeddedResult) StressAt(p Vec3) [6]float64 { return r.Solution.StressAt(p) }
+
+// SaveKernel persists the superposition baseline's one-shot kernel.
+func (s *Superposition) SaveKernel(w io.Writer) error { return s.Kernel.Save(w) }
+
+// LoadSuperposition restores a saved kernel; cfg supplies worker counts and
+// must match the kernel's geometry.
+func LoadSuperposition(cfg Config, r io.Reader) (*Superposition, error) {
+	k, err := superpose.LoadKernel(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Superposition{Kernel: k, cfg: cfg}, nil
+}

@@ -1,0 +1,455 @@
+// Package array implements the global stage of MORE-Stress (§4.3): the TSV
+// array is an abstract "mesh" whose "elements" are unit blocks and whose
+// DoFs are the Lagrange surface-node displacements. The dense element
+// matrices from the one-shot local stage are assembled by the standard FEM
+// procedure into a sparse global system, boundary conditions are applied by
+// lifting, the system is solved iteratively (GMRES per the paper, CG
+// optionally), and per-block fields are reconstructed from the local basis.
+package array
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/fem"
+	"repro/internal/field"
+	"repro/internal/mesh"
+	"repro/internal/rom"
+	"repro/internal/solver"
+)
+
+// BCKind selects the global boundary condition.
+type BCKind int
+
+const (
+	// ClampedTopBottom fixes u = 0 on the top and bottom surfaces and
+	// leaves the lateral boundary free (scenario 1, Fig. 5(a)).
+	ClampedTopBottom BCKind = iota
+	// PrescribedBoundary imposes displacements from a coarse package
+	// solution on every outer boundary node (sub-modeling, §4.4).
+	PrescribedBoundary
+)
+
+// SolverKind selects the global linear solver.
+type SolverKind int
+
+const (
+	// GMRES is the paper's recommendation for the global problem.
+	GMRES SolverKind = iota
+	// CG exploits the symmetric positive-definiteness of the assembled
+	// global matrix (ablation option).
+	CG
+	// Direct factors the reduced global matrix with sparse Cholesky — the
+	// alternative the paper argues against for one-shot global solves
+	// (§4.3); provided for the ablation benches.
+	Direct
+)
+
+// Problem describes one global-stage computation.
+type Problem struct {
+	// ROM is the TSV unit-block model from the one-shot local stage.
+	ROM *rom.ROM
+	// DummyROM models the pure-silicon padding blocks; required when
+	// IsDummy marks any block. Its Nodes/Geometry must match ROM.
+	DummyROM *rom.ROM
+	// Bx, By are the array dimensions in blocks (including dummies).
+	Bx, By int
+	// IsDummy marks padding blocks; nil means all blocks carry TSVs.
+	IsDummy func(bx, by int) bool
+	// DeltaT is the thermal load in °C (paper: −250).
+	DeltaT float64
+	// DeltaTFor optionally overrides DeltaT per block (piecewise-constant
+	// nonuniform thermal fields, e.g. hotspots); nil means uniform DeltaT.
+	DeltaTFor func(bx, by int) float64
+	// BC selects the boundary condition kind.
+	BC BCKind
+	// BoundaryDisp supplies prescribed displacements at outer-boundary node
+	// positions (global µm coordinates); used with PrescribedBoundary.
+	BoundaryDisp func(p mesh.Vec3) [3]float64
+	// Solver selects GMRES (default), CG, or Direct.
+	Solver SolverKind
+	// Precond selects the preconditioner of the iterative solvers
+	// (default Jacobi).
+	Precond solver.PrecondKind
+	// Opt configures the iterative solver.
+	Opt solver.Options
+	// Workers bounds the parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Lattice is the global surface-node lattice: integer coordinates
+// gx ∈ [0, Bx·(nx−1)], gy ∈ [0, By·(ny−1)], gz ∈ [0, nz−1], with
+// block-interior lattice sites absent.
+type Lattice struct {
+	Bx, By        int
+	NxN, NyN, NzN int // interpolation node counts per block
+	GX, GY, GZ    int // lattice extents (node counts)
+	Pitch, Height float64
+	// Index maps lattice site (gx, gy, gz) to global node id, −1 if the
+	// site is interior to a block. Flattened with gx fastest.
+	Index []int32
+	// Nodes lists the lattice triples of existing nodes in id order.
+	Nodes [][3]int
+}
+
+// NewLattice enumerates the global surface nodes.
+func NewLattice(bx, by int, nodes [3]int, pitch, height float64) *Lattice {
+	nx, ny, nz := nodes[0], nodes[1], nodes[2]
+	l := &Lattice{
+		Bx: bx, By: by,
+		NxN: nx, NyN: ny, NzN: nz,
+		GX: bx*(nx-1) + 1, GY: by*(ny-1) + 1, GZ: nz,
+		Pitch: pitch, Height: height,
+	}
+	l.Index = make([]int32, l.GX*l.GY*l.GZ)
+	for gz := 0; gz < l.GZ; gz++ {
+		interiorZ := gz > 0 && gz < l.GZ-1
+		for gy := 0; gy < l.GY; gy++ {
+			interiorY := gy%(ny-1) != 0
+			for gx := 0; gx < l.GX; gx++ {
+				interiorX := gx%(nx-1) != 0
+				at := l.flat(gx, gy, gz)
+				if interiorX && interiorY && interiorZ {
+					l.Index[at] = -1
+					continue
+				}
+				l.Index[at] = int32(len(l.Nodes))
+				l.Nodes = append(l.Nodes, [3]int{gx, gy, gz})
+			}
+		}
+	}
+	return l
+}
+
+func (l *Lattice) flat(gx, gy, gz int) int { return gx + l.GX*(gy+l.GY*gz) }
+
+// NodeID returns the global node id at lattice site (gx, gy, gz), −1 if the
+// site is interior to a block.
+func (l *Lattice) NodeID(gx, gy, gz int) int32 { return l.Index[l.flat(gx, gy, gz)] }
+
+// NumNodes returns the number of global surface nodes.
+func (l *Lattice) NumNodes() int { return len(l.Nodes) }
+
+// NumDoFs returns 3 × NumNodes.
+func (l *Lattice) NumDoFs() int { return 3 * len(l.Nodes) }
+
+// Position returns the physical coordinates of global node id.
+func (l *Lattice) Position(id int) mesh.Vec3 {
+	t := l.Nodes[id]
+	return mesh.Vec3{
+		X: l.Pitch * float64(t[0]) / float64(l.NxN-1),
+		Y: l.Pitch * float64(t[1]) / float64(l.NyN-1),
+		Z: l.Height * float64(t[2]) / float64(l.NzN-1),
+	}
+}
+
+// OnOuterBoundary reports whether node id lies on the outer surface of the
+// array domain.
+func (l *Lattice) OnOuterBoundary(id int) bool {
+	t := l.Nodes[id]
+	return t[0] == 0 || t[0] == l.GX-1 ||
+		t[1] == 0 || t[1] == l.GY-1 ||
+		t[2] == 0 || t[2] == l.GZ-1
+}
+
+// OnTopOrBottom reports whether node id lies on the clamped faces of
+// scenario 1.
+func (l *Lattice) OnTopOrBottom(id int) bool {
+	t := l.Nodes[id]
+	return t[2] == 0 || t[2] == l.GZ-1
+}
+
+// BlockDoFMap returns, for block (bx, by), the global DoF index of each of
+// the ROM's element DoFs (canonical surface-node order × 3 components).
+func (l *Lattice) BlockDoFMap(r *rom.ROM, bx, by int) []int32 {
+	n := r.Surf.Count()
+	out := make([]int32, 3*n)
+	for s := 0; s < n; s++ {
+		t := r.Surf.IJK[s]
+		gid := l.NodeID(bx*(l.NxN-1)+t[0], by*(l.NyN-1)+t[1], t[2])
+		if gid < 0 {
+			panic(fmt.Sprintf("array: block (%d,%d) surface node %v maps to interior lattice site", bx, by, t))
+		}
+		for c := 0; c < 3; c++ {
+			out[3*s+c] = 3*gid + int32(c)
+		}
+	}
+	return out
+}
+
+// Solution is the outcome of the global stage.
+type Solution struct {
+	Prob    *Problem
+	Lattice *Lattice
+	// Q holds the global surface-node displacements (3 per node).
+	Q []float64
+	// Stats reports the iterative solve.
+	Stats solver.Stats
+	// Timings of the two global-stage phases.
+	AssembleTime, SolveTime time.Duration
+	// GlobalDoFs is the size of the abstract global system.
+	GlobalDoFs int
+	// MatrixNNZ is the assembled global matrix's stored entries.
+	MatrixNNZ int
+}
+
+// Validate checks problem consistency.
+func (p *Problem) Validate() error {
+	if p.ROM == nil {
+		return fmt.Errorf("array: Problem requires a ROM")
+	}
+	if p.Bx < 1 || p.By < 1 {
+		return fmt.Errorf("array: array size must be positive, got %d×%d", p.Bx, p.By)
+	}
+	if p.IsDummy != nil && p.DummyROM == nil {
+		hasDummy := false
+		for by := 0; by < p.By && !hasDummy; by++ {
+			for bx := 0; bx < p.Bx && !hasDummy; bx++ {
+				hasDummy = p.IsDummy(bx, by)
+			}
+		}
+		if hasDummy {
+			return fmt.Errorf("array: IsDummy marks blocks but DummyROM is nil")
+		}
+	}
+	if p.DummyROM != nil {
+		if p.DummyROM.Spec.Nodes != p.ROM.Spec.Nodes {
+			return fmt.Errorf("array: DummyROM nodes %v differ from ROM nodes %v", p.DummyROM.Spec.Nodes, p.ROM.Spec.Nodes)
+		}
+		if p.DummyROM.Spec.Geom.Pitch != p.ROM.Spec.Geom.Pitch || p.DummyROM.Spec.Geom.Height != p.ROM.Spec.Geom.Height {
+			return fmt.Errorf("array: DummyROM block dimensions differ from ROM")
+		}
+	}
+	if p.BC == PrescribedBoundary && p.BoundaryDisp == nil {
+		return fmt.Errorf("array: PrescribedBoundary requires BoundaryDisp")
+	}
+	return nil
+}
+
+// Solve runs the global stage: assembly (Eqs. 18–19 outputs scattered by the
+// standard procedure), lifting of boundary conditions, iterative solve, and
+// returns the global surface-node displacement.
+func Solve(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	lat := NewLattice(p.Bx, p.By, p.ROM.Spec.Nodes, p.ROM.Spec.Geom.Pitch, p.ROM.Spec.Geom.Height)
+	ndof := lat.NumDoFs()
+
+	tAsm := time.Now()
+	k, f := assembleGlobal(p, lat, workers)
+
+	// Boundary conditions by lifting.
+	isBC := make([]bool, ndof)
+	var bcNodes []int32
+	for id := 0; id < lat.NumNodes(); id++ {
+		var fixed bool
+		switch p.BC {
+		case ClampedTopBottom:
+			fixed = lat.OnTopOrBottom(id)
+		case PrescribedBoundary:
+			fixed = lat.OnOuterBoundary(id)
+		}
+		if fixed {
+			isBC[3*id] = true
+			isBC[3*id+1] = true
+			isBC[3*id+2] = true
+			bcNodes = append(bcNodes, int32(id))
+		}
+	}
+	// With (2,2,2) interpolation nodes and clamped top/bottom every global
+	// DoF is constrained; the global solve degenerates to q = u_bc (the
+	// paper's Table 3 still evaluates this case through the per-block
+	// thermal basis).
+	allBC := true
+	for _, b := range isBC {
+		if !b {
+			allBC = false
+			break
+		}
+	}
+	if allBC {
+		q := make([]float64, ndof)
+		if p.BC == PrescribedBoundary {
+			for _, id := range bcNodes {
+				d := p.BoundaryDisp(lat.Position(int(id)))
+				q[3*id] = d[0]
+				q[3*id+1] = d[1]
+				q[3*id+2] = d[2]
+			}
+		}
+		return &Solution{
+			Prob: p, Lattice: lat, Q: q,
+			Stats:        solver.Stats{Converged: true},
+			AssembleTime: time.Since(tAsm),
+			GlobalDoFs:   ndof, MatrixNNZ: k.NNZ(),
+		}, nil
+	}
+
+	red, err := fem.Reduce(k, f, isBC)
+	if err != nil {
+		return nil, err
+	}
+	var ubc []float64
+	if p.BC == PrescribedBoundary {
+		ubc = make([]float64, len(red.BCIdx))
+		for bi, id := range bcNodes {
+			d := p.BoundaryDisp(lat.Position(int(id)))
+			ubc[3*bi] = d[0]
+			ubc[3*bi+1] = d[1]
+			ubc[3*bi+2] = d[2]
+		}
+	}
+	// The global load already carries ΔT (assembled above), so the reduced
+	// RHS uses deltaT = 1 against it.
+	rhs := red.RHS(1, ubc)
+	asmTime := time.Since(tAsm)
+
+	tSolve := time.Now()
+	opt := p.Opt
+	if opt.Workers == 0 {
+		opt.Workers = workers
+	}
+	var qf []float64
+	var stats solver.Stats
+	switch p.Solver {
+	case CG:
+		qf, stats, err = solver.PCG(red.Aff, rhs, nil, p.Precond, opt)
+	case Direct:
+		var chol *solver.CholFactor
+		chol, err = solver.NewCholesky(red.Aff)
+		if err == nil {
+			qf = chol.Solve(rhs)
+			stats = solver.Stats{Converged: true}
+		}
+	default:
+		qf, stats, err = solver.GMRESP(red.Aff, rhs, nil, p.Precond, opt)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("array: global solve failed: %w", err)
+	}
+	q := red.Expand(qf, ubc)
+	solveTime := time.Since(tSolve)
+
+	return &Solution{
+		Prob: p, Lattice: lat, Q: q, Stats: stats,
+		AssembleTime: asmTime, SolveTime: solveTime,
+		GlobalDoFs: ndof, MatrixNNZ: k.NNZ(),
+	}, nil
+}
+
+// BlockDoFs extracts the element DoF values of block (bx, by) from the
+// global solution.
+func (s *Solution) BlockDoFs(bx, by int) []float64 {
+	r := s.blockROM(bx, by)
+	dmap := s.Lattice.BlockDoFMap(r, bx, by)
+	q := make([]float64, len(dmap))
+	for i, d := range dmap {
+		q[i] = s.Q[d]
+	}
+	return q
+}
+
+func (s *Solution) blockROM(bx, by int) *rom.ROM {
+	if s.Prob.IsDummy != nil && s.Prob.IsDummy(bx, by) {
+		return s.Prob.DummyROM
+	}
+	return s.Prob.ROM
+}
+
+// blockDeltaT returns the thermal load of block (bx, by).
+func (p *Problem) blockDeltaT(bx, by int) float64 {
+	if p.DeltaTFor != nil {
+		return p.DeltaTFor(bx, by)
+	}
+	return p.DeltaT
+}
+
+// VMField reconstructs each block's fine displacement field (Eq. 15) and
+// samples the von Mises stress on the mid-height cut plane with a gs×gs
+// grid per block, returning a (Bx·gs)×(By·gs) field. Parallel over blocks.
+func (s *Solution) VMField(gs int, workers int) *field.Grid2D {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := field.New(s.Prob.Bx*gs, s.Prob.By*gs)
+	zCut := s.Prob.ROM.Spec.Geom.Height / 2
+
+	type job struct{ bx, by int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				r := s.blockROM(jb.bx, jb.by)
+				q := s.BlockDoFs(jb.bx, jb.by)
+				dt := s.Prob.blockDeltaT(jb.bx, jb.by)
+				u := r.Reconstruct(q, dt)
+				vm := r.SampleVM(u, dt, zCut, gs)
+				for gy := 0; gy < gs; gy++ {
+					dst := (jb.by*gs+gy)*out.NX + jb.bx*gs
+					copy(out.V[dst:dst+gs], vm[gy*gs:(gy+1)*gs])
+				}
+			}
+		}()
+	}
+	for by := 0; by < s.Prob.By; by++ {
+		for bx := 0; bx < s.Prob.Bx; bx++ {
+			jobs <- job{bx, by}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// StressAt evaluates the reconstructed stress tensor (Voigt) at a global
+// physical point.
+func (s *Solution) StressAt(p mesh.Vec3) [6]float64 {
+	bx, by, local := s.locate(p)
+	r := s.blockROM(bx, by)
+	q := s.BlockDoFs(bx, by)
+	dt := s.Prob.blockDeltaT(bx, by)
+	u := r.Reconstruct(q, dt)
+	return r.StressAtPoint(u, dt, local)
+}
+
+// locate maps a global point to its block and block-local coordinates.
+func (s *Solution) locate(p mesh.Vec3) (bx, by int, local mesh.Vec3) {
+	pitch := s.Prob.ROM.Spec.Geom.Pitch
+	bx = int(p.X / pitch)
+	by = int(p.Y / pitch)
+	if bx < 0 {
+		bx = 0
+	}
+	if bx >= s.Prob.Bx {
+		bx = s.Prob.Bx - 1
+	}
+	if by < 0 {
+		by = 0
+	}
+	if by >= s.Prob.By {
+		by = s.Prob.By - 1
+	}
+	local = mesh.Vec3{X: p.X - float64(bx)*pitch, Y: p.Y - float64(by)*pitch, Z: p.Z}
+	return bx, by, local
+}
+
+// DisplacementAt evaluates the reconstructed displacement at a global
+// physical point (the block containing it is located first).
+func (s *Solution) DisplacementAt(p mesh.Vec3) [3]float64 {
+	bx, by, local := s.locate(p)
+	r := s.blockROM(bx, by)
+	q := s.BlockDoFs(bx, by)
+	u := r.Reconstruct(q, s.Prob.blockDeltaT(bx, by))
+	return r.DisplacementAtPoint(u, local)
+}

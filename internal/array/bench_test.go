@@ -1,0 +1,78 @@
+package array
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/rom"
+	"repro/internal/solver"
+)
+
+func benchROM(b *testing.B) *rom.ROM {
+	b.Helper()
+	spec := rom.PaperSpec(15, mesh.CoarseResolution())
+	r, err := rom.Build(spec, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkGlobalAssembly isolates the sparse assembly of the abstract
+// global system (Eqs. 18–19 scatter + compaction).
+func BenchmarkGlobalAssembly(b *testing.B) {
+	r := benchROM(b)
+	for _, n := range []int{8, 16} {
+		b.Run(fmt.Sprintf("size=%dx%d", n, n), func(b *testing.B) {
+			p := &Problem{ROM: r, Bx: n, By: n, DeltaT: -250, BC: ClampedTopBottom}
+			lat := NewLattice(n, n, r.Spec.Nodes, r.Spec.Geom.Pitch, r.Spec.Geom.Height)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k, _ := assembleGlobal(p, lat, 8)
+				if k.NNZ() == 0 {
+					b.Fatal("empty assembly")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGlobalSolvers compares the three global solver paths on the same
+// problem (design-choice ablation, §4.3).
+func BenchmarkGlobalSolvers(b *testing.B) {
+	r := benchROM(b)
+	for _, kind := range []struct {
+		name string
+		k    SolverKind
+	}{{"GMRES", GMRES}, {"CG", CG}, {"Direct", Direct}} {
+		b.Run(kind.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Solve(&Problem{
+					ROM: r, Bx: 8, By: 8, DeltaT: -250,
+					BC: ClampedTopBottom, Solver: kind.k,
+					Opt: solver.Options{Tol: 1e-9},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVMFieldReconstruction isolates the per-block reconstruction and
+// mid-plane sampling (Eq. 15 post-processing).
+func BenchmarkVMFieldReconstruction(b *testing.B) {
+	r := benchROM(b)
+	sol, err := Solve(&Problem{
+		ROM: r, Bx: 6, By: 6, DeltaT: -250,
+		BC: ClampedTopBottom, Opt: solver.Options{Tol: 1e-9},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sol.VMField(20, 0)
+	}
+}

@@ -1,0 +1,106 @@
+package array
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/mesh"
+	"repro/internal/reffem"
+	"repro/internal/rom"
+	"repro/internal/solver"
+)
+
+// TestNonuniformThermalLoadMatchesReference checks the per-block ΔT
+// extension against the fine reference with the same piecewise-constant
+// thermal field: the global stage must track the reference as accurately as
+// in the uniform case.
+func TestNonuniformThermalLoadMatchesReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("nonuniform-load comparison is slow")
+	}
+	spec := rom.PaperSpec(15, mesh.CoarseResolution())
+	spec.Nodes = [3]int{5, 5, 5}
+	r, err := rom.Build(spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bx, by = 3, 3
+	const gs = 10
+	// Hotspot at the center block: hotter (smaller |ΔT| from anneal).
+	dtFor := func(x, y int) float64 {
+		if x == 1 && y == 1 {
+			return -150
+		}
+		return -250
+	}
+	sol, err := Solve(&Problem{
+		ROM: r, Bx: bx, By: by,
+		DeltaTFor: dtFor,
+		BC:        ClampedTopBottom,
+		Opt:       solver.Options{Tol: 1e-10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sol.VMField(gs, 8)
+
+	ref, err := reffem.Solve(&reffem.Problem{
+		Geom: spec.Geom, Mats: spec.Mats, Res: spec.Res,
+		Bx: bx, By: by,
+		DeltaTFor: dtFor,
+		BC:        reffem.ClampedTopBottom,
+		Opt:       solver.Options{Tol: 1e-10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.SampleVM(gs, 8)
+
+	nmae := field.NormalizedMAE(got, want)
+	t.Logf("nonuniform ΔT error: %.3f%%", 100*nmae)
+	if nmae > 0.03 {
+		t.Errorf("error %.4f too large for nonuniform thermal load", nmae)
+	}
+	// The hotspot block must differ from its uniform-load twin.
+	uniform, err := Solve(&Problem{
+		ROM: r, Bx: bx, By: by, DeltaT: -250,
+		BC:  ClampedTopBottom,
+		Opt: solver.Options{Tol: 1e-10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uvm := uniform.VMField(gs, 8)
+	center := got.Crop(gs, gs, 2*gs, 2*gs)
+	ucenter := uvm.Crop(gs, gs, 2*gs, 2*gs)
+	if math.Abs(center.Max()-ucenter.Max()) < 1e-6*ucenter.Max() {
+		t.Error("hotspot had no effect on the center block")
+	}
+}
+
+func TestDeltaTForDefaultsToUniform(t *testing.T) {
+	spec := rom.PaperSpec(15, mesh.CoarseResolution())
+	r, err := rom.Build(spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Problem{ROM: r, Bx: 2, By: 2, DeltaT: -250, BC: ClampedTopBottom,
+		Opt: solver.Options{Tol: 1e-11}}
+	p1 := base
+	p2 := base
+	p2.DeltaTFor = func(int, int) float64 { return -250 }
+	s1, err := Solve(&p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Solve(&p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1.Q {
+		if math.Abs(s1.Q[i]-s2.Q[i]) > 1e-12+1e-9*math.Abs(s1.Q[i]) {
+			t.Fatalf("constant DeltaTFor differs from uniform DeltaT at %d", i)
+		}
+	}
+}

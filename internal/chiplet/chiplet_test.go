@@ -1,0 +1,226 @@
+package chiplet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/solver"
+)
+
+// testResolution is a cheap coarse mesh for unit tests.
+func testResolution() Resolution {
+	return Resolution{Lateral: 10, SubZ: 2, IntZ: 1, DieZ: 1}
+}
+
+func TestDefaultStackValid(t *testing.T) {
+	if err := DefaultStack().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := DefaultStack().InterposerZ()
+	if lo != 200 || hi != 250 {
+		t.Errorf("interposer z [%g, %g]", lo, hi)
+	}
+}
+
+func TestStackValidation(t *testing.T) {
+	s := DefaultStack()
+	s.DieSize = 5000 // larger than interposer
+	if err := s.Validate(); err == nil {
+		t.Error("expected error for die > interposer")
+	}
+	var zero Stack
+	if err := zero.Validate(); err == nil {
+		t.Error("expected error for zero stack")
+	}
+}
+
+func TestSegmentedAxis(t *testing.T) {
+	ax := SegmentedAxis([]float64{0, 10, 30}, 5)
+	// Breakpoints must appear exactly.
+	found10 := false
+	for _, v := range ax {
+		if v == 10 {
+			found10 = true
+		}
+	}
+	if !found10 {
+		t.Errorf("axis misses breakpoint: %v", ax)
+	}
+	for i := 1; i < len(ax); i++ {
+		if ax[i] <= ax[i-1] {
+			t.Fatal("axis not increasing")
+		}
+	}
+	if ax[0] != 0 || ax[len(ax)-1] != 30 {
+		t.Errorf("axis endpoints: %v", ax)
+	}
+}
+
+func TestBuildGridLayers(t *testing.T) {
+	st := DefaultStack()
+	g, err := BuildGrid(st, testResolution(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Substrate center element.
+	e, _, _, _ := g.Locate(mesh.Vec3{X: 1000, Y: 1000, Z: 100})
+	if g.MatID[e] != matSubstrate {
+		t.Errorf("substrate center is material %d", g.MatID[e])
+	}
+	// Interposer center.
+	e, _, _, _ = g.Locate(mesh.Vec3{X: 1000, Y: 1000, Z: 225})
+	if g.MatID[e] != matInterposer {
+		t.Errorf("interposer center is material %d", g.MatID[e])
+	}
+	// Die center.
+	e, _, _, _ = g.Locate(mesh.Vec3{X: 1000, Y: 1000, Z: 300})
+	if g.MatID[e] != matDie {
+		t.Errorf("die center is material %d", g.MatID[e])
+	}
+	// Outside the interposer at interposer height: void.
+	e, _, _, _ = g.Locate(mesh.Vec3{X: 100, Y: 100, Z: 225})
+	if g.MatID[e] != mesh.VoidMaterial {
+		t.Errorf("expected void, got %d", g.MatID[e])
+	}
+	// Outside the die at die height: void.
+	e, _, _, _ = g.Locate(mesh.Vec3{X: 450, Y: 1000, Z: 300})
+	if g.MatID[e] != mesh.VoidMaterial {
+		t.Errorf("expected void above interposer rim, got %d", g.MatID[e])
+	}
+}
+
+func TestSolveCoarseWarpage(t *testing.T) {
+	st := DefaultStack()
+	c, err := SolveCoarse(st, testResolution(), -250, nil, solver.Options{Tol: 1e-8}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Stats.Converged {
+		t.Error("coarse solve did not converge")
+	}
+	// Cooling a high-CTE substrate under low-CTE silicon bends the package:
+	// the substrate corners must move out of plane relative to the center
+	// (classic warpage), and lateral contraction must point inward.
+	ctr := c.DisplacementAt(mesh.Vec3{X: 1000, Y: 1000, Z: 0})
+	corner := c.DisplacementAt(mesh.Vec3{X: 10, Y: 10, Z: 0})
+	warp := math.Abs(corner[2] - ctr[2])
+	if warp < 0.1 {
+		t.Errorf("expected visible warpage, got %g µm", warp)
+	}
+	edge := c.DisplacementAt(mesh.Vec3{X: 1990, Y: 1000, Z: 100})
+	ctr2 := c.DisplacementAt(mesh.Vec3{X: 1000, Y: 1000, Z: 100})
+	if edge[0] >= ctr2[0] {
+		t.Errorf("expected inward contraction at +x edge: ux(edge)=%g ux(center)=%g", edge[0], ctr2[0])
+	}
+	// The 3-2-1 constraints admit a rigid tilt, so displacement symmetry is
+	// not expected — but stress is rigid-motion invariant and must be
+	// mirror symmetric about the package center.
+	s1 := c.StressAt(mesh.Vec3{X: 500, Y: 1000, Z: 100})
+	s2 := c.StressAt(mesh.Vec3{X: 1500, Y: 1000, Z: 100})
+	for _, i := range []int{0, 1, 2} { // normal components mirror directly
+		if math.Abs(s1[i]-s2[i]) > 1e-3*(1+math.Abs(s1[i])) {
+			t.Errorf("stress not mirror symmetric: comp %d %g vs %g", i, s1[i], s2[i])
+		}
+	}
+}
+
+func TestStressAtInterposerNearDieEdge(t *testing.T) {
+	st := DefaultStack()
+	c, err := SolveCoarse(st, testResolution(), -250, nil, solver.Options{Tol: 1e-8}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The background stress in the interposer must vary between the center
+	// and the die-edge shadow — that is what defeats the naive
+	// superposition baseline in scenario 2.
+	sc := c.StressAt(mesh.Vec3{X: 1000, Y: 1000, Z: 225})
+	se := c.StressAt(mesh.Vec3{X: 1690, Y: 1000, Z: 225})
+	diff := 0.0
+	for i := 0; i < 6; i++ {
+		diff += math.Abs(sc[i] - se[i])
+	}
+	if diff < 1 {
+		t.Errorf("background stress unexpectedly uniform (diff %g MPa)", diff)
+	}
+}
+
+func TestSubmodelOriginLocations(t *testing.T) {
+	st := DefaultStack()
+	const w = 7 * 15 // 7 blocks at 15 µm
+	intLo := (st.SubstrateSize - st.InterposerSize) / 2
+	intHi := intLo + st.InterposerSize
+	for _, loc := range Locations {
+		o, err := SubmodelOrigin(st, loc, w)
+		if err != nil {
+			t.Fatalf("%v: %v", loc, err)
+		}
+		if o.X < intLo || o.X+w > intHi || o.Y < intLo || o.Y+w > intHi {
+			t.Errorf("%v: sub-model [%g,%g]² leaves the interposer", loc, o.X, o.Y)
+		}
+		if o.Z != 200 {
+			t.Errorf("%v: z origin %g, want 200", loc, o.Z)
+		}
+	}
+	// Distinct locations are actually distinct.
+	o1, _ := SubmodelOrigin(st, Loc1, w)
+	o5, _ := SubmodelOrigin(st, Loc5, w)
+	if o1 == o5 {
+		t.Error("loc1 and loc5 coincide")
+	}
+	// Loc5 touches the interposer corner.
+	if math.Abs(o5.X+w-intHi) > 1e-9 || math.Abs(o5.Y+w-intHi) > 1e-9 {
+		t.Errorf("loc5 should be flush with the interposer corner, got %v", o5)
+	}
+}
+
+func TestSubmodelOriginErrors(t *testing.T) {
+	st := DefaultStack()
+	if _, err := SubmodelOrigin(st, Loc1, 5000); err == nil {
+		t.Error("expected error for oversized sub-model")
+	}
+	if _, err := SubmodelOrigin(st, Location(99), 10); err == nil {
+		t.Error("expected error for unknown location")
+	}
+}
+
+func TestLocationString(t *testing.T) {
+	if Loc3.String() != "loc3" {
+		t.Errorf("String: %s", Loc3)
+	}
+	if Location(42).String() == "loc42" {
+		t.Error("out-of-range location should not format as locN")
+	}
+}
+
+func TestWarpageMetrics(t *testing.T) {
+	st := DefaultStack()
+	c, err := SolveCoarse(st, testResolution(), -250, nil, solver.Options{Tol: 1e-8}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := c.Warpage()
+	if w.PeakToValley <= 0 {
+		t.Errorf("peak-to-valley warpage %g, want positive", w.PeakToValley)
+	}
+	// Corner-to-center must be bounded by the full peak-to-valley swing.
+	if math.Abs(w.CornerToCenter) > w.PeakToValley+1e-9 {
+		t.Errorf("corner-to-center %g exceeds peak-to-valley %g", w.CornerToCenter, w.PeakToValley)
+	}
+	// Cooling: the high-CTE substrate under stiffer silicon shortens its
+	// bottom fibers, doming the package (center up, corners down) — the
+	// same orientation the Timoshenko bimetal test validates. Hence
+	// corner-to-center is negative.
+	if w.CornerToCenter >= 0 {
+		t.Errorf("expected corners below center after cooling, got %g", w.CornerToCenter)
+	}
+	// Warpage scales linearly with |ΔT|.
+	c2, err := SolveCoarse(st, testResolution(), -125, nil, solver.Options{Tol: 1e-8}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := c2.Warpage()
+	if math.Abs(w.PeakToValley-2*w2.PeakToValley) > 0.02*w.PeakToValley {
+		t.Errorf("warpage not linear in deltaT: %g vs 2x%g", w.PeakToValley, w2.PeakToValley)
+	}
+}

@@ -1,0 +1,80 @@
+package chiplet
+
+import (
+	"fmt"
+
+	"repro/internal/mesh"
+)
+
+// Location identifies the five TSV-array embedding positions of Fig. 5(b).
+type Location int
+
+const (
+	// Loc1 is the interposer center.
+	Loc1 Location = iota + 1
+	// Loc2 is under the middle of a die edge (background stress gradient).
+	Loc2
+	// Loc3 is under a die ("chip") corner — sharp background variation.
+	Loc3
+	// Loc4 is at the middle of an interposer edge.
+	Loc4
+	// Loc5 is at an interposer corner — the sharpest background variation.
+	Loc5
+)
+
+// Locations lists all five standard locations.
+var Locations = []Location{Loc1, Loc2, Loc3, Loc4, Loc5}
+
+// String implements fmt.Stringer.
+func (l Location) String() string {
+	if l < Loc1 || l > Loc5 {
+		return fmt.Sprintf("Location(%d)", int(l))
+	}
+	return fmt.Sprintf("loc%d", int(l))
+}
+
+// SubmodelOrigin returns the minimum corner (x, y, z) of a w×w sub-model
+// footprint at the given location. The sub-model spans the interposer
+// thickness in z and is clamped to stay inside the interposer laterally.
+func SubmodelOrigin(st Stack, loc Location, w float64) (mesh.Vec3, error) {
+	if err := st.Validate(); err != nil {
+		return mesh.Vec3{}, err
+	}
+	if w > st.InterposerSize {
+		return mesh.Vec3{}, fmt.Errorf("chiplet: sub-model width %g exceeds interposer %g", w, st.InterposerSize)
+	}
+	intLo := (st.SubstrateSize - st.InterposerSize) / 2
+	intHi := intLo + st.InterposerSize
+	dieHi := (st.SubstrateSize + st.DieSize) / 2
+	center := st.SubstrateSize / 2
+	zLo, _ := st.InterposerZ()
+
+	var cx, cy float64
+	switch loc {
+	case Loc1:
+		cx, cy = center, center
+	case Loc2:
+		cx, cy = dieHi, center
+	case Loc3:
+		cx, cy = dieHi, dieHi
+	case Loc4:
+		cx, cy = intHi-w/2, center
+	case Loc5:
+		cx, cy = intHi-w/2, intHi-w/2
+	default:
+		return mesh.Vec3{}, fmt.Errorf("chiplet: unknown location %d", int(loc))
+	}
+	x := clamp(cx-w/2, intLo, intHi-w)
+	y := clamp(cy-w/2, intLo, intHi-w)
+	return mesh.Vec3{X: x, Y: y, Z: zLo}, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,54 @@
+package chiplet
+
+import "repro/internal/mesh"
+
+// Warpage reports standard package-warpage metrics from the coarse solution:
+// the peak-to-valley out-of-plane deflection of the substrate bottom face
+// and the corner-to-center deflection (coplanarity measures used by the
+// JEDEC-style characterizations the paper's warpage reference [26] targets).
+type Warpage struct {
+	// PeakToValley is max(uz) − min(uz) over the bottom face (µm).
+	PeakToValley float64
+	// CornerToCenter is uz(corner) − uz(center) on the bottom face; its
+	// sign distinguishes "crying" (positive) from "smiling" (negative)
+	// warpage in the package-down orientation.
+	CornerToCenter float64
+}
+
+// Warpage computes the warpage metrics of the solved package.
+func (c *Coarse) Warpage() Warpage {
+	g := c.Model.Grid
+	var minUz, maxUz float64
+	first := true
+	for n := 0; n < g.NumNodes(); n++ {
+		co := g.NodeCoord(n)
+		if co.Z != g.Zs[0] {
+			continue
+		}
+		uz := c.U[3*n+2]
+		if first {
+			minUz, maxUz = uz, uz
+			first = false
+			continue
+		}
+		if uz < minUz {
+			minUz = uz
+		}
+		if uz > maxUz {
+			maxUz = uz
+		}
+	}
+	side := c.Stack.SubstrateSize
+	center := c.DisplacementAt(mesh.Vec3{X: side / 2, Y: side / 2, Z: 0})
+	// Average the four corners so the rigid tilt admitted by the 3-2-1
+	// constraints cancels.
+	var cornerUz float64
+	for _, xy := range [][2]float64{{0, 0}, {side, 0}, {0, side}, {side, side}} {
+		cornerUz += c.DisplacementAt(mesh.Vec3{X: xy[0], Y: xy[1], Z: 0})[2]
+	}
+	cornerUz /= 4
+	return Warpage{
+		PeakToValley:   maxUz - minUz,
+		CornerToCenter: cornerUz - center[2],
+	}
+}

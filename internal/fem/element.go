@@ -1,0 +1,141 @@
+// Package fem implements the finite-element kernel for linear
+// thermoelasticity (Eq. 1 of the paper) on structured hexahedral meshes:
+// trilinear 8-node elements with 2×2×2 Gauss quadrature, parallel global
+// assembly, Dirichlet reduction by the lifting procedure (Eqs. 12–13), and
+// strain/stress recovery.
+package fem
+
+import (
+	"math"
+
+	"repro/internal/material"
+)
+
+// Voigt ordering used throughout: [σxx, σyy, σzz, σyz, σxz, σxy] with
+// engineering shear strains [εxx, εyy, εzz, γyz, γxz, γxy].
+
+// vtkSigns holds the reference coordinates (ξ,η,ζ ∈ ±1) of the 8 nodes in
+// VTK hexahedron order.
+var vtkSigns = [8][3]float64{
+	{-1, -1, -1}, {1, -1, -1}, {1, 1, -1}, {-1, 1, -1},
+	{-1, -1, 1}, {1, -1, 1}, {1, 1, 1}, {-1, 1, 1},
+}
+
+// gauss2 holds the 2-point Gauss rule locations (both weights are 1).
+var gauss2 [2]float64
+
+func init() {
+	g := 1 / math.Sqrt(3)
+	gauss2 = [2]float64{-g, g}
+}
+
+// ShapeFunctions evaluates the 8 trilinear shape functions at reference
+// point (ξ, η, ζ).
+func ShapeFunctions(xi, eta, zeta float64) [8]float64 {
+	var n [8]float64
+	for a := 0; a < 8; a++ {
+		s := vtkSigns[a]
+		n[a] = (1 + s[0]*xi) * (1 + s[1]*eta) * (1 + s[2]*zeta) / 8
+	}
+	return n
+}
+
+// ShapeGradients evaluates the physical-space gradients of the 8 shape
+// functions for an axis-aligned box element of size (hx, hy, hz).
+func ShapeGradients(xi, eta, zeta, hx, hy, hz float64) [8][3]float64 {
+	var d [8][3]float64
+	for a := 0; a < 8; a++ {
+		s := vtkSigns[a]
+		d[a][0] = s[0] * (1 + s[1]*eta) * (1 + s[2]*zeta) / 8 * (2 / hx)
+		d[a][1] = s[1] * (1 + s[0]*xi) * (1 + s[2]*zeta) / 8 * (2 / hy)
+		d[a][2] = s[2] * (1 + s[0]*xi) * (1 + s[1]*eta) / 8 * (2 / hz)
+	}
+	return d
+}
+
+// DMatrix returns the 6×6 isotropic elasticity matrix in Voigt form for the
+// given Lamé parameters.
+func DMatrix(lambda, mu float64) [6][6]float64 {
+	var d [6][6]float64
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			d[i][j] = lambda
+		}
+		d[i][i] = lambda + 2*mu
+		d[i+3][i+3] = mu
+	}
+	return d
+}
+
+// ElemMats holds the 24×24 element stiffness and the 24-vector thermal load
+// (for ΔT = 1) of a box element with a given material.
+type ElemMats struct {
+	K [24][24]float64
+	F [24]float64
+}
+
+// ComputeElemMats integrates the element stiffness Ke = ∫ Bᵀ·D·B dV and the
+// thermal load fe = ∫ Bᵀ·D·ε_th dV (ε_th = α·[1,1,1,0,0,0]) over a box
+// element of size (hx, hy, hz) with 2×2×2 Gauss quadrature. For trilinear
+// boxes this rule integrates the stiffness exactly.
+func ComputeElemMats(hx, hy, hz float64, mat material.Material) *ElemMats {
+	lambda, mu := mat.Lame()
+	d := DMatrix(lambda, mu)
+	// D·ε_th = α(3λ+2µ)·[1,1,1,0,0,0].
+	ts := mat.ThermalStressCoeff()
+
+	out := &ElemMats{}
+	detJw := hx * hy * hz / 8 // per Gauss point (weights 1)
+	for _, xi := range gauss2 {
+		for _, eta := range gauss2 {
+			for _, zeta := range gauss2 {
+				g := ShapeGradients(xi, eta, zeta, hx, hy, hz)
+				var b [6][24]float64
+				for a := 0; a < 8; a++ {
+					c := 3 * a
+					dx, dy, dz := g[a][0], g[a][1], g[a][2]
+					b[0][c] = dx
+					b[1][c+1] = dy
+					b[2][c+2] = dz
+					b[3][c+1] = dz
+					b[3][c+2] = dy
+					b[4][c] = dz
+					b[4][c+2] = dx
+					b[5][c] = dy
+					b[5][c+1] = dx
+				}
+				// db = D·B (6×24).
+				var db [6][24]float64
+				for i := 0; i < 6; i++ {
+					for k := 0; k < 6; k++ {
+						dik := d[i][k]
+						if dik == 0 {
+							continue
+						}
+						for j := 0; j < 24; j++ {
+							db[i][j] += dik * b[k][j]
+						}
+					}
+				}
+				// Ke += Bᵀ·db · detJw.
+				for i := 0; i < 24; i++ {
+					for k := 0; k < 6; k++ {
+						bki := b[k][i]
+						if bki == 0 {
+							continue
+						}
+						w := bki * detJw
+						for j := 0; j < 24; j++ {
+							out.K[i][j] += w * db[k][j]
+						}
+					}
+				}
+				// fe += Bᵀ·(ts·[1,1,1,0,0,0]) · detJw.
+				for i := 0; i < 24; i++ {
+					out.F[i] += (b[0][i] + b[1][i] + b[2][i]) * ts * detJw
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package fem
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/material"
+	"repro/internal/mesh"
+	"repro/internal/solver"
+)
+
+// Method of manufactured solutions: for a homogeneous isotropic body the
+// Navier operator gives ∇·σ(u) = (λ+µ)∇(∇·u) + µ∇²u, so prescribing u_exact
+// determines the body force f = −∇·σ(u_exact). Solving with exact Dirichlet
+// data must reproduce u_exact (exactly when u_exact lies in the trilinear
+// space, at O(h²) otherwise).
+
+// solveMMS solves the Dirichlet problem with body force and returns the full
+// displacement vector.
+func solveMMS(t *testing.T, m *Model, body func(mesh.Vec3) [3]float64, exact func(mesh.Vec3) [3]float64) []float64 {
+	t.Helper()
+	asm, err := m.Assemble(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := m.BodyForceLoad(4, body)
+	nn := m.Grid.NumNodes()
+	isBC := make([]bool, 3*nn)
+	var bcNodes []int
+	for n := 0; n < nn; n++ {
+		if m.Grid.OnBoundary(n) {
+			isBC[3*n], isBC[3*n+1], isBC[3*n+2] = true, true, true
+			bcNodes = append(bcNodes, n)
+		}
+	}
+	red, err := Reduce(asm.K, load, isBC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ubc := make([]float64, len(red.BCIdx))
+	for bi, n := range bcNodes {
+		d := exact(m.Grid.NodeCoord(n))
+		ubc[3*bi], ubc[3*bi+1], ubc[3*bi+2] = d[0], d[1], d[2]
+	}
+	// RHS: body-force load (deltaT=1 scales the stored load) minus lifting.
+	chol, err := solver.NewCholesky(red.Aff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xf := chol.Solve(red.RHS(1, ubc))
+	return red.Expand(xf, ubc)
+}
+
+// nodalL2Error returns the RMS nodal displacement error.
+func nodalL2Error(m *Model, u []float64, exact func(mesh.Vec3) [3]float64) float64 {
+	var s float64
+	nn := m.Grid.NumNodes()
+	for n := 0; n < nn; n++ {
+		d := exact(m.Grid.NodeCoord(n))
+		for c := 0; c < 3; c++ {
+			e := u[3*n+c] - d[c]
+			s += e * e
+		}
+	}
+	return math.Sqrt(s / float64(3*nn))
+}
+
+func TestMMSTrilinearExactness(t *testing.T) {
+	// u = (xyz, 0, 0) lies in the global trilinear space; with the exact
+	// body force f = −(λ+µ)(0, z, y) the Galerkin solution is exact to
+	// solver precision.
+	mat := material.Silicon
+	lambda, mu := mat.Lame()
+	g, err := mesh.NewGrid(mesh.UniformAxis(0, 1, 3), mesh.UniformAxis(0, 1, 4), mesh.UniformAxis(0, 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Model{Grid: g, Mats: []material.Material{mat}}
+	exact := func(p mesh.Vec3) [3]float64 { return [3]float64{p.X * p.Y * p.Z, 0, 0} }
+	body := func(p mesh.Vec3) [3]float64 {
+		return [3]float64{0, -(lambda + mu) * p.Z, -(lambda + mu) * p.Y}
+	}
+	u := solveMMS(t, m, body, exact)
+	scale := lambda + mu
+	for n := 0; n < g.NumNodes(); n++ {
+		d := exact(g.NodeCoord(n))
+		for c := 0; c < 3; c++ {
+			if math.Abs(u[3*n+c]-d[c]) > 1e-10*(1+scale/mat.E) {
+				t.Fatalf("node %d comp %d: %g vs %g", n, c, u[3*n+c], d[c])
+			}
+		}
+	}
+}
+
+func TestMMSTrigConvergence(t *testing.T) {
+	// u = (sin πx · sin πy · sin πz, 0, 0) exercises all coupling terms of
+	// the Navier operator and is far outside the trilinear space; the nodal
+	// error must shrink ~O(h²) under uniform refinement.
+	mat := material.Silicon
+	lambda, mu := mat.Lame()
+	pi := math.Pi
+	u1 := func(p mesh.Vec3) float64 {
+		return math.Sin(pi*p.X) * math.Sin(pi*p.Y) * math.Sin(pi*p.Z)
+	}
+	exact := func(p mesh.Vec3) [3]float64 { return [3]float64{u1(p), 0, 0} }
+	// ∇·u = ∂x u1; ∇(∇·u) = (∂xx, ∂xy, ∂xz)u1; ∇²u1 = −3π²u1.
+	body := func(p mesh.Vec3) [3]float64 {
+		sx, cx := math.Sin(pi*p.X), math.Cos(pi*p.X)
+		sy, cy := math.Sin(pi*p.Y), math.Cos(pi*p.Y)
+		sz, cz := math.Sin(pi*p.Z), math.Cos(pi*p.Z)
+		dxx := -pi * pi * sx * sy * sz
+		dxy := pi * pi * cx * cy * sz
+		dxz := pi * pi * cx * sy * cz
+		lap := -3 * pi * pi * sx * sy * sz
+		return [3]float64{
+			-((lambda+mu)*dxx + mu*lap),
+			-(lambda + mu) * dxy,
+			-(lambda + mu) * dxz,
+		}
+	}
+	errs := make([]float64, 0, 2)
+	for _, n := range []int{4, 8} {
+		g, err := mesh.NewGrid(mesh.UniformAxis(0, 1, n), mesh.UniformAxis(0, 1, n), mesh.UniformAxis(0, 1, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := &Model{Grid: g, Mats: []material.Material{mat}}
+		u := solveMMS(t, m, body, exact)
+		errs = append(errs, nodalL2Error(m, u, exact))
+	}
+	t.Logf("nodal L2 errors: h -> %.3e, h/2 -> %.3e (ratio %.2f)", errs[0], errs[1], errs[0]/errs[1])
+	if errs[1] <= 0 {
+		t.Fatal("refined error vanished — test degenerate")
+	}
+	if ratio := errs[0] / errs[1]; ratio < 3 {
+		t.Errorf("convergence ratio %.2f, want >= 3 (O(h²))", ratio)
+	}
+}
+
+func TestBodyForceLoadConstantForce(t *testing.T) {
+	// A constant body force integrates to total force = volume × f,
+	// distributed consistently: the load vector components must sum to it.
+	g, _ := mesh.NewGrid(mesh.UniformAxis(0, 2, 3), mesh.UniformAxis(0, 3, 2), mesh.UniformAxis(0, 1, 2))
+	m := &Model{Grid: g, Mats: []material.Material{material.Silicon}}
+	f := m.BodyForceLoad(3, func(mesh.Vec3) [3]float64 { return [3]float64{1, -2, 0.5} })
+	var sum [3]float64
+	for n := 0; n < g.NumNodes(); n++ {
+		for c := 0; c < 3; c++ {
+			sum[c] += f[3*n+c]
+		}
+	}
+	vol := 2.0 * 3 * 1
+	want := [3]float64{vol, -2 * vol, 0.5 * vol}
+	for c := 0; c < 3; c++ {
+		if math.Abs(sum[c]-want[c]) > 1e-10*(1+math.Abs(want[c])) {
+			t.Errorf("total force comp %d: %g, want %g", c, sum[c], want[c])
+		}
+	}
+}
+
+func TestThermalLoadMatchesAssemble(t *testing.T) {
+	// ThermalLoad with nil scale must equal Assemble's F.
+	g, err := mesh.NewTSVBlock(mesh.PaperGeometry(15), mesh.CoarseResolution(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Model{Grid: g, Mats: TSVMats(material.DefaultTSVSet())}
+	asm, err := m.Assemble(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.ThermalLoad(4, nil)
+	for i := range f {
+		if math.Abs(f[i]-asm.F[i]) > 1e-9*(1+math.Abs(asm.F[i])) {
+			t.Fatalf("ThermalLoad differs from Assemble at %d: %g vs %g", i, f[i], asm.F[i])
+		}
+	}
+	// Scaled load is linear in the scale.
+	f2 := m.ThermalLoad(2, func(int) float64 { return -250 })
+	for i := range f2 {
+		if math.Abs(f2[i]+250*f[i]) > 1e-9*(1+math.Abs(f[i])*250) {
+			t.Fatalf("scaled load not linear at %d", i)
+		}
+	}
+}

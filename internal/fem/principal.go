@@ -1,0 +1,60 @@
+package fem
+
+import "math"
+
+// PrincipalStresses returns the eigenvalues of the Voigt stress tensor in
+// descending order (σ1 ≥ σ2 ≥ σ3), computed with the trigonometric method
+// for symmetric 3×3 matrices.
+func PrincipalStresses(s [6]float64) [3]float64 {
+	sxx, syy, szz := s[0], s[1], s[2]
+	syz, sxz, sxy := s[3], s[4], s[5]
+
+	i1 := sxx + syy + szz
+	i2 := sxx*syy + syy*szz + szz*sxx - sxy*sxy - syz*syz - sxz*sxz
+	i3 := sxx*(syy*szz-syz*syz) - sxy*(sxy*szz-syz*sxz) + sxz*(sxy*syz-syy*sxz)
+
+	// Deviatoric invariants.
+	j2 := i1*i1/3 - i2
+	if j2 <= 0 {
+		// Hydrostatic state: all eigenvalues equal.
+		v := i1 / 3
+		return [3]float64{v, v, v}
+	}
+	j3 := 2*i1*i1*i1/27 - i1*i2/3 + i3
+	r := math.Sqrt(j2 / 3)
+	arg := j3 / (2 * r * r * r)
+	if arg > 1 {
+		arg = 1
+	}
+	if arg < -1 {
+		arg = -1
+	}
+	theta := math.Acos(arg) / 3
+	m := i1 / 3
+	p1 := m + 2*r*math.Cos(theta)
+	p2 := m + 2*r*math.Cos(theta-2*math.Pi/3)
+	p3 := m + 2*r*math.Cos(theta+2*math.Pi/3)
+	// Sort descending.
+	if p1 < p2 {
+		p1, p2 = p2, p1
+	}
+	if p2 < p3 {
+		p2, p3 = p3, p2
+	}
+	if p1 < p2 {
+		p1, p2 = p2, p1
+	}
+	return [3]float64{p1, p2, p3}
+}
+
+// Tresca returns the maximum shear-stress criterion value σ1 − σ3.
+func Tresca(s [6]float64) float64 {
+	p := PrincipalStresses(s)
+	return p[0] - p[2]
+}
+
+// Pressure returns the (negative) mean stress −tr(σ)/3, positive in
+// compression.
+func Pressure(s [6]float64) float64 {
+	return -(s[0] + s[1] + s[2]) / 3
+}

@@ -1,0 +1,99 @@
+package fem
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// eigCheck verifies that p are the eigenvalues of the Voigt tensor s by
+// checking the characteristic invariants.
+func eigCheck(s [6]float64, p [3]float64, tol float64) bool {
+	tr := s[0] + s[1] + s[2]
+	i2 := s[0]*s[1] + s[1]*s[2] + s[2]*s[0] - s[5]*s[5] - s[3]*s[3] - s[4]*s[4]
+	det := s[0]*(s[1]*s[2]-s[3]*s[3]) - s[5]*(s[5]*s[2]-s[3]*s[4]) + s[4]*(s[5]*s[3]-s[1]*s[4])
+	scale := 1 + math.Abs(tr) + math.Abs(i2) + math.Abs(det)
+	okTr := math.Abs(p[0]+p[1]+p[2]-tr) <= tol*scale
+	okI2 := math.Abs(p[0]*p[1]+p[1]*p[2]+p[2]*p[0]-i2) <= tol*scale*scale
+	okDet := math.Abs(p[0]*p[1]*p[2]-det) <= tol*scale*scale*scale
+	return okTr && okI2 && okDet
+}
+
+func TestPrincipalStressesDiagonal(t *testing.T) {
+	p := PrincipalStresses([6]float64{3, -1, 7, 0, 0, 0})
+	want := []float64{7, 3, -1}
+	for i := range want {
+		if math.Abs(p[i]-want[i]) > 1e-10 {
+			t.Errorf("p[%d] = %g, want %g", i, p[i], want[i])
+		}
+	}
+}
+
+func TestPrincipalStressesHydrostatic(t *testing.T) {
+	p := PrincipalStresses([6]float64{5, 5, 5, 0, 0, 0})
+	for _, v := range p {
+		if math.Abs(v-5) > 1e-12 {
+			t.Errorf("hydrostatic eigenvalue %g", v)
+		}
+	}
+}
+
+func TestPrincipalStressesPureShear(t *testing.T) {
+	// σxy = τ: eigenvalues are (τ, 0, −τ).
+	p := PrincipalStresses([6]float64{0, 0, 0, 0, 0, 2})
+	want := []float64{2, 0, -2}
+	for i := range want {
+		if math.Abs(p[i]-want[i]) > 1e-10 {
+			t.Errorf("p[%d] = %g, want %g", i, p[i], want[i])
+		}
+	}
+}
+
+func TestPrincipalStressesRandomInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var s [6]float64
+		for i := range s {
+			s[i] = 10 * r.NormFloat64()
+		}
+		p := PrincipalStresses(s)
+		if !sort.IsSorted(sort.Reverse(sort.Float64Slice(p[:]))) {
+			return false
+		}
+		return eigCheck(s, p, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrescaVsVonMises(t *testing.T) {
+	// For any stress state: vM <= Tresca·(something)? Standard bounds:
+	// Tresca <= vM·2/√3 and vM <= Tresca·√3/... use the tight bounds
+	// vM/Tresca ∈ [√3/2, 1].
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var s [6]float64
+		for i := range s {
+			s[i] = r.NormFloat64()
+		}
+		tresca := Tresca(s)
+		vm := VonMises(s)
+		if tresca < 1e-12 {
+			return vm < 1e-6
+		}
+		ratio := vm / tresca
+		return ratio >= math.Sqrt(3)/2-1e-9 && ratio <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPressure(t *testing.T) {
+	if p := Pressure([6]float64{-3, -3, -3, 1, 2, 3}); math.Abs(p-3) > 1e-12 {
+		t.Errorf("Pressure = %g, want 3", p)
+	}
+}

@@ -1,0 +1,160 @@
+package fem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mesh"
+	"repro/internal/sparse"
+)
+
+// Assemble builds the quadratic global stiffness and thermal load (ΔT = 1).
+// The scatter is parallel over elements with atomic per-row cursors and a
+// parallel compaction pass (the same scheme as the global-stage assembly).
+// Void elements are skipped; isolated nodes carry identity rows.
+func (m *QuadModel) Assemble(workers int) (*Assembled, error) {
+	g := m.Grid
+	for e, id := range g.MatID {
+		if id == mesh.VoidMaterial {
+			continue
+		}
+		if int(id) >= len(m.Mats) {
+			return nil, fmt.Errorf("fem: element %d has material id %d outside table of %d", e, id, len(m.Mats))
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ne := g.NumElems()
+	ndof := m.NumDoFs()
+
+	// Element matrix cache by (size, material).
+	cache := map[elemKey]*QuadElemMats{}
+	elemMat := make([]*QuadElemMats, ne)
+	for e := 0; e < ne; e++ {
+		id := g.MatID[e]
+		if id == mesh.VoidMaterial {
+			continue
+		}
+		hx, hy, hz := g.ElemSize(e)
+		key := elemKey{quantize(hx), quantize(hy), quantize(hz), id}
+		em, ok := cache[key]
+		if !ok {
+			em = ComputeQuadElemMats(hx, hy, hz, m.Mats[id])
+			cache[key] = em
+		}
+		elemMat[e] = em
+	}
+
+	// Active-node mask (nodes of non-void elements).
+	active := make([]bool, m.NumNodes())
+	for e := 0; e < ne; e++ {
+		if elemMat[e] == nil {
+			continue
+		}
+		for _, id := range m.ElemNodes(e) {
+			active[id] = true
+		}
+	}
+
+	// Pass 1: raw row counts (60 entries per element row, 1 for identity
+	// rows of inactive nodes).
+	rowCount := make([]int32, ndof+1)
+	for id, act := range active {
+		if !act {
+			rowCount[3*id+1] = 1
+			rowCount[3*id+2] = 1
+			rowCount[3*id+3] = 1
+		}
+	}
+	for e := 0; e < ne; e++ {
+		if elemMat[e] == nil {
+			continue
+		}
+		for _, id := range m.ElemNodes(e) {
+			rowCount[3*id+1] += 60
+			rowCount[3*id+2] += 60
+			rowCount[3*id+3] += 60
+		}
+	}
+	for i := 0; i < ndof; i++ {
+		rowCount[i+1] += rowCount[i]
+	}
+	nnzRaw := int(rowCount[ndof])
+	colIdx := make([]int32, nnzRaw)
+	vals := make([]float64, nnzRaw)
+	cursor := make([]int32, ndof)
+	copy(cursor, rowCount[:ndof])
+
+	// Identity rows first (no contention).
+	for id, act := range active {
+		if act {
+			continue
+		}
+		for c := 0; c < 3; c++ {
+			r := 3*id + c
+			p := cursor[r]
+			colIdx[p] = int32(r)
+			vals[p] = 1
+			cursor[r] = p + 1
+		}
+	}
+
+	// Pass 2: parallel element scatter.
+	fBufs := make([][]float64, workers)
+	var wg sync.WaitGroup
+	chunk := (ne + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > ne {
+			hi = ne
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fb := make([]float64, ndof)
+			fBufs[w] = fb
+			var dofs [60]int32
+			for e := lo; e < hi; e++ {
+				em := elemMat[e]
+				if em == nil {
+					continue
+				}
+				nodes := m.ElemNodes(e)
+				for a := 0; a < 20; a++ {
+					dofs[3*a] = 3 * nodes[a]
+					dofs[3*a+1] = 3*nodes[a] + 1
+					dofs[3*a+2] = 3*nodes[a] + 2
+				}
+				for i := 0; i < 60; i++ {
+					gi := dofs[i]
+					base := atomic.AddInt32(&cursor[gi], 60) - 60
+					seg := int(base)
+					row := &em.K[i]
+					for j := 0; j < 60; j++ {
+						colIdx[seg+j] = dofs[j]
+						vals[seg+j] = row[j]
+					}
+					fb[gi] += em.F[i]
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	f := make([]float64, ndof)
+	for _, fb := range fBufs {
+		if fb == nil {
+			continue
+		}
+		for i, v := range fb {
+			f[i] += v
+		}
+	}
+	raw := &sparse.CSR{NRows: ndof, NCols: ndof, RowPtr: rowCount, ColIdx: colIdx, Vals: vals}
+	return &Assembled{K: raw.CompactRows(workers), F: f, ActiveNode: active}, nil
+}

@@ -1,0 +1,93 @@
+package fem
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/sparse"
+)
+
+// Reduced is the lifted Dirichlet system of Eqs. 12–13: the free-free block
+// A_ff, the free-boundary coupling A_fb, and the free part of the thermal
+// load, so that A_ff·α_f = ΔT·b_f − A_fb·u_bc.
+type Reduced struct {
+	Aff *sparse.CSR
+	Afb *sparse.CSR
+	// Bf is the thermal load restricted to free DoFs (for ΔT = 1).
+	Bf []float64
+	// FreeIdx maps free-DoF index to full-DoF index.
+	FreeIdx []int32
+	// BCIdx maps boundary-DoF index to full-DoF index.
+	BCIdx []int32
+	// NFull is the full system size.
+	NFull int
+}
+
+// Reduce partitions the assembled system by the boundary mask isBC
+// (length = full DoF count).
+func Reduce(k *sparse.CSR, f []float64, isBC []bool) (*Reduced, error) {
+	n := k.NRows
+	if len(isBC) != n || len(f) != n {
+		return nil, fmt.Errorf("fem: Reduce size mismatch: K %d, f %d, mask %d", n, len(f), len(isBC))
+	}
+	toFree := make([]int32, n)
+	toBC := make([]int32, n)
+	var freeIdx, bcIdx []int32
+	for i := 0; i < n; i++ {
+		if isBC[i] {
+			toFree[i] = -1
+			toBC[i] = int32(len(bcIdx))
+			bcIdx = append(bcIdx, int32(i))
+		} else {
+			toBC[i] = -1
+			toFree[i] = int32(len(freeIdx))
+			freeIdx = append(freeIdx, int32(i))
+		}
+	}
+	if len(freeIdx) == 0 {
+		return nil, fmt.Errorf("fem: Reduce produced no free DoFs")
+	}
+	aff := k.Extract(toFree, toFree, len(freeIdx), len(freeIdx))
+	afb := k.Extract(toFree, toBC, len(freeIdx), len(bcIdx))
+	bf := make([]float64, len(freeIdx))
+	for fi, full := range freeIdx {
+		bf[fi] = f[full]
+	}
+	return &Reduced{Aff: aff, Afb: afb, Bf: bf, FreeIdx: freeIdx, BCIdx: bcIdx, NFull: n}, nil
+}
+
+// NFree returns the number of free DoFs.
+func (r *Reduced) NFree() int { return len(r.FreeIdx) }
+
+// RHS forms the lifted right-hand side ΔT·b_f − A_fb·u_bc. ubc is indexed in
+// BCIdx order and may be nil (homogeneous boundary).
+func (r *Reduced) RHS(deltaT float64, ubc []float64) []float64 {
+	rhs := make([]float64, len(r.FreeIdx))
+	for i, v := range r.Bf {
+		rhs[i] = deltaT * v
+	}
+	if ubc != nil {
+		if len(ubc) != len(r.BCIdx) {
+			panic(fmt.Sprintf("fem: RHS ubc length %d, want %d", len(ubc), len(r.BCIdx)))
+		}
+		tmp := make([]float64, len(r.FreeIdx))
+		r.Afb.MulVec(tmp, ubc)
+		linalg.Axpy(-1, tmp, rhs)
+	}
+	return rhs
+}
+
+// Expand reassembles the full displacement vector from the free solution xf
+// and the boundary values ubc (BCIdx order; nil means zero).
+func (r *Reduced) Expand(xf, ubc []float64) []float64 {
+	u := make([]float64, r.NFull)
+	for fi, full := range r.FreeIdx {
+		u[full] = xf[fi]
+	}
+	if ubc != nil {
+		for bi, full := range r.BCIdx {
+			u[full] = ubc[bi]
+		}
+	}
+	return u
+}

@@ -1,0 +1,77 @@
+package fem
+
+import (
+	"math"
+
+	"repro/internal/mesh"
+)
+
+// StrainAt evaluates the strain (Voigt, engineering shears) at reference
+// point (ξ, η, ζ) of element e from the full displacement vector u.
+func (m *Model) StrainAt(u []float64, e int, xi, eta, zeta float64) [6]float64 {
+	hx, hy, hz := m.Grid.ElemSize(e)
+	g := ShapeGradients(xi, eta, zeta, hx, hy, hz)
+	nodes := m.Grid.ElemNodes(e)
+	var eps [6]float64
+	for a := 0; a < 8; a++ {
+		n := int(nodes[a])
+		ux, uy, uz := u[3*n], u[3*n+1], u[3*n+2]
+		dx, dy, dz := g[a][0], g[a][1], g[a][2]
+		eps[0] += dx * ux
+		eps[1] += dy * uy
+		eps[2] += dz * uz
+		eps[3] += dz*uy + dy*uz
+		eps[4] += dz*ux + dx*uz
+		eps[5] += dy*ux + dx*uy
+	}
+	return eps
+}
+
+// StressAt evaluates the stress tensor (Voigt) at reference point (ξ, η, ζ)
+// of element e, applying the constitutive law of Eq. 1:
+// σ = λ·tr(ε)·1 + 2µ·ε − α(3λ+2µ)·ΔT·1.
+func (m *Model) StressAt(u []float64, deltaT float64, e int, xi, eta, zeta float64) [6]float64 {
+	eps := m.StrainAt(u, e, xi, eta, zeta)
+	mat := m.Mats[m.Grid.MatID[e]]
+	lambda, mu := mat.Lame()
+	tr := eps[0] + eps[1] + eps[2]
+	th := mat.ThermalStressCoeff() * deltaT
+	var s [6]float64
+	s[0] = lambda*tr + 2*mu*eps[0] - th
+	s[1] = lambda*tr + 2*mu*eps[1] - th
+	s[2] = lambda*tr + 2*mu*eps[2] - th
+	s[3] = mu * eps[3]
+	s[4] = mu * eps[4]
+	s[5] = mu * eps[5]
+	return s
+}
+
+// StressAtPoint locates the element containing the physical point p and
+// evaluates the stress there.
+func (m *Model) StressAtPoint(u []float64, deltaT float64, p mesh.Vec3) [6]float64 {
+	e, xi, eta, zeta := m.Grid.Locate(p)
+	return m.StressAt(u, deltaT, e, xi, eta, zeta)
+}
+
+// DisplacementAtPoint interpolates the displacement at physical point p.
+func (m *Model) DisplacementAtPoint(u []float64, p mesh.Vec3) [3]float64 {
+	e, xi, eta, zeta := m.Grid.Locate(p)
+	n := ShapeFunctions(xi, eta, zeta)
+	nodes := m.Grid.ElemNodes(e)
+	var out [3]float64
+	for a := 0; a < 8; a++ {
+		idx := int(nodes[a])
+		out[0] += n[a] * u[3*idx]
+		out[1] += n[a] * u[3*idx+1]
+		out[2] += n[a] * u[3*idx+2]
+	}
+	return out
+}
+
+// VonMises returns the von Mises equivalent stress of a Voigt stress tensor.
+func VonMises(s [6]float64) float64 {
+	dxy := s[0] - s[1]
+	dyz := s[1] - s[2]
+	dzx := s[2] - s[0]
+	return math.Sqrt(0.5*(dxy*dxy+dyz*dyz+dzx*dzx) + 3*(s[3]*s[3]+s[4]*s[4]+s[5]*s[5]))
+}

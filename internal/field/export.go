@@ -1,0 +1,120 @@
+package field
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WriteCSV writes the field as comma-separated rows (one per NY line).
+func (f *Grid2D) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for iy := 0; iy < f.NY; iy++ {
+		for ix := 0; ix < f.NX; ix++ {
+			if ix > 0 {
+				if _, err := bw.WriteString(","); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%g", f.At(ix, iy)); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteVTK writes the field as a legacy-VTK structured-points dataset
+// (loadable in ParaView) with the given physical spacing per sample and
+// scalar name.
+func (f *Grid2D) WriteVTK(w io.Writer, name string, dx, dy float64) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# vtk DataFile Version 3.0")
+	fmt.Fprintf(bw, "%s\n", name)
+	fmt.Fprintln(bw, "ASCII")
+	fmt.Fprintln(bw, "DATASET STRUCTURED_POINTS")
+	fmt.Fprintf(bw, "DIMENSIONS %d %d 1\n", f.NX, f.NY)
+	fmt.Fprintf(bw, "ORIGIN %g %g 0\n", dx/2, dy/2)
+	fmt.Fprintf(bw, "SPACING %g %g 1\n", dx, dy)
+	fmt.Fprintf(bw, "POINT_DATA %d\n", f.NX*f.NY)
+	fmt.Fprintf(bw, "SCALARS %s double 1\n", name)
+	fmt.Fprintln(bw, "LOOKUP_TABLE default")
+	for _, v := range f.V {
+		fmt.Fprintf(bw, "%g\n", v)
+	}
+	return bw.Flush()
+}
+
+// WritePGM writes the field as a grayscale PGM image (min → black,
+// max → white), a dependency-free way to inspect stress maps.
+func (f *Grid2D) WritePGM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P2\n%d %d\n255\n", f.NX, f.NY)
+	lo, hi := f.Min(), f.Max()
+	scale := 0.0
+	if hi > lo {
+		scale = 255 / (hi - lo)
+	}
+	for iy := 0; iy < f.NY; iy++ {
+		for ix := 0; ix < f.NX; ix++ {
+			v := int(math.Round((f.At(ix, iy) - lo) * scale))
+			if ix > 0 {
+				bw.WriteString(" ")
+			}
+			fmt.Fprintf(bw, "%d", v)
+		}
+		bw.WriteString("\n")
+	}
+	return bw.Flush()
+}
+
+// asciiRamp orders characters by visual density for terminal heatmaps.
+const asciiRamp = " .:-=+*#%@"
+
+// RenderASCII down-samples the field to at most maxCols columns and renders
+// it as an ASCII heatmap (row 0 at the bottom, matching the y axis).
+func (f *Grid2D) RenderASCII(maxCols int) string {
+	if maxCols < 1 {
+		maxCols = 1
+	}
+	step := (f.NX + maxCols - 1) / maxCols
+	if step < 1 {
+		step = 1
+	}
+	// Terminal cells are ~2× taller than wide; sample y twice as coarsely.
+	ystep := 2 * step
+	lo, hi := f.Min(), f.Max()
+	scale := 0.0
+	if hi > lo {
+		scale = float64(len(asciiRamp)-1) / (hi - lo)
+	}
+	out := make([]byte, 0, (f.NX/step+1)*(f.NY/ystep+1))
+	for iy := f.NY - 1; iy >= 0; iy -= ystep {
+		for ix := 0; ix < f.NX; ix += step {
+			// Average the cell block for stability.
+			var s float64
+			var cnt int
+			for dy := 0; dy < ystep && iy-dy >= 0; dy++ {
+				for dx := 0; dx < step && ix+dx < f.NX; dx++ {
+					s += f.At(ix+dx, iy-dy)
+					cnt++
+				}
+			}
+			v := s / float64(cnt)
+			idx := int((v - lo) * scale)
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(asciiRamp) {
+				idx = len(asciiRamp) - 1
+			}
+			out = append(out, asciiRamp[idx])
+		}
+		out = append(out, '\n')
+	}
+	return string(out)
+}

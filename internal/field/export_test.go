@@ -1,0 +1,93 @@
+package field
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleField() *Grid2D {
+	f := New(3, 2)
+	copy(f.V, []float64{0, 1, 2, 3, 4, 5})
+	return f
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleField().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "0,1,2\n3,4,5\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteVTK(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleField().WriteVTK(&buf, "vonMises", 0.5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, frag := range []string{
+		"# vtk DataFile Version 3.0",
+		"DIMENSIONS 3 2 1",
+		"SPACING 0.5 0.5 1",
+		"POINT_DATA 6",
+		"SCALARS vonMises double 1",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("VTK output missing %q", frag)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(s), "5") {
+		t.Error("VTK data rows truncated")
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleField().WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "P2\n3 2\n255\n") {
+		t.Errorf("PGM header wrong: %q", s[:12])
+	}
+	if !strings.Contains(s, "255") {
+		t.Error("max value should map to 255")
+	}
+	// Uniform field must not divide by zero.
+	var buf2 bytes.Buffer
+	u := New(2, 2)
+	if err := u.WritePGM(&buf2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	f := New(20, 20)
+	for iy := 0; iy < 20; iy++ {
+		for ix := 0; ix < 20; ix++ {
+			f.Set(ix, iy, float64(ix))
+		}
+	}
+	s := f.RenderASCII(10)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty render")
+	}
+	// Left edge must be lighter than the right edge in every line.
+	for _, ln := range lines {
+		if len(ln) < 2 {
+			t.Fatalf("short line %q", ln)
+		}
+		if strings.IndexByte(asciiRamp, ln[0]) > strings.IndexByte(asciiRamp, ln[len(ln)-1]) {
+			t.Errorf("gradient inverted in %q", ln)
+		}
+	}
+	// Degenerate maxCols.
+	if out := f.RenderASCII(0); out == "" {
+		t.Error("maxCols 0 should still render")
+	}
+}

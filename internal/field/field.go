@@ -1,0 +1,111 @@
+// Package field provides 2-D scalar sample grids (e.g. von Mises stress on
+// the mid-height cut plane) and the error metrics used by the paper's
+// evaluation: mean absolute error normalized by the maximum stress (§5.2).
+package field
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid2D is a row-major 2-D scalar field; index (ix, iy) maps to V[iy*NX+ix].
+type Grid2D struct {
+	NX, NY int
+	V      []float64
+}
+
+// New allocates a zero field.
+func New(nx, ny int) *Grid2D {
+	return &Grid2D{NX: nx, NY: ny, V: make([]float64, nx*ny)}
+}
+
+// At returns the sample at (ix, iy).
+func (f *Grid2D) At(ix, iy int) float64 { return f.V[iy*f.NX+ix] }
+
+// Set assigns the sample at (ix, iy).
+func (f *Grid2D) Set(ix, iy int, v float64) { f.V[iy*f.NX+ix] = v }
+
+// Max returns the maximum value (−Inf for an empty field).
+func (f *Grid2D) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range f.V {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum value (+Inf for an empty field).
+func (f *Grid2D) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range f.V {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the average value (0 for an empty field).
+func (f *Grid2D) Mean() float64 {
+	if len(f.V) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range f.V {
+		s += v
+	}
+	return s / float64(len(f.V))
+}
+
+// Crop returns the sub-field [x0, x1)×[y0, y1).
+func (f *Grid2D) Crop(x0, y0, x1, y1 int) *Grid2D {
+	if x0 < 0 || y0 < 0 || x1 > f.NX || y1 > f.NY || x0 >= x1 || y0 >= y1 {
+		panic(fmt.Sprintf("field: Crop bounds (%d,%d)-(%d,%d) invalid for %d×%d", x0, y0, x1, y1, f.NX, f.NY))
+	}
+	out := New(x1-x0, y1-y0)
+	for iy := y0; iy < y1; iy++ {
+		copy(out.V[(iy-y0)*out.NX:(iy-y0+1)*out.NX], f.V[iy*f.NX+x0:iy*f.NX+x1])
+	}
+	return out
+}
+
+// MAE returns the mean absolute difference between two equal-shape fields.
+func MAE(a, b *Grid2D) float64 {
+	if a.NX != b.NX || a.NY != b.NY {
+		panic(fmt.Sprintf("field: MAE shape mismatch %d×%d vs %d×%d", a.NX, a.NY, b.NX, b.NY))
+	}
+	if len(a.V) == 0 {
+		return 0
+	}
+	var s float64
+	for i, v := range a.V {
+		s += math.Abs(v - b.V[i])
+	}
+	return s / float64(len(a.V))
+}
+
+// NormalizedMAE returns MAE(a, ref)/max(ref): the paper's error metric,
+// normalized by the maximum von Mises stress of the ground truth.
+func NormalizedMAE(a, ref *Grid2D) float64 {
+	m := ref.Max()
+	if m == 0 {
+		return 0
+	}
+	return MAE(a, ref) / m
+}
+
+// MaxAbsDiff returns the maximum pointwise absolute difference.
+func MaxAbsDiff(a, b *Grid2D) float64 {
+	if a.NX != b.NX || a.NY != b.NY {
+		panic("field: MaxAbsDiff shape mismatch")
+	}
+	var m float64
+	for i, v := range a.V {
+		if d := math.Abs(v - b.V[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

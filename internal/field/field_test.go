@@ -1,0 +1,94 @@
+package field
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtSet(t *testing.T) {
+	f := New(3, 2)
+	f.Set(2, 1, 7)
+	if f.At(2, 1) != 7 || f.V[1*3+2] != 7 {
+		t.Error("At/Set layout wrong")
+	}
+}
+
+func TestMaxMinMean(t *testing.T) {
+	f := New(2, 2)
+	copy(f.V, []float64{1, -3, 5, 2})
+	if f.Max() != 5 || f.Min() != -3 {
+		t.Errorf("max %g min %g", f.Max(), f.Min())
+	}
+	if f.Mean() != 1.25 {
+		t.Errorf("mean %g", f.Mean())
+	}
+}
+
+func TestCrop(t *testing.T) {
+	f := New(4, 4)
+	for i := range f.V {
+		f.V[i] = float64(i)
+	}
+	c := f.Crop(1, 1, 3, 3)
+	if c.NX != 2 || c.NY != 2 {
+		t.Fatalf("crop shape %d×%d", c.NX, c.NY)
+	}
+	if c.At(0, 0) != f.At(1, 1) || c.At(1, 1) != f.At(2, 2) {
+		t.Error("crop values wrong")
+	}
+}
+
+func TestCropPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(2, 2).Crop(0, 0, 3, 1)
+}
+
+func TestMAEAndNormalized(t *testing.T) {
+	a := New(2, 1)
+	b := New(2, 1)
+	copy(a.V, []float64{1, 3})
+	copy(b.V, []float64{2, 5})
+	if got := MAE(a, b); got != 1.5 {
+		t.Errorf("MAE %g", got)
+	}
+	if got := NormalizedMAE(a, b); got != 1.5/5 {
+		t.Errorf("NormalizedMAE %g", got)
+	}
+	if got := MaxAbsDiff(a, b); got != 2 {
+		t.Errorf("MaxAbsDiff %g", got)
+	}
+}
+
+func TestMAEProperties(t *testing.T) {
+	// MAE is symmetric, nonnegative, and zero iff identical.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nx, ny := 1+r.Intn(8), 1+r.Intn(8)
+		a, b := New(nx, ny), New(nx, ny)
+		for i := range a.V {
+			a.V[i] = r.NormFloat64()
+			b.V[i] = r.NormFloat64()
+		}
+		if MAE(a, a) != 0 {
+			return false
+		}
+		m1, m2 := MAE(a, b), MAE(b, a)
+		return m1 >= 0 && math.Abs(m1-m2) < 1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizedMAEZeroReference(t *testing.T) {
+	a := New(2, 2)
+	if NormalizedMAE(a, New(2, 2)) != 0 {
+		t.Error("zero reference should give 0")
+	}
+}

@@ -1,0 +1,129 @@
+// Package lagrange implements the boundary interpolation of the MORE-Stress
+// local stage: equally spaced Lagrange interpolation nodes on the surface of
+// the unit block (Fig. 3(c)), the tensor-product 3-D basis (Eqs. 8–9), and
+// the canonical enumeration of surface nodes whose displacement components
+// are the element DoFs (Eq. 16).
+package lagrange
+
+import "fmt"
+
+// Nodes1D returns n equally spaced coordinates spanning [0, l] (n ≥ 2).
+func Nodes1D(n int, l float64) []float64 {
+	if n < 2 {
+		panic(fmt.Sprintf("lagrange: need at least 2 nodes per axis, got %d", n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = l * float64(i) / float64(n-1)
+	}
+	return out
+}
+
+// Basis1D evaluates all 1-D Lagrange basis polynomials (Eq. 9) on the given
+// nodes at x, returning one value per node. The basis is a partition of
+// unity and satisfies L_i(x_j) = δ_ij.
+func Basis1D(nodes []float64, x float64) []float64 {
+	n := len(nodes)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := 1.0
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			v *= (x - nodes[j]) / (nodes[i] - nodes[j])
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// SurfaceNodes enumerates the Lagrange interpolation nodes on the surface of
+// a unit block with per-axis node counts (Nx, Ny, Nz) and dimensions
+// (Lx, Ly, Lz). Interior lattice points are excluded; the remaining nodes
+// are ordered lexicographically by (i, j, k) with k fastest, matching the
+// DoF order u_(0,0,0),x … u_(nx−1,ny−1,nz−1),z of Eq. 14.
+type SurfaceNodes struct {
+	Nx, Ny, Nz int
+	Lx, Ly, Lz float64
+	Xs, Ys, Zs []float64 // per-axis node coordinates
+	// IJK lists surface node lattice triples in canonical order.
+	IJK [][3]int
+	// lookup maps a lattice triple to its position in IJK (-1 = interior).
+	lookup map[[3]int]int
+}
+
+// NewSurfaceNodes builds the surface node set. Each axis needs ≥ 2 nodes.
+func NewSurfaceNodes(nx, ny, nz int, lx, ly, lz float64) *SurfaceNodes {
+	s := &SurfaceNodes{
+		Nx: nx, Ny: ny, Nz: nz,
+		Lx: lx, Ly: ly, Lz: lz,
+		Xs: Nodes1D(nx, lx), Ys: Nodes1D(ny, ly), Zs: Nodes1D(nz, lz),
+		lookup: make(map[[3]int]int),
+	}
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				if i > 0 && i < nx-1 && j > 0 && j < ny-1 && k > 0 && k < nz-1 {
+					continue // interior
+				}
+				s.lookup[[3]int{i, j, k}] = len(s.IJK)
+				s.IJK = append(s.IJK, [3]int{i, j, k})
+			}
+		}
+	}
+	return s
+}
+
+// Count returns the number of surface nodes:
+// nx·ny·nz − (nx−2)(ny−2)(nz−2).
+func (s *SurfaceNodes) Count() int { return len(s.IJK) }
+
+// NumDoFs returns n of Eq. 16: 3 displacement components per surface node.
+func (s *SurfaceNodes) NumDoFs() int { return 3 * s.Count() }
+
+// Position returns the physical coordinates of surface node idx.
+func (s *SurfaceNodes) Position(idx int) (x, y, z float64) {
+	t := s.IJK[idx]
+	return s.Xs[t[0]], s.Ys[t[1]], s.Zs[t[2]]
+}
+
+// Index returns the canonical index of lattice triple (i, j, k), or -1 if
+// the triple is interior (not a surface node).
+func (s *SurfaceNodes) Index(i, j, k int) int {
+	if v, ok := s.lookup[[3]int{i, j, k}]; ok {
+		return v
+	}
+	return -1
+}
+
+// EvalAll evaluates the 3-D Lagrange basis L3D (Eq. 8) of every surface node
+// at point (x, y, z), in canonical order. On the block boundary the
+// omitted interior-node bases vanish identically, so this is exactly the
+// boundary interpolation operator of Eq. 10.
+func (s *SurfaceNodes) EvalAll(x, y, z float64) []float64 {
+	bx := Basis1D(s.Xs, x)
+	by := Basis1D(s.Ys, y)
+	bz := Basis1D(s.Zs, z)
+	out := make([]float64, s.Count())
+	for idx, t := range s.IJK {
+		out[idx] = bx[t[0]] * by[t[1]] * bz[t[2]]
+	}
+	return out
+}
+
+// Eval evaluates the basis of a single surface node at (x, y, z).
+func (s *SurfaceNodes) Eval(idx int, x, y, z float64) float64 {
+	t := s.IJK[idx]
+	return Basis1D(s.Xs, x)[t[0]] * Basis1D(s.Ys, y)[t[1]] * Basis1D(s.Zs, z)[t[2]]
+}
+
+// DoFCount replicates Eq. 16 symbolically for validation:
+// n = {nx·ny·nz − (nx−2)(ny−2)(nz−2)}·3.
+func DoFCount(nx, ny, nz int) int {
+	inner := 0
+	if nx > 2 && ny > 2 && nz > 2 {
+		inner = (nx - 2) * (ny - 2) * (nz - 2)
+	}
+	return 3 * (nx*ny*nz - inner)
+}

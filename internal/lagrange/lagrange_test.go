@@ -1,0 +1,209 @@
+package lagrange
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodes1D(t *testing.T) {
+	n := Nodes1D(4, 15)
+	want := []float64{0, 5, 10, 15}
+	for i := range want {
+		if math.Abs(n[i]-want[i]) > 1e-12 {
+			t.Errorf("node %d = %g, want %g", i, n[i], want[i])
+		}
+	}
+}
+
+func TestBasis1DKroneckerDelta(t *testing.T) {
+	nodes := Nodes1D(5, 10)
+	for i, x := range nodes {
+		b := Basis1D(nodes, x)
+		for j := range b {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(b[j]-want) > 1e-12 {
+				t.Fatalf("L_%d(x_%d) = %g", j, i, b[j])
+			}
+		}
+	}
+}
+
+func TestBasis1DPartitionOfUnity(t *testing.T) {
+	nodes := Nodes1D(6, 50)
+	f := func(x float64) bool {
+		x = math.Mod(math.Abs(x), 50)
+		b := Basis1D(nodes, x)
+		var s float64
+		for _, v := range b {
+			s += v
+		}
+		return math.Abs(s-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBasis1DPolynomialExactness(t *testing.T) {
+	// n nodes reproduce polynomials up to degree n−1 exactly.
+	nodes := Nodes1D(4, 1)
+	poly := func(x float64) float64 { return 2 + 3*x - x*x + 0.5*x*x*x }
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		x := rng.Float64()
+		b := Basis1D(nodes, x)
+		var got float64
+		for i, v := range b {
+			got += v * poly(nodes[i])
+		}
+		if math.Abs(got-poly(x)) > 1e-10 {
+			t.Fatalf("interpolation of cubic at %g: %g vs %g", x, got, poly(x))
+		}
+	}
+}
+
+func TestDoFCountMatchesPaper(t *testing.T) {
+	// Table 3 of the paper: n for (2,2,2)…(6,6,6).
+	want := map[int]int{2: 24, 3: 78, 4: 168, 5: 294, 6: 456}
+	for k, n := range want {
+		if got := DoFCount(k, k, k); got != n {
+			t.Errorf("DoFCount(%d) = %d, want %d", k, got, n)
+		}
+		s := NewSurfaceNodes(k, k, k, 15, 15, 50)
+		if s.NumDoFs() != n {
+			t.Errorf("SurfaceNodes(%d).NumDoFs = %d, want %d", k, s.NumDoFs(), n)
+		}
+	}
+}
+
+func TestSurfaceNodesExcludeInterior(t *testing.T) {
+	s := NewSurfaceNodes(4, 4, 4, 1, 1, 1)
+	for _, ijk := range s.IJK {
+		interior := ijk[0] > 0 && ijk[0] < 3 && ijk[1] > 0 && ijk[1] < 3 && ijk[2] > 0 && ijk[2] < 3
+		if interior {
+			t.Fatalf("interior node %v enumerated", ijk)
+		}
+	}
+	if s.Index(1, 1, 1) != -1 {
+		t.Error("interior lookup should be -1")
+	}
+	if s.Index(0, 1, 1) < 0 {
+		t.Error("face node lookup failed")
+	}
+}
+
+func TestSurfaceIndexRoundTrip(t *testing.T) {
+	s := NewSurfaceNodes(5, 4, 3, 2, 2, 2)
+	for idx, ijk := range s.IJK {
+		if s.Index(ijk[0], ijk[1], ijk[2]) != idx {
+			t.Fatalf("round trip failed at %v", ijk)
+		}
+	}
+}
+
+func TestEvalAllPartitionOfUnityOnBoundary(t *testing.T) {
+	// On the block surface, the surface-node bases sum to 1 (the interior
+	// bases vanish there), making Eq. 10 a consistent interpolation.
+	s := NewSurfaceNodes(4, 4, 4, 15, 15, 50)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		// Random point on a random face.
+		x, y, z := rng.Float64()*15, rng.Float64()*15, rng.Float64()*50
+		switch rng.Intn(6) {
+		case 0:
+			x = 0
+		case 1:
+			x = 15
+		case 2:
+			y = 0
+		case 3:
+			y = 15
+		case 4:
+			z = 0
+		case 5:
+			z = 50
+		}
+		b := s.EvalAll(x, y, z)
+		var sum float64
+		for _, v := range b {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("partition of unity on boundary failed at (%g,%g,%g): %g", x, y, z, sum)
+		}
+	}
+}
+
+func TestEvalAllKroneckerAtNodes(t *testing.T) {
+	s := NewSurfaceNodes(4, 3, 4, 10, 10, 40)
+	for idx := range s.IJK {
+		x, y, z := s.Position(idx)
+		b := s.EvalAll(x, y, z)
+		for j, v := range b {
+			want := 0.0
+			if j == idx {
+				want = 1
+			}
+			if math.Abs(v-want) > 1e-10 {
+				t.Fatalf("basis %d at node %d = %g", j, idx, v)
+			}
+		}
+	}
+}
+
+func TestEvalMatchesEvalAll(t *testing.T) {
+	s := NewSurfaceNodes(3, 3, 3, 1, 1, 1)
+	all := s.EvalAll(0.3, 0, 0.9)
+	for idx := range s.IJK {
+		if math.Abs(s.Eval(idx, 0.3, 0, 0.9)-all[idx]) > 1e-14 {
+			t.Fatalf("Eval mismatch at %d", idx)
+		}
+	}
+}
+
+func TestInteriorBasesVanishOnBoundary(t *testing.T) {
+	// The full tensor-product basis of an interior node must vanish on
+	// every face — this is why only surface nodes carry DoFs.
+	nx, ny, nz := 4, 4, 4
+	xs, ys, zs := Nodes1D(nx, 1), Nodes1D(ny, 1), Nodes1D(nz, 1)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		x, y, z := rng.Float64(), rng.Float64(), rng.Float64()
+		switch rng.Intn(6) {
+		case 0:
+			x = 0
+		case 1:
+			x = 1
+		case 2:
+			y = 0
+		case 3:
+			y = 1
+		case 4:
+			z = 0
+		case 5:
+			z = 1
+		}
+		bx, by, bz := Basis1D(xs, x), Basis1D(ys, y), Basis1D(zs, z)
+		// Interior node (1,1,1):
+		v := bx[1] * by[1] * bz[1]
+		if x == 0 || x == 1 || y == 0 || y == 1 || z == 0 || z == 1 {
+			if math.Abs(v) > 1e-10 {
+				t.Fatalf("interior basis nonzero on boundary: %g", v)
+			}
+		}
+	}
+}
+
+func TestNodes1DPanicsOnTooFew(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for n < 2")
+		}
+	}()
+	Nodes1D(1, 1)
+}

@@ -1,0 +1,223 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a dense matrix in row-major storage.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, Data[r*Cols+c]
+}
+
+// NewDense allocates an r×c zero matrix.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("linalg: NewDense negative dimension %d×%d", r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// At returns element (r, c).
+func (m *Dense) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Dense) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Add accumulates v into element (r, c).
+func (m *Dense) Add(r, c int, v float64) { m.Data[r*m.Cols+c] += v }
+
+// Row returns a view of row r.
+func (m *Dense) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec computes dst = m · x. dst must have length m.Rows and must not
+// alias x.
+func (m *Dense) MulVec(dst, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic("linalg: MulVec dimension mismatch")
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		var s float64
+		for c, v := range row {
+			s += v * x[c]
+		}
+		dst[r] = s
+	}
+}
+
+// MulTransVec computes dst = mᵀ · x. dst must have length m.Cols.
+func (m *Dense) MulTransVec(dst, x []float64) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic("linalg: MulTransVec dimension mismatch")
+	}
+	Zero(dst)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		xr := x[r]
+		for c, v := range row {
+			dst[c] += v * xr
+		}
+	}
+}
+
+// Symmetrize replaces m by (m + mᵀ)/2. m must be square.
+func (m *Dense) Symmetrize() {
+	if m.Rows != m.Cols {
+		panic("linalg: Symmetrize requires a square matrix")
+	}
+	for r := 0; r < m.Rows; r++ {
+		for c := r + 1; c < m.Cols; c++ {
+			v := (m.At(r, c) + m.At(c, r)) / 2
+			m.Set(r, c, v)
+			m.Set(c, r, v)
+		}
+	}
+}
+
+// MaxAbs returns the largest absolute entry.
+func (m *Dense) MaxAbs() float64 { return NormInf(m.Data) }
+
+// Cholesky computes the lower-triangular Cholesky factor L of a symmetric
+// positive-definite matrix (A = L·Lᵀ), returning an error if A is not
+// positive definite. Only the lower triangle of a is referenced.
+func Cholesky(a *Dense) (*Dense, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky requires square matrix, got %d×%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("linalg: matrix not positive definite at pivot %d (d=%g)", j, d)
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return l, nil
+}
+
+// CholeskySolve solves A·x = b given the Cholesky factor L of A, writing the
+// solution into a fresh slice.
+func CholeskySolve(l *Dense, b []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic("linalg: CholeskySolve dimension mismatch")
+	}
+	// Forward substitution L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back substitution Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// LU computes an LU factorization with partial pivoting in place, returning
+// the pivot permutation. After return, a holds both factors (unit lower
+// triangle implicit).
+func LU(a *Dense) ([]int, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: LU requires square matrix, got %d×%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivot.
+		p, maxv := k, math.Abs(a.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(a.At(i, k)); v > maxv {
+				p, maxv = i, v
+			}
+		}
+		if maxv == 0 {
+			return nil, fmt.Errorf("linalg: LU singular at column %d", k)
+		}
+		if p != k {
+			rk, rp := a.Row(k), a.Row(p)
+			for c := range rk {
+				rk[c], rp[c] = rp[c], rk[c]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+		}
+		pivot := a.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := a.At(i, k) / pivot
+			a.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			ri, rkk := a.Row(i), a.Row(k)
+			for c := k + 1; c < n; c++ {
+				ri[c] -= m * rkk[c]
+			}
+		}
+	}
+	return piv, nil
+}
+
+// LUSolve solves A·x = b given the in-place LU factorization and pivots from
+// LU, returning a fresh solution slice.
+func LUSolve(lu *Dense, piv []int, b []float64) []float64 {
+	n := lu.Rows
+	if len(b) != n || len(piv) != n {
+		panic("linalg: LUSolve dimension mismatch")
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[piv[i]]
+	}
+	// Forward: L·y = P·b (unit diagonal).
+	for i := 1; i < n; i++ {
+		s := x[i]
+		ri := lu.Row(i)
+		for k := 0; k < i; k++ {
+			s -= ri[k] * x[k]
+		}
+		x[i] = s
+	}
+	// Backward: U·x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		ri := lu.Row(i)
+		for k := i + 1; k < n; k++ {
+			s -= ri[k] * x[k]
+		}
+		x[i] = s / ri[i]
+	}
+	return x
+}

@@ -1,0 +1,211 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestDotAndNorm(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, -5, 6}
+	if got := Dot(a, b); got != 4-10+18 {
+		t.Errorf("Dot = %g", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm2 = %g", got)
+	}
+	if got := NormInf([]float64{-7, 2}); got != 7 {
+		t.Errorf("NormInf = %g", got)
+	}
+	if got := NormInf(nil); got != 0 {
+		t.Errorf("NormInf(nil) = %g", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAxpyScaleSubAdd(t *testing.T) {
+	y := []float64{1, 1}
+	Axpy(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Errorf("Axpy: %v", y)
+	}
+	Scale(0.5, y)
+	if y[0] != 3.5 || y[1] != 4.5 {
+		t.Errorf("Scale: %v", y)
+	}
+	dst := make([]float64, 2)
+	Sub(dst, []float64{5, 5}, []float64{2, 3})
+	if dst[0] != 3 || dst[1] != 2 {
+		t.Errorf("Sub: %v", dst)
+	}
+	Add(dst, dst, dst)
+	if dst[0] != 6 || dst[1] != 4 {
+		t.Errorf("Add: %v", dst)
+	}
+}
+
+func TestDenseMulVec(t *testing.T) {
+	m := NewDense(2, 3)
+	// [1 2 3; 4 5 6]
+	for c := 0; c < 3; c++ {
+		m.Set(0, c, float64(c+1))
+		m.Set(1, c, float64(c+4))
+	}
+	x := []float64{1, 1, 1}
+	dst := make([]float64, 2)
+	m.MulVec(dst, x)
+	if dst[0] != 6 || dst[1] != 15 {
+		t.Errorf("MulVec: %v", dst)
+	}
+	dt := make([]float64, 3)
+	m.MulTransVec(dt, []float64{1, 1})
+	if dt[0] != 5 || dt[1] != 7 || dt[2] != 9 {
+		t.Errorf("MulTransVec: %v", dt)
+	}
+}
+
+func randSPD(rng *rand.Rand, n int) *Dense {
+	// A = Bᵀ·B + n·I is SPD.
+	b := NewDense(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += b.At(k, i) * b.At(k, j)
+			}
+			a.Set(i, j, s)
+		}
+		a.Add(i, i, float64(n))
+	}
+	return a
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 5, 20} {
+		a := randSPD(rng, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		a.MulVec(b, want)
+		got := CholeskySolve(l, b)
+		for i := range got {
+			if !almostEqual(got[i], want[i], 1e-9) {
+				t.Fatalf("n=%d: solution mismatch at %d: %g vs %g", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, -1)
+	if _, err := Cholesky(a); err == nil {
+		t.Error("expected error for indefinite matrix")
+	}
+}
+
+func TestCholeskyFactorProperty(t *testing.T) {
+	// Property: L·Lᵀ reproduces A for random SPD matrices.
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		a := randSPD(rng, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k <= min(i, j); k++ {
+					s += l.At(i, k) * l.At(j, k)
+				}
+				if !almostEqual(s, a.At(i, j), 1e-9) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLUSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 3, 10, 30} {
+		a := NewDense(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		orig := a.Clone()
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		orig.MulVec(b, want)
+		piv, err := LU(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got := LUSolve(a, piv, b)
+		for i := range got {
+			if !almostEqual(got[i], want[i], 1e-8) {
+				t.Fatalf("n=%d: mismatch at %d: %g vs %g", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewDense(2, 2) // zero matrix
+	if _, err := LU(a); err == nil {
+		t.Error("expected error for singular matrix")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 4)
+	m.Symmetrize()
+	if m.At(0, 1) != 3 || m.At(1, 0) != 3 {
+		t.Errorf("Symmetrize: %v", m.Data)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,90 @@
+// Package linalg provides the dense linear-algebra kernels used by the
+// MORE-Stress solvers: vector operations, dense matrices in row-major
+// storage, and dense Cholesky/LU factorizations for small systems such as
+// element matrices and GMRES Hessenberg problems.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b. The slices must be equal length.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v, guarding against overflow for
+// well-scaled engineering magnitudes.
+func Norm2(v []float64) float64 {
+	return math.Sqrt(Dot(v, v))
+}
+
+// NormInf returns the maximum absolute entry of v (0 for an empty slice).
+func NormInf(v []float64) float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies v by alpha in place.
+func Scale(alpha float64, v []float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Copy returns a newly allocated copy of v.
+func Copy(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// Zero sets every entry of v to zero.
+func Zero(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Sub computes dst = a - b. dst may alias a or b.
+func Sub(dst, a, b []float64) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("linalg: Sub length mismatch")
+	}
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// Add computes dst = a + b. dst may alias a or b.
+func Add(dst, a, b []float64) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("linalg: Add length mismatch")
+	}
+	for i := range a {
+		dst[i] = a[i] + b[i]
+	}
+}

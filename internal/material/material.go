@@ -1,0 +1,110 @@
+// Package material defines linear thermoelastic material records and the
+// stock material library used in TSV thermal-stress simulation.
+//
+// All quantities are in a consistent µm/MPa system: lengths in micrometres,
+// Young's modulus in MPa, temperatures in °C, thermal expansion in 1/°C.
+// Stress results are therefore in MPa directly.
+package material
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Material is an isotropic linear thermoelastic material.
+type Material struct {
+	Name string
+	// E is Young's modulus in MPa.
+	E float64
+	// Nu is Poisson's ratio (dimensionless, in (-1, 0.5)).
+	Nu float64
+	// CTE is the coefficient of thermal expansion in 1/°C.
+	CTE float64
+}
+
+// Lame returns the Lamé parameters (λ, µ) of the material per Eq. 2 of the
+// paper: λ = Eν/((1+ν)(1−2ν)), µ = E/(2(1+ν)).
+func (m Material) Lame() (lambda, mu float64) {
+	lambda = m.E * m.Nu / (1 + m.Nu) / (1 - 2*m.Nu)
+	mu = m.E / 2 / (1 + m.Nu)
+	return lambda, mu
+}
+
+// ThermalStressCoeff returns α(3λ+2µ), the isotropic thermal stress
+// coefficient multiplying ΔT in the constitutive law (Eq. 1).
+func (m Material) ThermalStressCoeff() float64 {
+	lambda, mu := m.Lame()
+	return m.CTE * (3*lambda + 2*mu)
+}
+
+// Validate reports whether the material parameters are physically admissible.
+func (m Material) Validate() error {
+	if m.E <= 0 {
+		return fmt.Errorf("material %q: Young's modulus must be positive, got %g", m.Name, m.E)
+	}
+	if m.Nu <= -1 || m.Nu >= 0.5 {
+		return fmt.Errorf("material %q: Poisson's ratio must lie in (-1, 0.5), got %g", m.Name, m.Nu)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (m Material) String() string {
+	return fmt.Sprintf("%s{E=%g MPa, nu=%g, cte=%g/°C}", m.Name, m.E, m.Nu, m.CTE)
+}
+
+// Stock materials. Values follow the TSV reliability literature used by the
+// paper (Jung et al. DAC'12, Li & Pan DAC'13): copper via, silicon substrate,
+// SiO2 liner, and an organic composite package substrate for the chiplet
+// model.
+var (
+	// Copper: E = 111.5 GPa, ν = 0.343, α = 17.7 ppm/°C.
+	Copper = Material{Name: "Cu", E: 111.5e3, Nu: 0.343, CTE: 17.7e-6}
+	// Silicon: E = 130 GPa, ν = 0.28, α = 2.3 ppm/°C.
+	Silicon = Material{Name: "Si", E: 130.0e3, Nu: 0.28, CTE: 2.3e-6}
+	// SiO2 liner: E = 71.7 GPa, ν = 0.16, α = 0.51 ppm/°C.
+	SiO2 = Material{Name: "SiO2", E: 71.7e3, Nu: 0.16, CTE: 0.51e-6}
+	// Organic composite substrate (FR4-class): E = 22 GPa, ν = 0.28,
+	// α = 18 ppm/°C.
+	Composite = Material{Name: "composite", E: 22.0e3, Nu: 0.28, CTE: 18.0e-6}
+)
+
+// ErrUnknown is returned by Lookup for unrecognized material names.
+var ErrUnknown = errors.New("material: unknown material")
+
+// Lookup returns a stock material by name ("Cu", "Si", "SiO2", "composite").
+func Lookup(name string) (Material, error) {
+	switch name {
+	case "Cu":
+		return Copper, nil
+	case "Si":
+		return Silicon, nil
+	case "SiO2":
+		return SiO2, nil
+	case "composite":
+		return Composite, nil
+	}
+	return Material{}, fmt.Errorf("%w: %q", ErrUnknown, name)
+}
+
+// TSVSet groups the three materials of a TSV unit cell.
+type TSVSet struct {
+	Via   Material // copper body
+	Liner Material // dielectric liner
+	Bulk  Material // silicon substrate
+}
+
+// DefaultTSVSet returns the Cu/SiO2/Si set used throughout the paper.
+func DefaultTSVSet() TSVSet {
+	return TSVSet{Via: Copper, Liner: SiO2, Bulk: Silicon}
+}
+
+// Validate validates all three materials.
+func (s TSVSet) Validate() error {
+	for _, m := range []Material{s.Via, s.Liner, s.Bulk} {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

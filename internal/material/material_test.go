@@ -1,0 +1,105 @@
+package material
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLameRoundTrip(t *testing.T) {
+	// λ and µ must reproduce E and ν through the standard inversions
+	// E = µ(3λ+2µ)/(λ+µ), ν = λ/(2(λ+µ)).
+	for _, m := range []Material{Copper, Silicon, SiO2, Composite} {
+		lambda, mu := m.Lame()
+		e := mu * (3*lambda + 2*mu) / (lambda + mu)
+		nu := lambda / (2 * (lambda + mu))
+		if math.Abs(e-m.E)/m.E > 1e-12 {
+			t.Errorf("%s: E round trip %g != %g", m.Name, e, m.E)
+		}
+		if math.Abs(nu-m.Nu) > 1e-12 {
+			t.Errorf("%s: nu round trip %g != %g", m.Name, nu, m.Nu)
+		}
+	}
+}
+
+func TestLamePositivity(t *testing.T) {
+	// Property: any admissible (E, ν) yields µ > 0 and bulk modulus > 0.
+	f := func(e, nu float64) bool {
+		e = 1 + math.Abs(e) // > 0
+		nu = math.Mod(math.Abs(nu), 0.49)
+		m := Material{E: e, Nu: nu}
+		lambda, mu := m.Lame()
+		bulk := lambda + 2*mu/3
+		return mu > 0 && bulk > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThermalStressCoeff(t *testing.T) {
+	// For copper: α(3λ+2µ) must match the closed form αE/(1−2ν).
+	for _, m := range []Material{Copper, Silicon, SiO2} {
+		want := m.CTE * m.E / (1 - 2*m.Nu)
+		got := m.ThermalStressCoeff()
+		if math.Abs(got-want)/want > 1e-12 {
+			t.Errorf("%s: thermal stress coeff %g, want %g", m.Name, got, want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		m  Material
+		ok bool
+	}{
+		{Copper, true},
+		{Material{Name: "badE", E: 0, Nu: 0.3}, false},
+		{Material{Name: "badNu", E: 1, Nu: 0.5}, false},
+		{Material{Name: "badNuLow", E: 1, Nu: -1}, false},
+		{Material{Name: "ok", E: 1, Nu: 0}, true},
+	}
+	for _, c := range cases {
+		err := c.m.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.m.Name, err, c.ok)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, name := range []string{"Cu", "Si", "SiO2", "composite"} {
+		m, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if m.E <= 0 {
+			t.Errorf("Lookup(%q) returned invalid material", name)
+		}
+	}
+	if _, err := Lookup("adamantium"); !errors.Is(err, ErrUnknown) {
+		t.Errorf("Lookup unknown: got %v, want ErrUnknown", err)
+	}
+}
+
+func TestDefaultTSVSet(t *testing.T) {
+	s := DefaultTSVSet()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Via.Name != "Cu" || s.Bulk.Name != "Si" || s.Liner.Name != "SiO2" {
+		t.Errorf("unexpected default set: %+v", s)
+	}
+	// The CTE mismatch driving TSV stress: copper expands much more than
+	// silicon.
+	if s.Via.CTE <= s.Bulk.CTE {
+		t.Error("expected CTE(Cu) > CTE(Si)")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := Copper.String(); s == "" {
+		t.Error("empty String()")
+	}
+}

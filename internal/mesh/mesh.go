@@ -1,0 +1,233 @@
+// Package mesh provides structured hexahedral meshes over axis-aligned
+// boxes with per-axis node coordinates (allowing graded spacing) and
+// per-element material identifiers. It is the discretization substrate for
+// both the unit-block local stage and the full-array reference FEM.
+package mesh
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Vec3 is a point or displacement in 3-D space (µm).
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v − w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// VoidMaterial marks elements that are absent from the model (used for the
+// stepped chiplet geometry); they contribute no stiffness and their isolated
+// nodes are excluded from the system.
+const VoidMaterial = 255
+
+// Grid is a structured hexahedral mesh. The node lattice has
+// (len(Xs))×(len(Ys))×(len(Zs)) nodes; elements fill the cells between
+// consecutive coordinates. MatID assigns a material to every element.
+type Grid struct {
+	Xs, Ys, Zs []float64 // strictly increasing node coordinates per axis
+	MatID      []uint8   // len NumElems(), indexed by ElemIndex
+}
+
+// NewGrid builds a grid from per-axis node coordinates, validating
+// monotonicity. Materials default to 0.
+func NewGrid(xs, ys, zs []float64) (*Grid, error) {
+	for _, ax := range [][]float64{xs, ys, zs} {
+		if len(ax) < 2 {
+			return nil, fmt.Errorf("mesh: axis needs at least 2 coordinates, got %d", len(ax))
+		}
+		for i := 1; i < len(ax); i++ {
+			if ax[i] <= ax[i-1] {
+				return nil, fmt.Errorf("mesh: axis coordinates must be strictly increasing (index %d: %g <= %g)", i, ax[i], ax[i-1])
+			}
+		}
+	}
+	g := &Grid{Xs: xs, Ys: ys, Zs: zs}
+	g.MatID = make([]uint8, g.NumElems())
+	return g, nil
+}
+
+// UniformAxis returns n+1 equally spaced coordinates spanning [lo, hi].
+func UniformAxis(lo, hi float64, n int) []float64 {
+	out := make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n)
+	}
+	out[n] = hi
+	return out
+}
+
+// NEX, NEY, NEZ return the element counts along each axis.
+func (g *Grid) NEX() int { return len(g.Xs) - 1 }
+func (g *Grid) NEY() int { return len(g.Ys) - 1 }
+func (g *Grid) NEZ() int { return len(g.Zs) - 1 }
+
+// NumNodes returns the node count.
+func (g *Grid) NumNodes() int { return len(g.Xs) * len(g.Ys) * len(g.Zs) }
+
+// NumElems returns the element count.
+func (g *Grid) NumElems() int { return g.NEX() * g.NEY() * g.NEZ() }
+
+// NodeIndex returns the linear index of lattice node (i, j, k); i varies
+// fastest.
+func (g *Grid) NodeIndex(i, j, k int) int {
+	return i + len(g.Xs)*(j+len(g.Ys)*k)
+}
+
+// NodeIJK inverts NodeIndex.
+func (g *Grid) NodeIJK(n int) (i, j, k int) {
+	nx := len(g.Xs)
+	ny := len(g.Ys)
+	i = n % nx
+	j = (n / nx) % ny
+	k = n / (nx * ny)
+	return i, j, k
+}
+
+// NodeCoord returns the coordinates of node n.
+func (g *Grid) NodeCoord(n int) Vec3 {
+	i, j, k := g.NodeIJK(n)
+	return Vec3{g.Xs[i], g.Ys[j], g.Zs[k]}
+}
+
+// ElemIndex returns the linear index of element cell (i, j, k).
+func (g *Grid) ElemIndex(i, j, k int) int {
+	return i + g.NEX()*(j+g.NEY()*k)
+}
+
+// ElemIJK inverts ElemIndex.
+func (g *Grid) ElemIJK(e int) (i, j, k int) {
+	nx, ny := g.NEX(), g.NEY()
+	i = e % nx
+	j = (e / nx) % ny
+	k = e / (nx * ny)
+	return i, j, k
+}
+
+// ElemNodes returns the 8 node indices of element e in VTK hexahedron order:
+// bottom face (0,0,0)(1,0,0)(1,1,0)(0,1,0), then the top face.
+func (g *Grid) ElemNodes(e int) [8]int32 {
+	i, j, k := g.ElemIJK(e)
+	return [8]int32{
+		int32(g.NodeIndex(i, j, k)),
+		int32(g.NodeIndex(i+1, j, k)),
+		int32(g.NodeIndex(i+1, j+1, k)),
+		int32(g.NodeIndex(i, j+1, k)),
+		int32(g.NodeIndex(i, j, k+1)),
+		int32(g.NodeIndex(i+1, j, k+1)),
+		int32(g.NodeIndex(i+1, j+1, k+1)),
+		int32(g.NodeIndex(i, j+1, k+1)),
+	}
+}
+
+// ElemSize returns the edge lengths (hx, hy, hz) of element e.
+func (g *Grid) ElemSize(e int) (hx, hy, hz float64) {
+	i, j, k := g.ElemIJK(e)
+	return g.Xs[i+1] - g.Xs[i], g.Ys[j+1] - g.Ys[j], g.Zs[k+1] - g.Zs[k]
+}
+
+// ElemCenter returns the centroid of element e.
+func (g *Grid) ElemCenter(e int) Vec3 {
+	i, j, k := g.ElemIJK(e)
+	return Vec3{
+		(g.Xs[i] + g.Xs[i+1]) / 2,
+		(g.Ys[j] + g.Ys[j+1]) / 2,
+		(g.Zs[k] + g.Zs[k+1]) / 2,
+	}
+}
+
+// ElemOrigin returns the minimum-corner coordinates of element e.
+func (g *Grid) ElemOrigin(e int) Vec3 {
+	i, j, k := g.ElemIJK(e)
+	return Vec3{g.Xs[i], g.Ys[j], g.Zs[k]}
+}
+
+// AssignMaterials sets each element's material from its centroid.
+func (g *Grid) AssignMaterials(classify func(center Vec3) uint8) {
+	for e := range g.MatID {
+		g.MatID[e] = classify(g.ElemCenter(e))
+	}
+}
+
+// Bounds returns the min and max corners of the grid.
+func (g *Grid) Bounds() (lo, hi Vec3) {
+	return Vec3{g.Xs[0], g.Ys[0], g.Zs[0]},
+		Vec3{g.Xs[len(g.Xs)-1], g.Ys[len(g.Ys)-1], g.Zs[len(g.Zs)-1]}
+}
+
+// LocateAxis returns the cell index c such that ax[c] <= v <= ax[c+1],
+// clamping to the valid range; used to find the element containing a point.
+func LocateAxis(ax []float64, v float64) int {
+	c := sort.SearchFloat64s(ax, v) - 1
+	if c < 0 {
+		c = 0
+	}
+	if c > len(ax)-2 {
+		c = len(ax) - 2
+	}
+	return c
+}
+
+// Locate returns the element containing point p and the local reference
+// coordinates (ξ, η, ζ) ∈ [−1, 1]³ of p within it. Points outside the grid
+// are clamped to the nearest boundary element.
+func (g *Grid) Locate(p Vec3) (e int, xi, eta, zeta float64) {
+	ci := LocateAxis(g.Xs, p.X)
+	cj := LocateAxis(g.Ys, p.Y)
+	ck := LocateAxis(g.Zs, p.Z)
+	e = g.ElemIndex(ci, cj, ck)
+	xi = ref1D(g.Xs[ci], g.Xs[ci+1], p.X)
+	eta = ref1D(g.Ys[cj], g.Ys[cj+1], p.Y)
+	zeta = ref1D(g.Zs[ck], g.Zs[ck+1], p.Z)
+	return e, xi, eta, zeta
+}
+
+func ref1D(lo, hi, v float64) float64 {
+	t := 2*(v-lo)/(hi-lo) - 1
+	if t < -1 {
+		t = -1
+	}
+	if t > 1 {
+		t = 1
+	}
+	return t
+}
+
+// BoundaryNodes returns the indices of nodes on any of the six outer faces.
+func (g *Grid) BoundaryNodes() []int32 {
+	var out []int32
+	nx, ny, nz := len(g.Xs), len(g.Ys), len(g.Zs)
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				if i == 0 || i == nx-1 || j == 0 || j == ny-1 || k == 0 || k == nz-1 {
+					out = append(out, int32(g.NodeIndex(i, j, k)))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// OnBoundary reports whether node n lies on any outer face.
+func (g *Grid) OnBoundary(n int) bool {
+	i, j, k := g.NodeIJK(n)
+	return i == 0 || i == len(g.Xs)-1 || j == 0 || j == len(g.Ys)-1 || k == 0 || k == len(g.Zs)-1
+}
+
+// ActiveNodes returns, for meshes containing void elements, a mask of nodes
+// attached to at least one non-void element.
+func (g *Grid) ActiveNodes() []bool {
+	active := make([]bool, g.NumNodes())
+	for e := 0; e < g.NumElems(); e++ {
+		if g.MatID[e] == VoidMaterial {
+			continue
+		}
+		for _, n := range g.ElemNodes(e) {
+			active[n] = true
+		}
+	}
+	return active
+}

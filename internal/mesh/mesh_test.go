@@ -1,0 +1,298 @@
+package mesh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid([]float64{0}, []float64{0, 1}, []float64{0, 1}); err == nil {
+		t.Error("expected error for short axis")
+	}
+	if _, err := NewGrid([]float64{0, 0}, []float64{0, 1}, []float64{0, 1}); err == nil {
+		t.Error("expected error for non-increasing axis")
+	}
+	g, err := NewGrid([]float64{0, 1, 2}, []float64{0, 1}, []float64{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumElems() != 2 || g.NumNodes() != 3*2*2 {
+		t.Errorf("counts: %d elems %d nodes", g.NumElems(), g.NumNodes())
+	}
+}
+
+func TestNodeIndexRoundTrip(t *testing.T) {
+	g, _ := NewGrid(UniformAxis(0, 3, 3), UniformAxis(0, 2, 2), UniformAxis(0, 4, 4))
+	for n := 0; n < g.NumNodes(); n++ {
+		i, j, k := g.NodeIJK(n)
+		if g.NodeIndex(i, j, k) != n {
+			t.Fatalf("round trip failed for node %d", n)
+		}
+	}
+}
+
+func TestElemIndexRoundTrip(t *testing.T) {
+	g, _ := NewGrid(UniformAxis(0, 3, 3), UniformAxis(0, 2, 2), UniformAxis(0, 4, 4))
+	for e := 0; e < g.NumElems(); e++ {
+		i, j, k := g.ElemIJK(e)
+		if g.ElemIndex(i, j, k) != e {
+			t.Fatalf("round trip failed for elem %d", e)
+		}
+	}
+}
+
+func TestElemNodesOrientation(t *testing.T) {
+	g, _ := NewGrid(UniformAxis(0, 2, 2), UniformAxis(0, 2, 2), UniformAxis(0, 2, 2))
+	nodes := g.ElemNodes(g.ElemIndex(0, 0, 0))
+	// VTK order: node 0 at origin, node 6 at opposite corner.
+	c0 := g.NodeCoord(int(nodes[0]))
+	c6 := g.NodeCoord(int(nodes[6]))
+	if c0.X != 0 || c0.Y != 0 || c0.Z != 0 {
+		t.Errorf("node 0 at %v", c0)
+	}
+	if c6.X != 1 || c6.Y != 1 || c6.Z != 1 {
+		t.Errorf("node 6 at %v", c6)
+	}
+	// All 8 nodes distinct.
+	seen := map[int32]bool{}
+	for _, n := range nodes {
+		if seen[n] {
+			t.Fatal("duplicate node in element")
+		}
+		seen[n] = true
+	}
+}
+
+func TestLocate(t *testing.T) {
+	g, _ := NewGrid(UniformAxis(0, 10, 5), UniformAxis(0, 10, 5), UniformAxis(0, 4, 2))
+	f := func(px, py, pz float64) bool {
+		p := Vec3{math.Mod(math.Abs(px), 10), math.Mod(math.Abs(py), 10), math.Mod(math.Abs(pz), 4)}
+		e, xi, eta, zeta := g.Locate(p)
+		if e < 0 || e >= g.NumElems() {
+			return false
+		}
+		if xi < -1 || xi > 1 || eta < -1 || eta > 1 || zeta < -1 || zeta > 1 {
+			return false
+		}
+		// Element must contain the point.
+		o := g.ElemOrigin(e)
+		hx, hy, hz := g.ElemSize(e)
+		const eps = 1e-9
+		return p.X >= o.X-eps && p.X <= o.X+hx+eps &&
+			p.Y >= o.Y-eps && p.Y <= o.Y+hy+eps &&
+			p.Z >= o.Z-eps && p.Z <= o.Z+hz+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocateClampsOutside(t *testing.T) {
+	g, _ := NewGrid(UniformAxis(0, 1, 2), UniformAxis(0, 1, 2), UniformAxis(0, 1, 2))
+	e, xi, _, _ := g.Locate(Vec3{X: -5, Y: 0.5, Z: 0.5})
+	if e < 0 || xi != -1 {
+		t.Errorf("clamp failed: e=%d xi=%g", e, xi)
+	}
+}
+
+func TestBoundaryNodes(t *testing.T) {
+	g, _ := NewGrid(UniformAxis(0, 1, 3), UniformAxis(0, 1, 3), UniformAxis(0, 1, 3))
+	bn := g.BoundaryNodes()
+	// 4×4×4 lattice: 64 − 8 interior = 56 boundary nodes.
+	if len(bn) != 56 {
+		t.Fatalf("boundary nodes %d, want 56", len(bn))
+	}
+	for _, n := range bn {
+		if !g.OnBoundary(int(n)) {
+			t.Fatal("BoundaryNodes returned interior node")
+		}
+	}
+}
+
+func TestTSVGeometryValidate(t *testing.T) {
+	if err := PaperGeometry(15).Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := TSVGeometry{Height: 50, Diameter: 10, Liner: 3, Pitch: 15}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error: via+liner exceeds pitch")
+	}
+	if err := (TSVGeometry{}).Validate(); err == nil {
+		t.Error("expected error: zero geometry")
+	}
+}
+
+func TestBlockAxisProperties(t *testing.T) {
+	geom := PaperGeometry(15)
+	res := DefaultResolution()
+	ax := BlockAxis(geom, res)
+	// Strictly increasing, spanning [0, p].
+	if ax[0] != 0 || ax[len(ax)-1] != geom.Pitch {
+		t.Fatalf("axis span [%g, %g]", ax[0], ax[len(ax)-1])
+	}
+	for i := 1; i < len(ax); i++ {
+		if ax[i] <= ax[i-1] {
+			t.Fatal("axis not strictly increasing")
+		}
+	}
+	// Must contain grid lines at via and liner radii (both sides).
+	c := geom.Pitch / 2
+	for _, want := range []float64{c - geom.Diameter/2, c + geom.Diameter/2,
+		c - geom.Diameter/2 - geom.Liner, c + geom.Diameter/2 + geom.Liner} {
+		found := false
+		for _, v := range ax {
+			if math.Abs(v-want) < 1e-9 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("axis missing required grid line at %g", want)
+		}
+	}
+	// Symmetric about the center.
+	for i := range ax {
+		mirror := geom.Pitch - ax[len(ax)-1-i]
+		if math.Abs(ax[i]-mirror) > 1e-9 {
+			t.Errorf("axis asymmetric at %d: %g vs %g", i, ax[i], mirror)
+		}
+	}
+}
+
+func TestNewTSVBlockMaterials(t *testing.T) {
+	geom := PaperGeometry(15)
+	g, err := NewTSVBlock(geom, CoarseResolution(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[uint8]int{}
+	for _, id := range g.MatID {
+		counts[id]++
+	}
+	if counts[MatCopper] == 0 || counts[MatLiner] == 0 || counts[MatSilicon] == 0 {
+		t.Fatalf("expected all three materials, got %v", counts)
+	}
+	// Center element must be copper.
+	e, _, _, _ := g.Locate(Vec3{X: geom.Pitch / 2, Y: geom.Pitch / 2, Z: geom.Height / 2})
+	if g.MatID[e] != MatCopper {
+		t.Errorf("center element material %d", g.MatID[e])
+	}
+	// Corner element must be silicon.
+	e, _, _, _ = g.Locate(Vec3{X: 0.1, Y: 0.1, Z: 1})
+	if g.MatID[e] != MatSilicon {
+		t.Errorf("corner element material %d", g.MatID[e])
+	}
+
+	// Dummy block is all silicon.
+	gd, err := NewTSVBlock(geom, CoarseResolution(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range gd.MatID {
+		if id != MatSilicon {
+			t.Fatal("dummy block contains non-silicon elements")
+		}
+	}
+}
+
+func TestReplicateAxis(t *testing.T) {
+	block := []float64{0, 1, 3}
+	arr := ReplicateAxis(block, 3)
+	want := []float64{0, 1, 3, 4, 6, 7, 9}
+	if len(arr) != len(want) {
+		t.Fatalf("len %d, want %d", len(arr), len(want))
+	}
+	for i := range want {
+		if math.Abs(arr[i]-want[i]) > 1e-12 {
+			t.Errorf("arr[%d] = %g, want %g", i, arr[i], want[i])
+		}
+	}
+}
+
+func TestArrayGrid(t *testing.T) {
+	geom := PaperGeometry(10)
+	g, err := ArrayGrid(geom, CoarseResolution(), 2, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := g.Bounds()
+	if lo.X != 0 || hi.X != 2*geom.Pitch || hi.Y != 3*geom.Pitch || hi.Z != geom.Height {
+		t.Errorf("bounds %v %v", lo, hi)
+	}
+	// Each block center must be copper.
+	for by := 0; by < 3; by++ {
+		for bx := 0; bx < 2; bx++ {
+			p := Vec3{X: (float64(bx) + 0.5) * geom.Pitch, Y: (float64(by) + 0.5) * geom.Pitch, Z: geom.Height / 2}
+			e, _, _, _ := g.Locate(p)
+			if g.MatID[e] != MatCopper {
+				t.Errorf("block (%d,%d) center not copper", bx, by)
+			}
+		}
+	}
+}
+
+func TestArrayGridDummies(t *testing.T) {
+	geom := PaperGeometry(10)
+	dummy := func(bx, by int) bool { return bx == 0 }
+	g, err := ArrayGrid(geom, CoarseResolution(), 2, 2, dummy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Vec3{X: 0.5 * geom.Pitch, Y: 0.5 * geom.Pitch, Z: geom.Height / 2}
+	e, _, _, _ := g.Locate(p)
+	if g.MatID[e] != MatSilicon {
+		t.Error("dummy block center should be silicon")
+	}
+	p.X = 1.5 * geom.Pitch
+	e, _, _, _ = g.Locate(p)
+	if g.MatID[e] != MatCopper {
+		t.Error("TSV block center should be copper")
+	}
+}
+
+func TestActiveNodes(t *testing.T) {
+	g, _ := NewGrid(UniformAxis(0, 2, 2), UniformAxis(0, 1, 1), UniformAxis(0, 1, 1))
+	// Mark one of the two elements void.
+	g.MatID[1] = VoidMaterial
+	active := g.ActiveNodes()
+	nActive := 0
+	for _, a := range active {
+		if a {
+			nActive++
+		}
+	}
+	// The void element's far face (4 nodes) is inactive.
+	if nActive != g.NumNodes()-4 {
+		t.Errorf("active nodes %d, want %d", nActive, g.NumNodes()-4)
+	}
+}
+
+func TestVec3Ops(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, 5, 6}
+	if s := a.Add(b); s != (Vec3{5, 7, 9}) {
+		t.Errorf("Add: %v", s)
+	}
+	if d := b.Sub(a); d != (Vec3{3, 3, 3}) {
+		t.Errorf("Sub: %v", d)
+	}
+}
+
+func TestUniformAxis(t *testing.T) {
+	ax := UniformAxis(0, 1, 4)
+	if len(ax) != 5 || ax[0] != 0 || ax[4] != 1 {
+		t.Errorf("UniformAxis: %v", ax)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		lo := rng.NormFloat64()
+		hi := lo + 1 + rng.Float64()
+		n := 1 + rng.Intn(20)
+		ax := UniformAxis(lo, hi, n)
+		if ax[0] != lo || ax[n] != hi {
+			t.Fatalf("endpoints wrong: %v", ax)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package mesh
+
+import "strings"
+
+// materialGlyphs maps material ids to display characters for RenderSlice;
+// ids beyond the table wrap around, void renders as space.
+var materialGlyphs = []byte{'.', '#', 'o', '+', '*', '=', '%'}
+
+// RenderSlice returns an ASCII picture of the element materials on the
+// horizontal cut through height z (one character per element column, y rows
+// top to bottom). It is a debugging and documentation aid for inspecting
+// classifier output: '.' silicon, '#' copper, 'o' liner, space void.
+func (g *Grid) RenderSlice(z float64) string {
+	k := LocateAxis(g.Zs, z)
+	var sb strings.Builder
+	for j := g.NEY() - 1; j >= 0; j-- {
+		for i := 0; i < g.NEX(); i++ {
+			id := g.MatID[g.ElemIndex(i, j, k)]
+			if id == VoidMaterial {
+				sb.WriteByte(' ')
+				continue
+			}
+			sb.WriteByte(materialGlyphs[int(id)%len(materialGlyphs)])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// MaterialCounts tallies elements per material id (void included under
+// VoidMaterial).
+func (g *Grid) MaterialCounts() map[uint8]int {
+	out := make(map[uint8]int)
+	for _, id := range g.MatID {
+		out[id]++
+	}
+	return out
+}
+
+// Volume returns the total volume of non-void elements.
+func (g *Grid) Volume() float64 {
+	var v float64
+	for e := 0; e < g.NumElems(); e++ {
+		if g.MatID[e] == VoidMaterial {
+			continue
+		}
+		hx, hy, hz := g.ElemSize(e)
+		v += hx * hy * hz
+	}
+	return v
+}
+
+// MaterialVolume returns the volume occupied by the given material id.
+func (g *Grid) MaterialVolume(id uint8) float64 {
+	var v float64
+	for e := 0; e < g.NumElems(); e++ {
+		if g.MatID[e] != id {
+			continue
+		}
+		hx, hy, hz := g.ElemSize(e)
+		v += hx * hy * hz
+	}
+	return v
+}

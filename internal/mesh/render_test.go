@@ -1,0 +1,86 @@
+package mesh
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderSlice(t *testing.T) {
+	g, err := NewTSVBlock(PaperGeometry(15), CoarseResolution(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pic := g.RenderSlice(25)
+	lines := strings.Split(strings.TrimRight(pic, "\n"), "\n")
+	if len(lines) != g.NEY() {
+		t.Fatalf("render has %d lines, want %d", len(lines), g.NEY())
+	}
+	if !strings.Contains(pic, "#") {
+		t.Error("copper missing from slice")
+	}
+	if !strings.Contains(pic, "o") {
+		t.Error("liner missing from slice")
+	}
+	if !strings.Contains(pic, ".") {
+		t.Error("silicon missing from slice")
+	}
+	// The picture is mirror symmetric (the block is).
+	for _, ln := range lines {
+		rev := reverse(ln)
+		if ln != rev {
+			t.Fatalf("slice row not symmetric: %q", ln)
+		}
+	}
+}
+
+func TestRenderSliceVoid(t *testing.T) {
+	g, _ := NewGrid(UniformAxis(0, 2, 2), UniformAxis(0, 1, 1), UniformAxis(0, 1, 1))
+	g.MatID[1] = VoidMaterial
+	pic := g.RenderSlice(0.5)
+	if !strings.Contains(pic, " ") {
+		t.Error("void element should render as space")
+	}
+}
+
+func TestMaterialCountsAndVolume(t *testing.T) {
+	geom := PaperGeometry(15)
+	g, err := NewTSVBlock(geom, DefaultResolution(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := g.MaterialCounts()
+	if counts[MatCopper] == 0 || counts[MatLiner] == 0 {
+		t.Fatalf("missing materials: %v", counts)
+	}
+	total := g.Volume()
+	want := geom.Pitch * geom.Pitch * geom.Height
+	if math.Abs(total-want) > 1e-6*want {
+		t.Errorf("total volume %g, want %g", total, want)
+	}
+	// Copper volume should approximate the via cylinder within the voxel
+	// resolution (±35%).
+	vCu := g.MaterialVolume(MatCopper)
+	cyl := math.Pi * geom.Diameter * geom.Diameter / 4 * geom.Height
+	if vCu < 0.65*cyl || vCu > 1.35*cyl {
+		t.Errorf("copper volume %g vs cylinder %g", vCu, cyl)
+	}
+	// Volumes partition the total.
+	sum := 0.0
+	for id, c := range counts {
+		if c > 0 {
+			sum += g.MaterialVolume(id)
+		}
+	}
+	if math.Abs(sum-total) > 1e-6*total {
+		t.Errorf("material volumes sum to %g, want %g", sum, total)
+	}
+}
+
+func reverse(s string) string {
+	b := []byte(s)
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+	return string(b)
+}

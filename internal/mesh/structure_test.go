@@ -1,0 +1,106 @@
+package mesh
+
+import (
+	"testing"
+)
+
+func TestBlockKindString(t *testing.T) {
+	cases := map[BlockKind]string{
+		KindTSV: "tsv", KindDummy: "dummy", KindPillar: "pillar", KindAnnular: "annular",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k, want)
+		}
+	}
+	if BlockKind(9).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}
+
+func TestPillarBlock(t *testing.T) {
+	geom := TSVGeometry{Height: 50, Diameter: 5, Liner: 0, Pitch: 15}
+	g, err := NewBlock(geom, CoarseResolution(), KindPillar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Center copper, no liner anywhere, corner silicon.
+	e, _, _, _ := g.Locate(Vec3{X: 7.5, Y: 7.5, Z: 25})
+	if g.MatID[e] != MatCopper {
+		t.Errorf("pillar center material %d", g.MatID[e])
+	}
+	for _, id := range g.MatID {
+		if id == MatLiner {
+			t.Fatal("pillar block must not contain liner material")
+		}
+	}
+	e, _, _, _ = g.Locate(Vec3{X: 0.5, Y: 0.5, Z: 25})
+	if g.MatID[e] != MatSilicon {
+		t.Errorf("pillar corner material %d", g.MatID[e])
+	}
+}
+
+func TestAnnularBlock(t *testing.T) {
+	geom := TSVGeometry{Height: 50, Diameter: 8, Liner: 1.5, Pitch: 15}
+	g, err := NewBlock(geom, BlockResolution{RadialCells: 4, OuterCells: 3, ZCells: 4}, KindAnnular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The core is bulk, the wall is copper.
+	e, _, _, _ := g.Locate(Vec3{X: 7.5, Y: 7.5, Z: 25})
+	if g.MatID[e] != MatSilicon {
+		t.Errorf("annular core material %d, want silicon", g.MatID[e])
+	}
+	// A point in the wall: radius between d/2−t and d/2 (3.2 µm from
+	// center).
+	e, _, _, _ = g.Locate(Vec3{X: 7.5 + 3.2, Y: 7.5, Z: 25})
+	if g.MatID[e] != MatCopper {
+		t.Errorf("annular wall material %d, want copper", g.MatID[e])
+	}
+	hasCopper := false
+	for _, id := range g.MatID {
+		if id == MatCopper {
+			hasCopper = true
+			break
+		}
+	}
+	if !hasCopper {
+		t.Fatal("annular block lost its wall")
+	}
+}
+
+func TestAnnularValidation(t *testing.T) {
+	geom := TSVGeometry{Height: 50, Diameter: 5, Liner: 0, Pitch: 15}
+	if _, err := NewBlock(geom, CoarseResolution(), KindAnnular); err == nil {
+		t.Error("expected error for zero wall thickness")
+	}
+	geom.Liner = 3 // >= d/2
+	if _, err := NewBlock(geom, CoarseResolution(), KindAnnular); err == nil {
+		t.Error("expected error for wall >= radius")
+	}
+}
+
+func TestTSVKindRequiresLiner(t *testing.T) {
+	geom := TSVGeometry{Height: 50, Diameter: 5, Liner: 0, Pitch: 15}
+	if _, err := NewBlock(geom, CoarseResolution(), KindTSV); err == nil {
+		t.Error("expected error for TSV without liner")
+	}
+}
+
+func TestDummyKindAllSilicon(t *testing.T) {
+	g, err := NewBlock(PaperGeometry(15), CoarseResolution(), KindDummy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range g.MatID {
+		if id != MatSilicon {
+			t.Fatal("dummy block must be homogeneous silicon")
+		}
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	if _, err := NewBlock(PaperGeometry(15), CoarseResolution(), BlockKind(42)); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+}

@@ -1,0 +1,226 @@
+package mesh
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Material ids used by TSV block grids.
+const (
+	MatSilicon uint8 = 0
+	MatCopper  uint8 = 1
+	MatLiner   uint8 = 2
+)
+
+// TSVGeometry describes the simplified TSV structure of the paper (Fig. 2):
+// a copper cylinder of diameter D and height H, wrapped by a dielectric
+// liner of thickness T, centered in a silicon block of footprint P×P.
+// All lengths in µm.
+type TSVGeometry struct {
+	Height   float64 // h: via / block height
+	Diameter float64 // d: copper body diameter
+	Liner    float64 // t: liner thickness
+	Pitch    float64 // p: block footprint edge (TSV pitch)
+}
+
+// PaperGeometry returns the geometry of the paper's experiments:
+// h = 50 µm, d = 5 µm, t = 0.5 µm, with the given pitch (15 or 10 µm).
+func PaperGeometry(pitch float64) TSVGeometry {
+	return TSVGeometry{Height: 50, Diameter: 5, Liner: 0.5, Pitch: pitch}
+}
+
+// Validate checks geometric consistency. A zero liner thickness is allowed
+// (linerless structures such as copper pillars and micro bumps).
+func (g TSVGeometry) Validate() error {
+	if g.Height <= 0 || g.Diameter <= 0 || g.Liner < 0 || g.Pitch <= 0 {
+		return fmt.Errorf("mesh: TSV geometry must be positive: %+v", g)
+	}
+	if g.Diameter+2*g.Liner >= g.Pitch {
+		return fmt.Errorf("mesh: via + liner (%g) exceeds pitch (%g)", g.Diameter+2*g.Liner, g.Pitch)
+	}
+	return nil
+}
+
+// BlockResolution controls the fine mesh density of a unit block.
+type BlockResolution struct {
+	// RadialCells is the number of cells across the via radius (grid lines
+	// are aligned to the via and liner radii; the liner gets one dedicated
+	// cell band). Typical: 3–5.
+	RadialCells int
+	// OuterCells is the number of (geometrically graded) cells from the
+	// liner to the block edge on each side. Typical: 4–8.
+	OuterCells int
+	// ZCells is the number of cells through the height. Typical: 6–12.
+	ZCells int
+}
+
+// DefaultResolution is a balanced accuracy/cost setting used by the
+// experiments (≈15×15×8 cells per block).
+func DefaultResolution() BlockResolution {
+	return BlockResolution{RadialCells: 3, OuterCells: 5, ZCells: 8}
+}
+
+// CoarseResolution is a cheap setting for unit tests.
+func CoarseResolution() BlockResolution {
+	return BlockResolution{RadialCells: 2, OuterCells: 3, ZCells: 4}
+}
+
+// BlockAxis constructs the graded 1-D node coordinates for one lateral axis
+// of a unit block: fine, uniform cells across the via, one cell band for the
+// liner, and geometrically graded cells out to the block boundary, all
+// mirrored about the center. Grid lines land exactly on ±d/2 and ±(d/2+t)
+// so that the liner is resolved by construction.
+func BlockAxis(geom TSVGeometry, res BlockResolution) []float64 {
+	c := geom.Pitch / 2
+	rVia := geom.Diameter / 2
+	rLiner := rVia + geom.Liner
+	set := map[float64]struct{}{}
+	add := func(v float64) { set[v] = struct{}{} }
+
+	// Via interior: uniform across [-rVia, rVia].
+	nv := res.RadialCells * 2
+	for i := 0; i <= nv; i++ {
+		add(c - rVia + 2*rVia*float64(i)/float64(nv))
+	}
+	// Liner band: single cell each side.
+	add(c - rLiner)
+	add(c + rLiner)
+	// Outer region: geometric grading from rLiner to p/2 on each side.
+	outer := c - rLiner // distance from liner to block edge
+	n := res.OuterCells
+	ratio := 1.6
+	// Sum of geometric series defines the first (finest) cell size.
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Pow(ratio, float64(i))
+	}
+	h0 := outer / sum
+	pos := 0.0
+	for i := 0; i < n-1; i++ {
+		pos += h0 * math.Pow(ratio, float64(i))
+		add(c + rLiner + pos)
+		add(c - rLiner - pos)
+	}
+	add(0)
+	add(geom.Pitch)
+
+	out := make([]float64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	// Remove near-duplicates from floating-point keys.
+	dedup := out[:1]
+	for _, v := range out[1:] {
+		if v-dedup[len(dedup)-1] > 1e-9*geom.Pitch {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup
+}
+
+// NewTSVBlock meshes a single unit block (Fig. 3(b,c)): a P×P×H box with a
+// TSV in the middle when withVia is true, or pure silicon (a "dummy" block,
+// §4.4) when false.
+func NewTSVBlock(geom TSVGeometry, res BlockResolution, withVia bool) (*Grid, error) {
+	kind := KindTSV
+	if !withVia {
+		kind = KindDummy
+	}
+	return NewBlock(geom, res, kind)
+}
+
+// TSVClassifier returns a material classifier for a TSV whose axis passes
+// through (center.X, center.Y): copper inside the via radius, liner in the
+// annulus, silicon outside.
+func TSVClassifier(geom TSVGeometry, center Vec3) func(Vec3) uint8 {
+	rVia := geom.Diameter / 2
+	rLiner := rVia + geom.Liner
+	return func(p Vec3) uint8 {
+		dx, dy := p.X-center.X, p.Y-center.Y
+		r := math.Hypot(dx, dy)
+		switch {
+		case r <= rVia:
+			return MatCopper
+		case r <= rLiner:
+			return MatLiner
+		default:
+			return MatSilicon
+		}
+	}
+}
+
+// ArrayGrid meshes a full Bx×By array of TSV unit blocks at the block fine
+// resolution (the reference-FEM discretization). dummy may be nil.
+func ArrayGrid(geom TSVGeometry, res BlockResolution, bx, by int, dummy func(bx, by int) bool) (*Grid, error) {
+	return ArrayGridOf(geom, res, bx, by, dummy, KindTSV)
+}
+
+// ArrayGridOf meshes a full Bx×By array of unit blocks containing the given
+// structure kind: per-axis coordinates are the block axis replicated with
+// shared boundaries, and each non-dummy block gets the kind's material
+// classifier at its center. dummy may be nil (no dummies).
+func ArrayGridOf(geom TSVGeometry, res BlockResolution, bx, by int, dummy func(bx, by int) bool, kind BlockKind) (*Grid, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if bx < 1 || by < 1 {
+		return nil, fmt.Errorf("mesh: array dimensions must be positive, got %d×%d", bx, by)
+	}
+	// Validate the classifier once (per-block classifiers only shift the
+	// center).
+	if _, err := kind.Classifier(geom, Vec3{}); err != nil {
+		return nil, err
+	}
+	blockAx := BlockAxis(geom, res)
+	xs := ReplicateAxis(blockAx, bx)
+	ys := ReplicateAxis(blockAx, by)
+	zs := UniformAxis(0, geom.Height, res.ZCells)
+	g, err := NewGrid(xs, ys, zs)
+	if err != nil {
+		return nil, err
+	}
+	p := geom.Pitch
+	classifiers := make([]func(Vec3) uint8, bx*by)
+	for iy := 0; iy < by; iy++ {
+		for ix := 0; ix < bx; ix++ {
+			center := Vec3{X: (float64(ix) + 0.5) * p, Y: (float64(iy) + 0.5) * p}
+			cl, err := kind.Classifier(geom, center)
+			if err != nil {
+				return nil, err
+			}
+			classifiers[iy*bx+ix] = cl
+		}
+	}
+	g.AssignMaterials(func(c Vec3) uint8 {
+		ix := int(c.X / p)
+		iy := int(c.Y / p)
+		if ix >= bx {
+			ix = bx - 1
+		}
+		if iy >= by {
+			iy = by - 1
+		}
+		if dummy != nil && dummy(ix, iy) {
+			return MatSilicon
+		}
+		return classifiers[iy*bx+ix](c)
+	})
+	return g, nil
+}
+
+// ReplicateAxis tiles a single-block axis (spanning [0, p]) n times,
+// merging the shared boundaries, to produce the array axis [0, n·p].
+func ReplicateAxis(blockAx []float64, n int) []float64 {
+	p := blockAx[len(blockAx)-1]
+	out := make([]float64, 0, n*(len(blockAx)-1)+1)
+	out = append(out, blockAx[0])
+	for b := 0; b < n; b++ {
+		off := float64(b) * p
+		for _, v := range blockAx[1:] {
+			out = append(out, off+v)
+		}
+	}
+	return out
+}

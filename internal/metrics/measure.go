@@ -1,0 +1,77 @@
+// Package metrics provides the runtime and memory instrumentation used by
+// the benchmark harness to reproduce the paper's time/memory comparison
+// columns.
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Measurement records the cost of one measured run.
+type Measurement struct {
+	// Elapsed is the wall-clock duration.
+	Elapsed time.Duration
+	// PeakHeapBytes is the maximum live-heap growth observed during the run
+	// (sampled), mirroring the paper's "maximum memory usage during
+	// computation".
+	PeakHeapBytes int64
+	// AllocBytes is the total allocation volume of the run.
+	AllocBytes int64
+}
+
+// Measure runs fn while sampling the heap, returning elapsed time and
+// observed peak heap growth. A GC is forced before the run so the baseline
+// excludes garbage from earlier phases.
+func Measure(fn func()) Measurement {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	base := int64(ms.HeapAlloc)
+	baseTotal := int64(ms.TotalAlloc)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var peak int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(10 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				var s runtime.MemStats
+				runtime.ReadMemStats(&s)
+				if g := int64(s.HeapAlloc) - base; g > peak {
+					peak = g
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	fn()
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+
+	runtime.ReadMemStats(&ms)
+	if g := int64(ms.HeapAlloc) - base; g > peak {
+		peak = g
+	}
+	if peak < 0 {
+		peak = 0
+	}
+	return Measurement{
+		Elapsed:       elapsed,
+		PeakHeapBytes: peak,
+		AllocBytes:    int64(ms.TotalAlloc) - baseTotal,
+	}
+}
+
+// MB formats bytes as mebibytes.
+func MB(b int64) float64 { return float64(b) / (1 << 20) }

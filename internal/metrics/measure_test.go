@@ -1,0 +1,37 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMeasureElapsed(t *testing.T) {
+	m := Measure(func() { time.Sleep(30 * time.Millisecond) })
+	if m.Elapsed < 25*time.Millisecond {
+		t.Errorf("elapsed %v, want >= 25ms", m.Elapsed)
+	}
+}
+
+func TestMeasureAllocations(t *testing.T) {
+	var sink []byte
+	m := Measure(func() {
+		sink = make([]byte, 64<<20)
+		for i := range sink {
+			sink[i] = byte(i)
+		}
+		time.Sleep(30 * time.Millisecond) // let the sampler observe the peak
+	})
+	_ = sink
+	if m.AllocBytes < 64<<20 {
+		t.Errorf("alloc bytes %d, want >= 64MiB", m.AllocBytes)
+	}
+	if m.PeakHeapBytes < 32<<20 {
+		t.Errorf("peak heap %d, want >= 32MiB", m.PeakHeapBytes)
+	}
+}
+
+func TestMB(t *testing.T) {
+	if MB(1<<20) != 1 {
+		t.Errorf("MB(1MiB) = %g", MB(1<<20))
+	}
+}

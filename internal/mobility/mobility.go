@@ -1,0 +1,134 @@
+// Package mobility converts TSV-induced mechanical stress into carrier
+// mobility variation and keep-out zones (KOZ) — the downstream analysis that
+// motivates fast thermal-stress simulation in the paper's references
+// ([Jung DAC'12], [Jung CACM'14]): transistors too close to a TSV suffer
+// stress-induced mobility shifts, and placement must respect a keep-out
+// radius around each via.
+//
+// The model is the standard linear piezoresistance approximation for bulk
+// silicon channels on a (001) wafer with <110> channels: the relative
+// mobility change of a device whose channel is along the local x axis is
+//
+//	Δµ/µ = −(π_L·σxx + π_T·σyy + π_V·σzz)
+//
+// with longitudinal/transverse/vertical coefficients per carrier type
+// (units 1/Pa; stresses here are MPa, converted internally).
+package mobility
+
+import (
+	"math"
+
+	"repro/internal/field"
+)
+
+// Carrier selects the device type.
+type Carrier int
+
+const (
+	// NMOS electrons on (001)/<110>.
+	NMOS Carrier = iota
+	// PMOS holes on (001)/<110>.
+	PMOS
+)
+
+// String implements fmt.Stringer.
+func (c Carrier) String() string {
+	if c == NMOS {
+		return "NMOS"
+	}
+	return "PMOS"
+}
+
+// Coefficients holds piezoresistance coefficients in 1/MPa.
+type Coefficients struct {
+	PiL, PiT, PiV float64
+}
+
+// StandardCoefficients returns the widely used bulk-silicon (001)/<110>
+// piezoresistance values (Smith / Thompson et al.): electrons
+// π_L = −31.6, π_T = −17.6, π_V = +53.4 (×1e−11/Pa); holes π_L = +71.8,
+// π_T = −66.3, π_V = −1.1 (×1e−11/Pa). Converted to 1/MPa.
+func StandardCoefficients(c Carrier) Coefficients {
+	const unit = 1e-11 * 1e6 // (1/Pa)·(Pa/MPa) = 1/MPa
+	if c == NMOS {
+		return Coefficients{PiL: -31.6 * unit, PiT: -17.6 * unit, PiV: 53.4 * unit}
+	}
+	return Coefficients{PiL: 71.8 * unit, PiT: -66.3 * unit, PiV: -1.1 * unit}
+}
+
+// Shift returns Δµ/µ for a Voigt stress tensor (MPa) and a channel along
+// the x axis.
+func (c Coefficients) Shift(s [6]float64) float64 {
+	return -(c.PiL*s[0] + c.PiT*s[1] + c.PiV*s[2])
+}
+
+// ShiftY returns Δµ/µ for a channel along the y axis (longitudinal and
+// transverse swap).
+func (c Coefficients) ShiftY(s [6]float64) float64 {
+	return -(c.PiL*s[1] + c.PiT*s[0] + c.PiV*s[2])
+}
+
+// WorstShift returns the worst-magnitude shift over the two channel
+// orientations.
+func (c Coefficients) WorstShift(s [6]float64) float64 {
+	a, b := c.Shift(s), c.ShiftY(s)
+	if math.Abs(a) >= math.Abs(b) {
+		return a
+	}
+	return b
+}
+
+// ShiftField maps a tensor-sampling function over a (NX×NY) grid and
+// returns the worst-orientation mobility-shift field. sample(ix, iy) must
+// return the stress at grid point (ix, iy).
+func ShiftField(nx, ny int, coeff Coefficients, sample func(ix, iy int) [6]float64) *field.Grid2D {
+	out := field.New(nx, ny)
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			out.Set(ix, iy, coeff.WorstShift(sample(ix, iy)))
+		}
+	}
+	return out
+}
+
+// KOZResult reports a keep-out-zone analysis over one unit block.
+type KOZResult struct {
+	// Radius is the smallest radius around the via center beyond which
+	// |Δµ/µ| stays below the threshold (µm); 0 if the whole block is below
+	// threshold, and Extent if even the block corner violates it.
+	Radius float64
+	// Extent is the half-diagonal of the block (the largest measurable
+	// radius).
+	Extent float64
+	// ViolatingFraction is the fraction of sampled sites above threshold.
+	ViolatingFraction float64
+}
+
+// KOZ computes the keep-out radius on a block-centered shift field: shift
+// is a gs×gs field over one p×p block (as produced by sampling a block of
+// the solved array), threshold is the allowed |Δµ/µ| (e.g. 0.05 for 5 %).
+func KOZ(shift *field.Grid2D, pitch, threshold float64) KOZResult {
+	gs := shift.NX
+	cx := pitch / 2
+	var worstR float64
+	viol := 0
+	for iy := 0; iy < shift.NY; iy++ {
+		y := (float64(iy) + 0.5) * pitch / float64(gs)
+		for ix := 0; ix < gs; ix++ {
+			x := (float64(ix) + 0.5) * pitch / float64(gs)
+			if math.Abs(shift.At(ix, iy)) <= threshold {
+				continue
+			}
+			viol++
+			r := math.Hypot(x-cx, y-cx)
+			if r > worstR {
+				worstR = r
+			}
+		}
+	}
+	return KOZResult{
+		Radius:            worstR,
+		Extent:            math.Sqrt2 * pitch / 2,
+		ViolatingFraction: float64(viol) / float64(gs*shift.NY),
+	}
+}

@@ -1,0 +1,113 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/field"
+)
+
+func TestStandardCoefficientsSigns(t *testing.T) {
+	n := StandardCoefficients(NMOS)
+	p := StandardCoefficients(PMOS)
+	// Electrons: longitudinal tension (σxx > 0) improves mobility
+	// (π_L < 0 ⇒ Δµ/µ = −π_L·σ > 0).
+	if n.PiL >= 0 {
+		t.Error("NMOS longitudinal coefficient should be negative")
+	}
+	// Holes: longitudinal tension degrades mobility.
+	if p.PiL <= 0 {
+		t.Error("PMOS longitudinal coefficient should be positive")
+	}
+	if NMOS.String() != "NMOS" || PMOS.String() != "PMOS" {
+		t.Error("String() wrong")
+	}
+}
+
+func TestShiftUniaxial(t *testing.T) {
+	c := StandardCoefficients(NMOS)
+	// 100 MPa longitudinal tension: Δµ/µ = −π_L·100 = +3.16%.
+	got := c.Shift([6]float64{100, 0, 0, 0, 0, 0})
+	want := 31.6e-11 * 1e6 * 100
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("shift %g, want %g", got, want)
+	}
+}
+
+func TestShiftYSwapsAxes(t *testing.T) {
+	c := StandardCoefficients(PMOS)
+	s := [6]float64{50, -80, 30, 1, 2, 3}
+	swapped := [6]float64{-80, 50, 30, 1, 2, 3}
+	if math.Abs(c.ShiftY(s)-c.Shift(swapped)) > 1e-15 {
+		t.Error("ShiftY is not the axis swap of Shift")
+	}
+}
+
+func TestWorstShiftDominates(t *testing.T) {
+	f := func(a, b, c, d, e, g float64) bool {
+		bound := func(x float64) float64 { return math.Mod(x, 1e3) }
+		s := [6]float64{bound(a), bound(b), bound(c), bound(d), bound(e), bound(g)}
+		co := StandardCoefficients(PMOS)
+		w := co.WorstShift(s)
+		return math.Abs(w) >= math.Abs(co.Shift(s))-1e-12 &&
+			math.Abs(w) >= math.Abs(co.ShiftY(s))-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftField(t *testing.T) {
+	co := StandardCoefficients(NMOS)
+	fieldGrid := ShiftField(3, 2, co, func(ix, iy int) [6]float64 {
+		return [6]float64{float64(100 * ix), 0, 0, 0, 0, 0}
+	})
+	if fieldGrid.NX != 3 || fieldGrid.NY != 2 {
+		t.Fatal("field shape wrong")
+	}
+	if fieldGrid.At(0, 0) != 0 {
+		t.Error("zero stress should give zero shift")
+	}
+	if fieldGrid.At(2, 0) <= fieldGrid.At(1, 0) {
+		t.Error("shift should grow with stress")
+	}
+}
+
+func TestKOZGeometry(t *testing.T) {
+	const gs = 50
+	const pitch = 15.0
+	// Synthetic shift field: |Δµ/µ| = 0.2·exp(−r/2) around the center.
+	f := field.New(gs, gs)
+	for iy := 0; iy < gs; iy++ {
+		y := (float64(iy) + 0.5) * pitch / gs
+		for ix := 0; ix < gs; ix++ {
+			x := (float64(ix) + 0.5) * pitch / gs
+			r := math.Hypot(x-pitch/2, y-pitch/2)
+			f.Set(ix, iy, 0.2*math.Exp(-r/2))
+		}
+	}
+	res := KOZ(f, pitch, 0.05)
+	// Analytic radius: 0.2·exp(−r/2) = 0.05 ⇒ r = 2·ln 4 ≈ 2.77 µm.
+	want := 2 * math.Log(4)
+	if math.Abs(res.Radius-want) > 0.5 {
+		t.Errorf("KOZ radius %.2f, want ≈ %.2f", res.Radius, want)
+	}
+	if res.ViolatingFraction <= 0 || res.ViolatingFraction >= 1 {
+		t.Errorf("violating fraction %g out of range", res.ViolatingFraction)
+	}
+	if res.Extent != math.Sqrt2*pitch/2 {
+		t.Errorf("extent %g", res.Extent)
+	}
+
+	// A stricter threshold must not shrink the radius.
+	res2 := KOZ(f, pitch, 0.01)
+	if res2.Radius < res.Radius {
+		t.Errorf("stricter threshold shrank KOZ: %g < %g", res2.Radius, res.Radius)
+	}
+	// Threshold above the peak: empty KOZ.
+	res3 := KOZ(f, pitch, 1)
+	if res3.Radius != 0 || res3.ViolatingFraction != 0 {
+		t.Errorf("expected empty KOZ, got %+v", res3)
+	}
+}

@@ -1,0 +1,90 @@
+package reffem
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/material"
+	"repro/internal/mesh"
+	"repro/internal/solver"
+)
+
+// TestSingleTSVStressDecay validates the far-field physics of the TSV
+// problem against the classical Lamé solution: a cylindrical inclusion in an
+// (effectively) infinite matrix under thermal misfit produces an in-plane
+// deviatoric stress field decaying as 1/r². We embed a single TSV in a 5×5
+// dummy neighbourhood and fit the decay exponent of the von Mises deviation
+// along a radial ray, away from both the via and the outer boundary.
+func TestSingleTSVStressDecay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("decay study is slow")
+	}
+	geom := mesh.PaperGeometry(15)
+	mats := material.DefaultTSVSet()
+	res := mesh.CoarseResolution()
+	const nb = 5
+	center := nb / 2
+
+	single, err := Solve(&Problem{
+		Geom: geom, Mats: mats, Res: res, Bx: nb, By: nb,
+		IsDummy: func(bx, by int) bool { return bx != center || by != center },
+		DeltaT:  -250, BC: ClampedTopBottom,
+		Opt: solver.Options{Tol: 1e-10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := Solve(&Problem{
+		Geom: geom, Mats: mats, Res: res, Bx: nb, By: nb,
+		IsDummy: func(bx, by int) bool { return true },
+		DeltaT:  -250, BC: ClampedTopBottom,
+		Opt: solver.Options{Tol: 1e-10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deviation magnitude along the +x ray from the via center at
+	// mid-height. Radii from 1.5 via-radii out to ~1.5 pitches keep clear
+	// of both the liner and the outer boundary.
+	cx := (float64(center) + 0.5) * geom.Pitch
+	zMid := geom.Height / 2
+	radii := []float64{5, 7, 10, 14, 20}
+	var logR, logS []float64
+	for _, r := range radii {
+		p := mesh.Vec3{X: cx + r, Y: cx, Z: zMid}
+		ss := single.Model.StressAtPoint(single.U, -250, p)
+		sb := bg.Model.StressAtPoint(bg.U, -250, p)
+		var mag float64
+		for c := 0; c < 6; c++ {
+			d := ss[c] - sb[c]
+			mag += d * d
+		}
+		mag = math.Sqrt(mag)
+		if mag <= 0 {
+			t.Fatalf("zero deviation at r=%g", r)
+		}
+		logR = append(logR, math.Log(r))
+		logS = append(logS, math.Log(mag))
+	}
+	// Least-squares slope of log|Δσ| vs log r.
+	slope := fitSlope(logR, logS)
+	t.Logf("radial decay exponent: %.2f (Lamé: -2)", slope)
+	// Clamped plates and the finite neighbourhood perturb the pure 1/r²;
+	// accept a clear inverse-square-like decay.
+	if slope > -1.2 || slope < -3.2 {
+		t.Errorf("decay exponent %.2f outside [-3.2, -1.2]", slope)
+	}
+}
+
+func fitSlope(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}

@@ -1,0 +1,89 @@
+package reffem
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/material"
+	"repro/internal/mesh"
+	"repro/internal/solver"
+)
+
+// TestQuadraticReferenceAgreesWithTrilinear checks the two discretizations
+// converge to the same physics: the quadratic and trilinear references on
+// the same fine mesh must produce close von Mises fields (the residual
+// difference is the trilinear discretization error).
+func TestQuadraticReferenceAgreesWithTrilinear(t *testing.T) {
+	base := Problem{
+		Geom: mesh.PaperGeometry(15), Mats: material.DefaultTSVSet(),
+		Res: mesh.CoarseResolution(), Bx: 2, By: 2,
+		DeltaT: -250, BC: ClampedTopBottom,
+		Opt: solver.Options{Tol: 1e-9},
+	}
+	pt := base
+	tri, err := Solve(&pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq := base
+	pq.Quadratic = true
+	quad, err := Solve(&pq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quad.Quad == nil {
+		t.Fatal("quadratic result lacks quadratic model")
+	}
+	if quad.DoFs <= tri.DoFs {
+		t.Errorf("quadratic DoFs %d should exceed trilinear %d", quad.DoFs, tri.DoFs)
+	}
+	vt := tri.SampleVM(10, 8)
+	vq := quad.SampleVM(10, 8)
+	nmae := field.NormalizedMAE(vt, vq)
+	t.Logf("trilinear vs quadratic reference: %.2f%% (quad DoFs %d, tri DoFs %d)",
+		100*nmae, quad.DoFs, tri.DoFs)
+	if nmae > 0.10 {
+		t.Errorf("discretizations disagree by %.4f", nmae)
+	}
+	// Peak stress from the softer trilinear elements should be within ~20%.
+	if r := math.Abs(vt.Max()-vq.Max()) / vq.Max(); r > 0.2 {
+		t.Errorf("peak vM differs by %.1f%%", 100*r)
+	}
+}
+
+func TestQuadraticPrescribedFreeExpansion(t *testing.T) {
+	geom := mesh.PaperGeometry(15)
+	deltaT := -200.0
+	a := material.Silicon.CTE * deltaT
+	p := &Problem{
+		Geom: geom, Mats: material.DefaultTSVSet(), Res: mesh.CoarseResolution(),
+		Bx: 1, By: 2, IsDummy: func(int, int) bool { return true },
+		DeltaT: deltaT, BC: PrescribedBoundary, Quadratic: true,
+		BoundaryDisp: func(pt mesh.Vec3) [3]float64 {
+			return [3]float64{a * pt.X, a * pt.Y, a * pt.Z}
+		},
+		Opt: solver.Options{Tol: 1e-11},
+	}
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := r.SampleVM(6, 4)
+	scale := material.Silicon.ThermalStressCoeff() * math.Abs(deltaT)
+	if vm.Max() > 1e-6*scale {
+		t.Errorf("quadratic free expansion not stress free: %g", vm.Max())
+	}
+}
+
+func TestQuadraticRejectsDeltaTFor(t *testing.T) {
+	p := &Problem{
+		Geom: mesh.PaperGeometry(15), Mats: material.DefaultTSVSet(),
+		Res: mesh.CoarseResolution(), Bx: 1, By: 1,
+		DeltaTFor: func(int, int) float64 { return -1 },
+		Quadratic: true,
+	}
+	if _, err := Solve(p); err == nil {
+		t.Error("expected error for quadratic + DeltaTFor")
+	}
+}

@@ -1,0 +1,146 @@
+package reffem
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/material"
+	"repro/internal/mesh"
+	"repro/internal/solver"
+)
+
+func solveSmall(t *testing.T, bx, by int, dummy func(int, int) bool) (*Problem, *Result) {
+	t.Helper()
+	p := &Problem{
+		Geom: mesh.PaperGeometry(15),
+		Mats: material.DefaultTSVSet(),
+		Res:  mesh.CoarseResolution(),
+		Bx:   bx, By: by,
+		IsDummy: dummy,
+		DeltaT:  -250,
+		BC:      ClampedTopBottom,
+		Opt:     solver.Options{Tol: 1e-9},
+	}
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, r
+}
+
+func TestSolveSingleBlock(t *testing.T) {
+	p, r := solveSmall(t, 1, 1, nil)
+	if !r.Stats.Converged {
+		t.Error("reference solve did not converge")
+	}
+	// Clamped top/bottom with ΔT < 0: silicon contracts; the mid-plane
+	// shrinks laterally so the lateral displacement at the block edge
+	// points inward (toward the center).
+	d := r.Model.DisplacementAtPoint(r.U, mesh.Vec3{X: p.Geom.Pitch, Y: p.Geom.Pitch / 2, Z: p.Geom.Height / 2})
+	if d[0] >= 0 {
+		t.Errorf("edge x-displacement %g, want negative (contraction)", d[0])
+	}
+	// Clamped faces: zero displacement at a top node.
+	top := r.Model.DisplacementAtPoint(r.U, mesh.Vec3{X: 7.5, Y: 7.5, Z: p.Geom.Height})
+	for c := 0; c < 3; c++ {
+		if math.Abs(top[c]) > 1e-12 {
+			t.Errorf("clamped top moved: %v", top)
+		}
+	}
+}
+
+func TestVMFieldStressConcentration(t *testing.T) {
+	p, r := solveSmall(t, 1, 1, nil)
+	vm := r.VMField(p.Geom, 1, 1, 16, p.DeltaT, 4)
+	if vm.NX != 16 || vm.NY != 16 {
+		t.Fatalf("field shape %d×%d", vm.NX, vm.NY)
+	}
+	// Stress at the via region must dominate the block corner.
+	center := vm.At(8, 8)
+	corner := vm.At(0, 0)
+	if center <= corner {
+		t.Errorf("no stress concentration: center %g corner %g", center, corner)
+	}
+	if vm.Min() < 0 {
+		t.Error("negative von Mises")
+	}
+}
+
+func TestStressScalesLinearlyWithDeltaT(t *testing.T) {
+	geom := mesh.PaperGeometry(15)
+	base := Problem{
+		Geom: geom, Mats: material.DefaultTSVSet(), Res: mesh.CoarseResolution(),
+		Bx: 1, By: 1, BC: ClampedTopBottom, Opt: solver.Options{Tol: 1e-11},
+	}
+	p1 := base
+	p1.DeltaT = -100
+	p2 := base
+	p2.DeltaT = -200
+	r1, err := Solve(&p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Solve(&p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := r1.VMField(geom, 1, 1, 8, p1.DeltaT, 4)
+	v2 := r2.VMField(geom, 1, 1, 8, p2.DeltaT, 4)
+	for i := range v1.V {
+		if math.Abs(v2.V[i]-2*v1.V[i]) > 1e-6*(1+v2.V[i]) {
+			t.Fatalf("stress not linear in ΔT at %d: %g vs 2×%g", i, v2.V[i], v1.V[i])
+		}
+	}
+}
+
+func TestDummyArrayUniformInPlane(t *testing.T) {
+	// An all-dummy (pure silicon) clamped array has an x-y-uniform solution
+	// away from the lateral edges.
+	p, r := solveSmall(t, 3, 3, func(int, int) bool { return true })
+	vm := r.VMField(p.Geom, 3, 3, 8, p.DeltaT, 4)
+	// Compare the center of the middle block with a neighbouring sample.
+	c1 := vm.At(12, 12)
+	c2 := vm.At(13, 12)
+	if math.Abs(c1-c2) > 1e-2*c1 {
+		t.Errorf("homogeneous array mid-plane stress not smooth: %g vs %g", c1, c2)
+	}
+	if c1 <= 0 {
+		t.Error("expected nonzero clamped thermal stress")
+	}
+}
+
+func TestPrescribedBoundaryNeedsFunc(t *testing.T) {
+	p := &Problem{
+		Geom: mesh.PaperGeometry(15), Mats: material.DefaultTSVSet(),
+		Res: mesh.CoarseResolution(), Bx: 1, By: 1, DeltaT: -1,
+		BC: PrescribedBoundary,
+	}
+	if _, err := Solve(p); err == nil {
+		t.Error("expected error for missing BoundaryDisp")
+	}
+}
+
+func TestPrescribedFreeExpansionStressFree(t *testing.T) {
+	// Same invariant as the global-stage test, at the fine-mesh level.
+	geom := mesh.PaperGeometry(15)
+	deltaT := -250.0
+	a := material.Silicon.CTE * deltaT
+	p := &Problem{
+		Geom: geom, Mats: material.DefaultTSVSet(), Res: mesh.CoarseResolution(),
+		Bx: 2, By: 1, IsDummy: func(int, int) bool { return true },
+		DeltaT: deltaT, BC: PrescribedBoundary,
+		BoundaryDisp: func(pt mesh.Vec3) [3]float64 {
+			return [3]float64{a * pt.X, a * pt.Y, a * pt.Z}
+		},
+		Opt: solver.Options{Tol: 1e-12},
+	}
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := r.VMField(geom, 2, 1, 6, deltaT, 4)
+	scale := material.Silicon.ThermalStressCoeff() * math.Abs(deltaT)
+	if vm.Max() > 1e-6*scale {
+		t.Errorf("free expansion not stress free: %g", vm.Max())
+	}
+}

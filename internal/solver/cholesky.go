@@ -1,0 +1,223 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// CholFactor is a sparse Cholesky factorization P·A·Pᵀ = L·Lᵀ of a symmetric
+// positive-definite matrix, using an RCM fill-reducing permutation and an
+// up-looking numeric factorization guided by the elimination tree.
+//
+// The factorization is computed once and can serve many right-hand sides
+// concurrently (Solve is read-only), which is exactly the access pattern of
+// the one-shot local stage: one stiffness matrix, n+1 load vectors.
+type CholFactor struct {
+	n    int
+	perm []int32     // perm[old] = new
+	L    *sparse.CSC // lower-triangular factor, diagonal first in each column
+}
+
+// NewCholesky factorizes the symmetric positive-definite matrix a (full
+// pattern, CSR). It returns an error if a pivot is non-positive, which for a
+// correctly assembled FEM stiffness matrix indicates missing boundary
+// conditions (a floating structure).
+func NewCholesky(a *sparse.CSR) (*CholFactor, error) {
+	if a.NRows != a.NCols {
+		return nil, fmt.Errorf("solver: Cholesky requires a square matrix, got %d×%d", a.NRows, a.NCols)
+	}
+	n := a.NRows
+	perm := RCM(a)
+	ap := a.ToCSC().Permute(perm)
+
+	// Row-of-lower-triangle access: row k of the lower triangle equals
+	// column k of the upper triangle; with full CSC we filter rows <= k.
+	parent := etree(ap)
+
+	// Symbolic pass: column counts of L via ereach.
+	colCount := make([]int32, n)
+	mark := make([]int32, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	stack := make([]int32, n)
+	path := make([]int32, n)
+	for k := 0; k < n; k++ {
+		colCount[k]++ // diagonal
+		top := ereach(ap, int32(k), parent, mark, stack, path)
+		for t := top; t < n; t++ {
+			colCount[stack[t]]++
+		}
+	}
+
+	colPtr := make([]int32, n+1)
+	for j := 0; j < n; j++ {
+		colPtr[j+1] = colPtr[j] + colCount[j]
+	}
+	nnz := int(colPtr[n])
+	rowIdx := make([]int32, nnz)
+	vals := make([]float64, nnz)
+	fill := make([]int32, n) // next free slot per column
+	copy(fill, colPtr[:n])
+
+	// Numeric pass: up-looking, one row of L per step.
+	x := make([]float64, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for k := 0; k < n; k++ {
+		top := ereach(ap, int32(k), parent, mark, stack, path)
+		// Scatter column k of the upper triangle (rows <= k) into x.
+		var d float64
+		for p := ap.ColPtr[k]; p < ap.ColPtr[k+1]; p++ {
+			i := ap.RowIdx[p]
+			if i > int32(k) {
+				continue
+			}
+			if i == int32(k) {
+				d = ap.Vals[p]
+			} else {
+				x[i] = ap.Vals[p]
+			}
+		}
+		// Sparse triangular solve over the pattern, topological order.
+		for t := top; t < n; t++ {
+			j := stack[t]
+			pj := colPtr[j]
+			yj := x[j] / vals[pj] // divide by L[j,j]
+			x[j] = 0
+			for p := pj + 1; p < fill[j]; p++ {
+				x[rowIdx[p]] -= vals[p] * yj
+			}
+			d -= yj * yj
+			// Append L[k,j].
+			rowIdx[fill[j]] = int32(k)
+			vals[fill[j]] = yj
+			fill[j]++
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("solver: matrix not positive definite at pivot %d (d=%g); check boundary conditions", k, d)
+		}
+		// Diagonal is the first entry of column k.
+		rowIdx[fill[k]] = int32(k)
+		vals[fill[k]] = math.Sqrt(d)
+		fill[k]++
+	}
+
+	l := &sparse.CSC{NRows: n, NCols: n, ColPtr: colPtr, RowIdx: rowIdx, Vals: vals}
+	return &CholFactor{n: n, perm: perm, L: l}, nil
+}
+
+// N returns the matrix dimension.
+func (f *CholFactor) N() int { return f.n }
+
+// NNZ returns the number of stored entries in the factor L.
+func (f *CholFactor) NNZ() int { return f.L.NNZ() }
+
+// MemoryBytes estimates the storage footprint of the factor.
+func (f *CholFactor) MemoryBytes() int64 {
+	return int64(len(f.L.ColPtr))*4 + int64(len(f.L.RowIdx))*4 + int64(len(f.L.Vals))*8 + int64(len(f.perm))*4
+}
+
+// Solve returns the solution of A·x = b in a fresh slice. It is safe to call
+// concurrently from multiple goroutines.
+func (f *CholFactor) Solve(b []float64) []float64 {
+	x := make([]float64, f.n)
+	f.SolveInto(x, b)
+	return x
+}
+
+// SolveInto solves A·x = b into dst. dst and b may alias. Safe for
+// concurrent use.
+func (f *CholFactor) SolveInto(dst, b []float64) {
+	if len(b) != f.n || len(dst) != f.n {
+		panic("solver: CholFactor.SolveInto dimension mismatch")
+	}
+	l := f.L
+	x := make([]float64, f.n)
+	for i, p := range f.perm {
+		x[p] = b[i]
+	}
+	// Forward: L·y = Pb, column-oriented; diagonal is the first entry of
+	// each column.
+	for j := 0; j < f.n; j++ {
+		pj := l.ColPtr[j]
+		xj := x[j] / l.Vals[pj]
+		x[j] = xj
+		for p := pj + 1; p < l.ColPtr[j+1]; p++ {
+			x[l.RowIdx[p]] -= l.Vals[p] * xj
+		}
+	}
+	// Backward: Lᵀ·z = y, row-oriented over columns of L.
+	for j := f.n - 1; j >= 0; j-- {
+		pj := l.ColPtr[j]
+		s := x[j]
+		for p := pj + 1; p < l.ColPtr[j+1]; p++ {
+			s -= l.Vals[p] * x[l.RowIdx[p]]
+		}
+		x[j] = s / l.Vals[pj]
+	}
+	for i, p := range f.perm {
+		dst[i] = x[p]
+	}
+}
+
+// etree computes the elimination tree of the symmetric matrix given in full
+// CSC form, using path compression (Liu's algorithm).
+func etree(a *sparse.CSC) []int32 {
+	n := a.NCols
+	parent := make([]int32, n)
+	ancestor := make([]int32, n)
+	for k := 0; k < n; k++ {
+		parent[k] = -1
+		ancestor[k] = -1
+		for p := a.ColPtr[k]; p < a.ColPtr[k+1]; p++ {
+			i := a.RowIdx[p]
+			if i >= int32(k) {
+				continue
+			}
+			for i != -1 && i != int32(k) {
+				next := ancestor[i]
+				ancestor[i] = int32(k)
+				if next == -1 {
+					parent[i] = int32(k)
+					break
+				}
+				i = next
+			}
+		}
+	}
+	return parent
+}
+
+// ereach computes the nonzero pattern of row k of L: stack[top..n-1] holds
+// the column indices in topological etree order. mark is a stamp array
+// (stamped with k), path is scratch.
+func ereach(a *sparse.CSC, k int32, parent []int32, mark, stack, path []int32) int {
+	n := int32(a.NCols)
+	top := n
+	mark[k] = k
+	for p := a.ColPtr[k]; p < a.ColPtr[k+1]; p++ {
+		i := a.RowIdx[p]
+		if i >= k {
+			continue
+		}
+		// Climb the etree from i until a stamped node, recording the path.
+		var plen int32
+		for mark[i] != k {
+			path[plen] = i
+			plen++
+			mark[i] = k
+			i = parent[i]
+		}
+		// Push the path so that stack[top..] stays topological.
+		for plen > 0 {
+			plen--
+			top--
+			stack[top] = path[plen]
+		}
+	}
+	return int(top)
+}

@@ -1,0 +1,274 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/sparse"
+)
+
+// Stats reports the outcome of an iterative solve.
+type Stats struct {
+	Iterations int
+	Residual   float64 // final relative residual ‖b−Ax‖/‖b‖
+	Converged  bool
+}
+
+// Options configures the iterative solvers.
+type Options struct {
+	// Tol is the relative residual tolerance (default 1e-8).
+	Tol float64
+	// MaxIter bounds the iteration count (default 10·n).
+	MaxIter int
+	// Restart is the GMRES restart length m (default 60).
+	Restart int
+	// Workers is the number of goroutines for matrix-vector products
+	// (default 1).
+	Workers int
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 10 * n
+	}
+	if o.Restart <= 0 {
+		o.Restart = 60
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	return o
+}
+
+// jacobi builds the inverse-diagonal preconditioner of a, falling back to 1
+// for zero diagonal entries (which cannot occur on an SPD matrix but keeps
+// the solver total).
+func jacobi(a *sparse.CSR) []float64 {
+	d := a.Diag()
+	for i, v := range d {
+		if v != 0 {
+			d[i] = 1 / v
+		} else {
+			d[i] = 1
+		}
+	}
+	return d
+}
+
+// CG solves the symmetric positive-definite system a·x = b with a
+// Jacobi-preconditioned conjugate-gradient iteration. x0 may be nil.
+func CG(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error) {
+	n := a.NRows
+	if a.NCols != n || len(b) != n {
+		return nil, Stats{}, fmt.Errorf("solver: CG dimension mismatch: matrix %d×%d, b %d", a.NRows, a.NCols, len(b))
+	}
+	opt = opt.withDefaults(n)
+	minv := jacobi(a)
+
+	x := make([]float64, n)
+	if x0 != nil {
+		copy(x, x0)
+	}
+	r := make([]float64, n)
+	ax := make([]float64, n)
+	a.MulVecPar(ax, x, opt.Workers)
+	linalg.Sub(r, b, ax)
+
+	bnorm := linalg.Norm2(b)
+	if bnorm == 0 {
+		return x, Stats{Converged: true}, nil
+	}
+
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = minv[i] * r[i]
+	}
+	p := linalg.Copy(z)
+	rz := linalg.Dot(r, z)
+	ap := make([]float64, n)
+
+	var it int
+	for it = 0; it < opt.MaxIter; it++ {
+		res := linalg.Norm2(r) / bnorm
+		if res <= opt.Tol {
+			return x, Stats{Iterations: it, Residual: res, Converged: true}, nil
+		}
+		a.MulVecPar(ap, p, opt.Workers)
+		pap := linalg.Dot(p, ap)
+		if pap <= 0 {
+			return x, Stats{Iterations: it, Residual: res}, fmt.Errorf("solver: CG breakdown, pᵀAp=%g (matrix not SPD?)", pap)
+		}
+		alpha := rz / pap
+		linalg.Axpy(alpha, p, x)
+		linalg.Axpy(-alpha, ap, r)
+		for i := range z {
+			z[i] = minv[i] * r[i]
+		}
+		rzNew := linalg.Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	res := linalg.Norm2(r) / bnorm
+	return x, Stats{Iterations: it, Residual: res}, fmt.Errorf("solver: CG did not converge in %d iterations (residual %g)", it, res)
+}
+
+// GMRES solves a·x = b with Jacobi-preconditioned restarted GMRES(m) using
+// modified Gram–Schmidt orthogonalization and Givens rotations. This is the
+// global-stage solver recommended by the paper (§4.3). x0 may be nil.
+func GMRES(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error) {
+	return GMRESP(a, b, x0, PrecondJacobi, opt)
+}
+
+// GMRESP is GMRES with a caller-selected left preconditioner.
+func GMRESP(a *sparse.CSR, b, x0 []float64, kind PrecondKind, opt Options) ([]float64, Stats, error) {
+	n := a.NRows
+	if a.NCols != n || len(b) != n {
+		return nil, Stats{}, fmt.Errorf("solver: GMRES dimension mismatch: matrix %d×%d, b %d", a.NRows, a.NCols, len(b))
+	}
+	opt = opt.withDefaults(n)
+	m := opt.Restart
+	if m > n {
+		m = n
+	}
+	pre, err := NewPreconditioner(kind, a)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	x := make([]float64, n)
+	if x0 != nil {
+		copy(x, x0)
+	}
+	bnorm := linalg.Norm2(b)
+	if bnorm == 0 {
+		return x, Stats{Converged: true}, nil
+	}
+
+	// Krylov basis (m+1 vectors) and Hessenberg in Givens-reduced form.
+	v := make([][]float64, m+1)
+	for i := range v {
+		v[i] = make([]float64, n)
+	}
+	h := linalg.NewDense(m+1, m)
+	cs := make([]float64, m)
+	sn := make([]float64, m)
+	g := make([]float64, m+1)
+	w := make([]float64, n)
+	pw := make([]float64, n)
+	r := make([]float64, n)
+	pr := make([]float64, n)
+
+	totalIt := 0
+	for totalIt < opt.MaxIter {
+		// r = M⁻¹(b − A·x)
+		a.MulVecPar(w, x, opt.Workers)
+		linalg.Sub(r, b, w)
+		pre.Apply(pr, r)
+		copy(r, pr)
+		beta := linalg.Norm2(r)
+		// Convergence check on the true (unpreconditioned) residual.
+		trueRes := trueResidual(a, b, x, w, opt.Workers) / bnorm
+		if trueRes <= opt.Tol {
+			return x, Stats{Iterations: totalIt, Residual: trueRes, Converged: true}, nil
+		}
+		if beta == 0 {
+			return x, Stats{Iterations: totalIt, Residual: trueRes, Converged: trueRes <= opt.Tol}, nil
+		}
+		for i := range v[0] {
+			v[0][i] = r[i] / beta
+		}
+		linalg.Zero(g)
+		g[0] = beta
+
+		var k int
+		for k = 0; k < m && totalIt < opt.MaxIter; k++ {
+			totalIt++
+			// w = M⁻¹·A·v[k]
+			a.MulVecPar(pw, v[k], opt.Workers)
+			pre.Apply(w, pw)
+			// Modified Gram–Schmidt.
+			for j := 0; j <= k; j++ {
+				hjk := linalg.Dot(w, v[j])
+				h.Set(j, k, hjk)
+				linalg.Axpy(-hjk, v[j], w)
+			}
+			hn := linalg.Norm2(w)
+			h.Set(k+1, k, hn)
+			if hn > 0 {
+				for i := range v[k+1] {
+					v[k+1][i] = w[i] / hn
+				}
+			}
+			// Apply accumulated Givens rotations to the new column.
+			for j := 0; j < k; j++ {
+				t1 := cs[j]*h.At(j, k) + sn[j]*h.At(j+1, k)
+				t2 := -sn[j]*h.At(j, k) + cs[j]*h.At(j+1, k)
+				h.Set(j, k, t1)
+				h.Set(j+1, k, t2)
+			}
+			// New rotation annihilating h[k+1,k].
+			c, s := givens(h.At(k, k), h.At(k+1, k))
+			cs[k], sn[k] = c, s
+			h.Set(k, k, c*h.At(k, k)+s*h.At(k+1, k))
+			h.Set(k+1, k, 0)
+			g[k+1] = -s * g[k]
+			g[k] = c * g[k]
+			if math.Abs(g[k+1])/bnorm <= opt.Tol/10 || hn == 0 {
+				k++
+				break
+			}
+		}
+		// Solve the k×k triangular system and update x.
+		y := make([]float64, k)
+		for i := k - 1; i >= 0; i-- {
+			s := g[i]
+			for j := i + 1; j < k; j++ {
+				s -= h.At(i, j) * y[j]
+			}
+			y[i] = s / h.At(i, i)
+		}
+		for j := 0; j < k; j++ {
+			linalg.Axpy(y[j], v[j], x)
+		}
+	}
+	a.MulVecPar(w, x, opt.Workers)
+	linalg.Sub(r, b, w)
+	res := linalg.Norm2(r) / bnorm
+	if res <= opt.Tol {
+		return x, Stats{Iterations: totalIt, Residual: res, Converged: true}, nil
+	}
+	return x, Stats{Iterations: totalIt, Residual: res}, fmt.Errorf("solver: GMRES did not converge in %d iterations (residual %g)", totalIt, res)
+}
+
+// trueResidual computes ‖b − A·x‖ using w as scratch.
+func trueResidual(a *sparse.CSR, b, x, w []float64, workers int) float64 {
+	a.MulVecPar(w, x, workers)
+	var s float64
+	for i := range b {
+		d := b[i] - w[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// givens returns the rotation (c, s) with c·a + s·b = r, −s·a + c·b = 0.
+func givens(a, b float64) (c, s float64) {
+	if b == 0 {
+		return 1, 0
+	}
+	if math.Abs(b) > math.Abs(a) {
+		t := a / b
+		s = 1 / math.Sqrt(1+t*t)
+		return s * t, s
+	}
+	t := b / a
+	c = 1 / math.Sqrt(1+t*t)
+	return c, c * t
+}

@@ -1,0 +1,194 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// elasticity3 builds a 3-DoF-per-node SPD test matrix: the 7-point Laplacian
+// pattern expanded to 3×3 node blocks with intra-node coupling — a stand-in
+// for an elasticity stiffness matrix.
+func elasticity3(nx, ny, nz int) *sparse.CSR {
+	lap := laplacian3D(nx, ny, nz)
+	n := lap.NRows
+	tr := sparse.NewTriplet(3*n, 3*n, lap.NNZ()*9)
+	for r := 0; r < n; r++ {
+		for p := lap.RowPtr[r]; p < lap.RowPtr[r+1]; p++ {
+			c := int(lap.ColIdx[p])
+			v := lap.Vals[p]
+			for i := 0; i < 3; i++ {
+				tr.Add(3*r+i, 3*c+i, v*2)
+				if r == c {
+					// Intra-node coupling (symmetric, diagonally dominated).
+					tr.Add(3*r+i, 3*c+(i+1)%3, 0.4)
+					tr.Add(3*r+(i+1)%3, 3*c+i, 0.4)
+				}
+			}
+		}
+	}
+	return tr.ToCSR()
+}
+
+func TestInvert3(t *testing.T) {
+	m := []float64{4, 1, 0, 1, 5, 2, 0, 2, 6}
+	inv := make([]float64, 9)
+	if err := invert3(m, inv); err != nil {
+		t.Fatal(err)
+	}
+	// m · inv = I.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			var s float64
+			for k := 0; k < 3; k++ {
+				s += m[3*i+k] * inv[3*k+j]
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(s-want) > 1e-12 {
+				t.Fatalf("(m·inv)[%d][%d] = %g", i, j, s)
+			}
+		}
+	}
+	if err := invert3(make([]float64, 9), inv); err == nil {
+		t.Error("expected error for singular block")
+	}
+}
+
+func TestPreconditionersSolveSameSystem(t *testing.T) {
+	a := elasticity3(6, 5, 4)
+	rng := rand.New(rand.NewSource(11))
+	want := randVec(rng, a.NRows)
+	b := make([]float64, a.NRows)
+	a.MulVec(b, want)
+
+	for _, kind := range []PrecondKind{PrecondNone, PrecondJacobi, PrecondBlockJacobi3, PrecondIC0} {
+		x, stats, err := PCG(a, b, nil, kind, Options{Tol: 1e-10})
+		if err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+		if !stats.Converged {
+			t.Fatalf("kind %d did not converge", kind)
+		}
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-7*(1+math.Abs(want[i])) {
+				t.Fatalf("kind %d: mismatch at %d", kind, i)
+			}
+		}
+	}
+}
+
+func TestIC0ReducesIterations(t *testing.T) {
+	a := elasticity3(8, 8, 6)
+	rng := rand.New(rand.NewSource(12))
+	b := randVec(rng, a.NRows)
+	_, sJac, err := PCG(a, b, nil, PrecondJacobi, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sIC, err := PCG(a, b, nil, PrecondIC0, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Jacobi %d iterations, IC0 %d iterations", sJac.Iterations, sIC.Iterations)
+	if sIC.Iterations >= sJac.Iterations {
+		t.Errorf("IC0 (%d) should beat Jacobi (%d)", sIC.Iterations, sJac.Iterations)
+	}
+}
+
+func TestBlockJacobiBeatsJacobiOnCoupledSystem(t *testing.T) {
+	a := elasticity3(8, 8, 4)
+	rng := rand.New(rand.NewSource(13))
+	b := randVec(rng, a.NRows)
+	_, sJac, err := PCG(a, b, nil, PrecondJacobi, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sBlk, err := PCG(a, b, nil, PrecondBlockJacobi3, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Jacobi %d, block-Jacobi %d iterations", sJac.Iterations, sBlk.Iterations)
+	if sBlk.Iterations > sJac.Iterations {
+		t.Errorf("block-Jacobi (%d) should not lose to Jacobi (%d) with intra-node coupling",
+			sBlk.Iterations, sJac.Iterations)
+	}
+}
+
+func TestBlockJacobiRequiresMultipleOf3(t *testing.T) {
+	tr := sparse.NewTriplet(4, 4, 4)
+	for i := 0; i < 4; i++ {
+		tr.Add(i, i, 1)
+	}
+	if _, err := NewPreconditioner(PrecondBlockJacobi3, tr.ToCSR()); err == nil {
+		t.Error("expected error for n not divisible by 3")
+	}
+}
+
+func TestBlockJacobiHandlesIdentityRows(t *testing.T) {
+	// Identity rows (inactive nodes) make a singular off-diagonal pattern;
+	// the fallback must still produce a usable preconditioner.
+	tr := sparse.NewTriplet(6, 6, 12)
+	for i := 0; i < 3; i++ {
+		tr.Add(i, i, 1) // identity block
+	}
+	tr.Add(3, 3, 4)
+	tr.Add(4, 4, 5)
+	tr.Add(5, 5, 6)
+	tr.Add(3, 4, 1)
+	tr.Add(4, 3, 1)
+	a := tr.ToCSR()
+	b := []float64{1, 2, 3, 4, 5, 6}
+	x, stats, err := PCG(a, b, nil, PrecondBlockJacobi3, Options{Tol: 1e-12})
+	if err != nil || !stats.Converged {
+		t.Fatalf("solve failed: %v %v", stats, err)
+	}
+	if math.Abs(x[0]-1) > 1e-10 || math.Abs(x[1]-2) > 1e-10 {
+		t.Error("identity block solved wrong")
+	}
+}
+
+func TestIC0ExactOnDiagonal(t *testing.T) {
+	// On a diagonal matrix IC0 is exact: one iteration to converge.
+	tr := sparse.NewTriplet(5, 5, 5)
+	for i := 0; i < 5; i++ {
+		tr.Add(i, i, float64(i+1))
+	}
+	a := tr.ToCSR()
+	b := []float64{1, 1, 1, 1, 1}
+	_, stats, err := PCG(a, b, nil, PrecondIC0, Options{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Iterations > 1 {
+		t.Errorf("IC0 on diagonal matrix took %d iterations", stats.Iterations)
+	}
+}
+
+func TestIC0MatchesFullCholeskyOnTridiagonal(t *testing.T) {
+	// A tridiagonal SPD matrix has no fill, so IC0 equals the exact
+	// factorization and PCG converges in one iteration.
+	n := 40
+	tr := sparse.NewTriplet(n, n, 3*n)
+	for i := 0; i < n; i++ {
+		tr.Add(i, i, 2.5)
+		if i > 0 {
+			tr.Add(i, i-1, -1)
+			tr.Add(i-1, i, -1)
+		}
+	}
+	a := tr.ToCSR()
+	rng := rand.New(rand.NewSource(14))
+	b := randVec(rng, n)
+	_, stats, err := PCG(a, b, nil, PrecondIC0, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Iterations > 2 {
+		t.Errorf("IC0 on tridiagonal took %d iterations, want <= 2", stats.Iterations)
+	}
+}

@@ -1,0 +1,81 @@
+// Package solver provides the linear solvers of the MORE-Stress pipeline: a
+// reverse Cuthill–McKee fill-reducing ordering, a sparse Cholesky
+// factorization for the one-shot local stage (one factorization, many
+// right-hand sides), and Jacobi-preconditioned CG and restarted GMRES
+// iterative solvers for the reference FEM and the global stage.
+package solver
+
+import (
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// RCM computes a reverse Cuthill–McKee ordering of the symmetric sparsity
+// pattern of m, returning perm with perm[old] = new. The ordering reduces
+// matrix bandwidth/profile, which shrinks Cholesky fill dramatically on the
+// structured meshes used here. Disconnected components are handled by
+// restarting from the minimum-degree unvisited node.
+func RCM(m *sparse.CSR) []int32 {
+	n := m.NRows
+	deg := make([]int32, n)
+	for r := 0; r < n; r++ {
+		deg[r] = m.RowPtr[r+1] - m.RowPtr[r]
+	}
+	visited := make([]bool, n)
+	order := make([]int32, 0, n)
+	queue := make([]int32, 0, n)
+	neigh := make([]int32, 0, 64)
+
+	for len(order) < n {
+		// Seed: minimum-degree unvisited node.
+		seed := int32(-1)
+		for v := 0; v < n; v++ {
+			if !visited[v] && (seed < 0 || deg[v] < deg[seed]) {
+				seed = int32(v)
+			}
+		}
+		visited[seed] = true
+		queue = append(queue[:0], seed)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			neigh = neigh[:0]
+			for p := m.RowPtr[v]; p < m.RowPtr[v+1]; p++ {
+				w := m.ColIdx[p]
+				if !visited[w] {
+					visited[w] = true
+					neigh = append(neigh, w)
+				}
+			}
+			sort.Slice(neigh, func(i, j int) bool { return deg[neigh[i]] < deg[neigh[j]] })
+			queue = append(queue, neigh...)
+		}
+	}
+
+	// Reverse the order and invert to perm[old] = new.
+	perm := make([]int32, n)
+	for i, v := range order {
+		perm[v] = int32(n - 1 - i)
+	}
+	return perm
+}
+
+// Bandwidth returns the maximum |r - c| over stored entries, a cheap quality
+// metric for orderings.
+func Bandwidth(m *sparse.CSR) int {
+	var bw int32
+	for r := 0; r < m.NRows; r++ {
+		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+			d := int32(r) - m.ColIdx[p]
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return int(bw)
+}

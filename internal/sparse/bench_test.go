@@ -1,0 +1,70 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchCSR(n, nnzPerRow int) *CSR {
+	rng := rand.New(rand.NewSource(1))
+	t := NewTriplet(n, n, n*nnzPerRow)
+	for r := 0; r < n; r++ {
+		for k := 0; k < nnzPerRow; k++ {
+			t.Add(r, rng.Intn(n), rng.NormFloat64())
+		}
+	}
+	return t.ToCSR()
+}
+
+func BenchmarkSpMVSerial(b *testing.B) {
+	m := benchCSR(100000, 27)
+	x := make([]float64, m.NCols)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	dst := make([]float64, m.NRows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(dst, x)
+	}
+}
+
+func BenchmarkSpMVParallel(b *testing.B) {
+	m := benchCSR(100000, 27)
+	x := make([]float64, m.NCols)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	dst := make([]float64, m.NRows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVecPar(dst, x, 8)
+	}
+}
+
+func BenchmarkTripletToCSR(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	const n, e = 50000, 500000
+	rows := make([]int, e)
+	cols := make([]int, e)
+	vals := make([]float64, e)
+	for i := 0; i < e; i++ {
+		rows[i], cols[i], vals[i] = rng.Intn(n), rng.Intn(n), rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := NewTriplet(n, n, e)
+		for j := 0; j < e; j++ {
+			t.Add(rows[j], cols[j], vals[j])
+		}
+		_ = t.ToCSR()
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	m := benchCSR(50000, 27)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Transpose()
+	}
+}

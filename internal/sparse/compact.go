@@ -1,0 +1,58 @@
+package sparse
+
+import "sort"
+
+// CompactRows sorts the column indices within each row and sums duplicate
+// entries, returning the compacted matrix. Rows are processed in parallel;
+// this is the finishing step of scatter-style assemblies that append
+// unordered duplicated entries row by row.
+func (m *CSR) CompactRows(workers int) *CSR {
+	n := m.NRows
+	newLen := make([]int32, n)
+	type pair struct {
+		c int32
+		v float64
+	}
+	parallelRows(n, workers, func(lo, hi int) {
+		var buf []pair
+		for r := lo; r < hi; r++ {
+			start, end := m.RowPtr[r], m.RowPtr[r+1]
+			buf = buf[:0]
+			for p := start; p < end; p++ {
+				buf = append(buf, pair{m.ColIdx[p], m.Vals[p]})
+			}
+			sort.Slice(buf, func(i, j int) bool { return buf[i].c < buf[j].c })
+			// Merge duplicates in place back into the row segment.
+			w := start
+			for i := 0; i < len(buf); {
+				c := buf[i].c
+				v := buf[i].v
+				for i++; i < len(buf) && buf[i].c == c; i++ {
+					v += buf[i].v
+				}
+				m.ColIdx[w] = c
+				m.Vals[w] = v
+				w++
+			}
+			newLen[r] = w - start
+		}
+	})
+	// Compact the row segments into fresh arrays.
+	outPtr := make([]int32, n+1)
+	for r := 0; r < n; r++ {
+		outPtr[r+1] = outPtr[r] + newLen[r]
+	}
+	nnz := int(outPtr[n])
+	outCol := make([]int32, nnz)
+	outVal := make([]float64, nnz)
+	parallelRows(n, workers, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			src := m.RowPtr[r]
+			dst := outPtr[r]
+			ln := newLen[r]
+			copy(outCol[dst:dst+ln], m.ColIdx[src:src+ln])
+			copy(outVal[dst:dst+ln], m.Vals[src:src+ln])
+		}
+	})
+	return &CSR{NRows: m.NRows, NCols: m.NCols, RowPtr: outPtr, ColIdx: outCol, Vals: outVal}
+}

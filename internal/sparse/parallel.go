@@ -1,0 +1,33 @@
+package sparse
+
+import "sync"
+
+// parallelRows splits [0, n) into nworkers contiguous chunks and runs fn on
+// each concurrently, waiting for completion.
+func parallelRows(n, nworkers int, fn func(lo, hi int)) {
+	if nworkers > n {
+		nworkers = n
+	}
+	if nworkers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + nworkers - 1) / nworkers
+	for w := 0; w < nworkers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

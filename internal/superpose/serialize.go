@@ -1,0 +1,47 @@
+package superpose
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/mesh"
+)
+
+// kernelWire is the gob wire format of a Kernel.
+type kernelWire struct {
+	Geom      mesh.TSVGeometry
+	R, GS     int
+	Dev       [][6]float64
+	Bg        [6]float64
+	BuildTime time.Duration
+}
+
+// Save writes the kernel in gob format so the baseline's one-shot stage can
+// be reused across runs, mirroring the ROM's persistence.
+func (k *Kernel) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(&kernelWire{
+		Geom: k.Geom, R: k.R, GS: k.GS,
+		Dev: k.Dev, Bg: k.Bg, BuildTime: k.BuildTime,
+	})
+}
+
+// LoadKernel reads a kernel previously written by Save.
+func LoadKernel(r io.Reader) (*Kernel, error) {
+	var wire kernelWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("superpose: decode: %w", err)
+	}
+	if wire.R < 1 || wire.GS < 1 {
+		return nil, fmt.Errorf("superpose: corrupt kernel (R=%d, GS=%d)", wire.R, wire.GS)
+	}
+	ext := (2*wire.R + 1) * wire.GS
+	if len(wire.Dev) != ext*ext {
+		return nil, fmt.Errorf("superpose: kernel field has %d samples, want %d", len(wire.Dev), ext*ext)
+	}
+	return &Kernel{
+		Geom: wire.Geom, R: wire.R, GS: wire.GS,
+		Dev: wire.Dev, Bg: wire.Bg, BuildTime: wire.BuildTime,
+	}, nil
+}

@@ -1,0 +1,199 @@
+package superpose
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/field"
+	"repro/internal/material"
+	"repro/internal/mesh"
+	"repro/internal/reffem"
+	"repro/internal/rom"
+	"repro/internal/solver"
+)
+
+func buildTestKernel(t *testing.T, gs int) *Kernel {
+	t.Helper()
+	k, err := BuildKernel(mesh.PaperGeometry(15), material.DefaultTSVSet(),
+		mesh.CoarseResolution(), 1, gs, solver.Options{Tol: 1e-9}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestBuildKernelRejectsBadRadius(t *testing.T) {
+	if _, err := BuildKernel(mesh.PaperGeometry(15), material.DefaultTSVSet(),
+		mesh.CoarseResolution(), 0, 4, solver.Options{}, 1); err == nil {
+		t.Error("expected error for radius 0")
+	}
+}
+
+func TestKernelDeviationDecays(t *testing.T) {
+	k := buildTestKernel(t, 10)
+	ext := (2*k.R + 1) * k.GS
+	// Deviation magnitude at the via center must dominate the neighborhood
+	// corner (far field).
+	mid := k.Dev[(ext/2)*ext+ext/2]
+	corner := k.Dev[0]
+	var mMid, mCorner float64
+	for c := 0; c < 6; c++ {
+		mMid += mid[c] * mid[c]
+		mCorner += corner[c] * corner[c]
+	}
+	if mMid <= 4*mCorner {
+		t.Errorf("kernel does not decay: center %g corner %g", math.Sqrt(mMid), math.Sqrt(mCorner))
+	}
+}
+
+func TestEstimateMatchesSingleTSVExactly(t *testing.T) {
+	// Estimating the very configuration the kernel was built from (one TSV
+	// centered in a (2R+1)² neighbourhood) must reproduce the reference
+	// solve up to solver tolerance: superposition is exact for one TSV.
+	k := buildTestKernel(t, 10)
+	nb := 2*k.R + 1
+	ref, err := reffem.Solve(&reffem.Problem{
+		Geom: k.Geom, Mats: material.DefaultTSVSet(), Res: mesh.CoarseResolution(),
+		Bx: nb, By: nb,
+		IsDummy: func(bx, by int) bool { return bx != k.R || by != k.R },
+		DeltaT:  -250, BC: reffem.ClampedTopBottom,
+		Opt: solver.Options{Tol: 1e-10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.VMField(k.Geom, nb, nb, k.GS, -250, 8)
+	got := k.EstimateArray(nb, nb, func(bx, by int) bool { return bx == k.R && by == k.R },
+		-250, k.GS, nil, 8)
+	nmae := field.NormalizedMAE(got, want)
+	t.Logf("single-TSV normalized MAE = %.4f%%", 100*nmae)
+	// Edge effects differ slightly (kernel background is the no-TSV field,
+	// uniform Bg is used here), so allow a few percent.
+	if nmae > 0.05 {
+		t.Errorf("single-TSV estimate off by %.4f", nmae)
+	}
+}
+
+// TestSuperpositionWorseThanROM reproduces the paper's core accuracy claims
+// at test scale: the linear superposition error substantially exceeds the
+// MORE-Stress error on the same array, and superposition degrades when the
+// pitch shrinks (TSV coupling it cannot capture) while MORE-Stress stays
+// accurate.
+func TestSuperpositionWorseThanROM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison suite is slow")
+	}
+	const bx, by = 3, 3
+	const deltaT = -250.0
+	const gs = 10
+	res := mesh.CoarseResolution()
+	mats := material.DefaultTSVSet()
+
+	var supErrs, romErrs []float64
+	for _, pitch := range []float64{15, 10} {
+		geom := mesh.PaperGeometry(pitch)
+		ref, err := reffem.Solve(&reffem.Problem{
+			Geom: geom, Mats: mats, Res: res, Bx: bx, By: by,
+			DeltaT: deltaT, BC: reffem.ClampedTopBottom,
+			Opt: solver.Options{Tol: 1e-10},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.VMField(geom, bx, by, gs, deltaT, 8)
+
+		k, err := BuildKernel(geom, mats, res, 1, gs, solver.Options{Tol: 1e-9}, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sup := k.EstimateArray(bx, by, nil, deltaT, gs, nil, 8)
+		supErr := field.NormalizedMAE(sup, want)
+
+		spec := rom.PaperSpec(pitch, res)
+		spec.Nodes = [3]int{5, 5, 5}
+		r, err := rom.Build(spec, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := array.Solve(&array.Problem{
+			ROM: r, Bx: bx, By: by, DeltaT: deltaT,
+			BC: array.ClampedTopBottom, Opt: solver.Options{Tol: 1e-10},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		romErr := field.NormalizedMAE(sol.VMField(gs, 8), want)
+
+		t.Logf("pitch %g: superposition %.3f%%, MORE-Stress %.3f%%", pitch, 100*supErr, 100*romErr)
+		if supErr <= 2*romErr {
+			t.Errorf("pitch %g: superposition (%.4f) should be much less accurate than MORE-Stress (%.4f)",
+				pitch, supErr, romErr)
+		}
+		supErrs = append(supErrs, supErr)
+		romErrs = append(romErrs, romErr)
+	}
+	// Smaller pitch hurts superposition (stronger neglected coupling).
+	if supErrs[1] <= supErrs[0] {
+		t.Errorf("superposition error should grow when pitch shrinks: %v", supErrs)
+	}
+	// MORE-Stress stays in the sub-percent regime at both pitches.
+	for i, e := range romErrs {
+		if e > 0.02 {
+			t.Errorf("MORE-Stress error %g too large (case %d)", e, i)
+		}
+	}
+}
+
+func TestEstimatePanicsOnGridMismatch(t *testing.T) {
+	k := &Kernel{GS: 8}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	k.EstimateArray(1, 1, nil, -1, 4, nil, 1)
+}
+
+func TestEstimateWithBackgroundField(t *testing.T) {
+	k := buildTestKernel(t, 6)
+	// A spatially varying background should show through where no TSV is
+	// near.
+	bg := func(x, y float64) [6]float64 {
+		return [6]float64{100 + x, 0, 0, 0, 0, 0}
+	}
+	got := k.EstimateArray(2, 2, func(bx, by int) bool { return false }, -250, 6, bg, 4)
+	// vM of uniaxial σxx = |σxx| = 100+x, increasing in x.
+	if !(got.At(11, 0) > got.At(0, 0)) {
+		t.Error("background gradient lost")
+	}
+}
+
+func TestKernelSaveLoadRoundTrip(t *testing.T) {
+	k := buildTestKernel(t, 6)
+	var buf bytes.Buffer
+	if err := k.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	k2, err := LoadKernel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2.R != k.R || k2.GS != k.GS || k2.Geom != k.Geom {
+		t.Fatal("kernel metadata lost")
+	}
+	a := k.EstimateArray(2, 2, nil, -250, 6, nil, 2)
+	b := k2.EstimateArray(2, 2, nil, -250, 6, nil, 2)
+	for i := range a.V {
+		if a.V[i] != b.V[i] {
+			t.Fatal("estimates differ after round trip")
+		}
+	}
+}
+
+func TestLoadKernelRejectsGarbage(t *testing.T) {
+	if _, err := LoadKernel(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("expected decode error")
+	}
+}

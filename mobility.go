@@ -1,0 +1,46 @@
+package morestress
+
+import (
+	"repro/internal/mobility"
+)
+
+// Mobility / keep-out-zone analysis: the downstream use of TSV stress maps
+// in the paper's motivating references (stress-aware mobility and KOZ,
+// [Jung DAC'12/CACM'14]).
+type (
+	// Carrier selects NMOS or PMOS piezoresistance.
+	Carrier = mobility.Carrier
+	// PiezoCoefficients holds piezoresistance coefficients (1/MPa).
+	PiezoCoefficients = mobility.Coefficients
+	// KOZResult reports a keep-out-zone analysis.
+	KOZResult = mobility.KOZResult
+)
+
+// Carrier kinds.
+const (
+	NMOS = mobility.NMOS
+	PMOS = mobility.PMOS
+)
+
+// StandardPiezo returns the standard (001)/<110> silicon piezoresistance
+// coefficients for the carrier.
+func StandardPiezo(c Carrier) PiezoCoefficients { return mobility.StandardCoefficients(c) }
+
+// MobilityShiftField samples the worst-orientation mobility shift Δµ/µ on
+// the mid-plane over block (row, col) of a solved array with gs×gs points.
+func (r *ArrayResult) MobilityShiftField(row, col, gs int, coeff PiezoCoefficients) *Field {
+	pitch := r.Solution.Prob.ROM.Spec.Geom.Pitch
+	zMid := r.Solution.Prob.ROM.Spec.Geom.Height / 2
+	return mobility.ShiftField(gs, gs, coeff, func(ix, iy int) [6]float64 {
+		x := float64(col)*pitch + (float64(ix)+0.5)*pitch/float64(gs)
+		y := float64(row)*pitch + (float64(iy)+0.5)*pitch/float64(gs)
+		return r.StressAt(Vec3{X: x, Y: y, Z: zMid})
+	})
+}
+
+// KOZ computes the keep-out radius of block (row, col): the largest radius
+// around the via where |Δµ/µ| exceeds the threshold.
+func (r *ArrayResult) KOZ(row, col, gs int, coeff PiezoCoefficients, threshold float64) KOZResult {
+	shift := r.MobilityShiftField(row, col, gs, coeff)
+	return mobility.KOZ(shift, r.Solution.Prob.ROM.Spec.Geom.Pitch, threshold)
+}

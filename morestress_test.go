@@ -1,0 +1,228 @@
+package morestress
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+// testConfig returns a cheap configuration for unit tests.
+func testConfig(pitch float64) Config {
+	cfg := DefaultConfig(pitch)
+	cfg.Resolution = mesh.CoarseResolution()
+	cfg.Nodes = [3]int{4, 4, 4}
+	return cfg
+}
+
+func TestBuildModelAndSolveArray(t *testing.T) {
+	m, err := BuildModel(testConfig(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ElementDoFs() != 168 {
+		t.Errorf("element DoFs %d, want 168", m.ElementDoFs())
+	}
+	res, err := m.SolveArray(ArraySpec{
+		Rows: 2, Cols: 3, DeltaT: -250, GridSamples: 10,
+		Options: SolverOptions{Tol: 1e-9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Converged {
+		t.Error("global solve did not converge")
+	}
+	if res.VM.NX != 30 || res.VM.NY != 20 {
+		t.Errorf("field shape %d×%d", res.VM.NX, res.VM.NY)
+	}
+	if res.VM.Max() <= 0 {
+		t.Error("expected positive von Mises stress")
+	}
+	if res.GlobalTime <= 0 {
+		t.Error("missing timing")
+	}
+}
+
+func TestSolveArrayNoSampling(t *testing.T) {
+	m, err := BuildModel(testConfig(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.SolveArray(ArraySpec{Rows: 1, Cols: 1, DeltaT: -100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VM != nil {
+		t.Error("expected nil field when GridSamples is 0")
+	}
+}
+
+func TestSolveArrayCGMatchesGMRES(t *testing.T) {
+	m, err := BuildModel(testConfig(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := ArraySpec{Rows: 2, Cols: 2, DeltaT: -250, GridSamples: 8,
+		Options: SolverOptions{Tol: 1e-11}}
+	a, err := m.SolveArray(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.UseCG = true
+	b, err := m.SolveArray(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MAE(a.VM, b.VM); d > 1e-6*a.VM.Max() {
+		t.Errorf("CG and GMRES fields differ: MAE %g", d)
+	}
+}
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	m, err := BuildModelWithDummy(testConfig(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Dummy == nil {
+		t.Fatal("dummy ROM lost in round trip")
+	}
+	if m2.Config.Nodes != m.Config.Nodes || m2.Config.Geometry != m.Config.Geometry {
+		t.Error("config not restored")
+	}
+	r1, err := m.SolveArray(ArraySpec{Rows: 1, Cols: 2, DeltaT: -250, GridSamples: 6,
+		Options: SolverOptions{Tol: 1e-10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m2.SolveArray(ArraySpec{Rows: 1, Cols: 2, DeltaT: -250, GridSamples: 6,
+		Options: SolverOptions{Tol: 1e-10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MAE(r1.VM, r2.VM); d > 1e-9*r1.VM.Max() {
+		t.Errorf("loaded model gives different result: MAE %g", d)
+	}
+}
+
+func TestReferenceArrayAgreesWithROM(t *testing.T) {
+	cfg := testConfig(15)
+	m, err := BuildModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.SolveArray(ArraySpec{Rows: 2, Cols: 2, DeltaT: -250, GridSamples: 10,
+		Options: SolverOptions{Tol: 1e-10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ReferenceArray(cfg, 2, 2, -250, 10, SolverOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nmae := NormalizedMAE(got.VM, ref.VM)
+	t.Logf("facade end-to-end error: %.3f%%", 100*nmae)
+	if nmae > 0.06 {
+		t.Errorf("error %.4f too large", nmae)
+	}
+}
+
+// TestScenario2EndToEnd runs the full sub-modeling pipeline at test scale:
+// coarse package solve → embedded ROM solve at two contrasting locations →
+// comparison against the fine reference under identical boundary
+// conditions, plus the superposition baseline, reproducing the Table 2
+// relationships.
+func TestScenario2EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario 2 pipeline is slow")
+	}
+	cfg := testConfig(15)
+	cfg.Nodes = [3]int{5, 5, 5}
+	m, err := BuildModelWithDummy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgRes := PackageResolution{Lateral: 12, SubZ: 2, IntZ: 1, DieZ: 1}
+	pkg, err := SolvePackage(DefaultPackage(), pkgRes, -250, SolverOptions{Tol: 1e-8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := BuildSuperposition(cfg, 1, 8, SolverOptions{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, loc := range []Location{Loc1, Loc5} {
+		spec := EmbeddedSpec{
+			Rows: 3, Cols: 3, DummyRing: 1, Location: loc,
+			GridSamples: 8, Options: SolverOptions{Tol: 1e-9},
+		}
+		got, err := m.SolveEmbedded(pkg, spec)
+		if err != nil {
+			t.Fatalf("%v: %v", loc, err)
+		}
+		ref, err := ReferenceEmbedded(cfg, pkg, spec, 8, SolverOptions{Tol: 1e-9})
+		if err != nil {
+			t.Fatalf("%v: %v", loc, err)
+		}
+		romErr := NormalizedMAE(got.VM, ref.VM)
+
+		supVM, err := sup.EstimateEmbedded(pkg, spec)
+		if err != nil {
+			t.Fatalf("%v: %v", loc, err)
+		}
+		supErr := NormalizedMAE(supVM, ref.VM)
+		t.Logf("%v: MORE-Stress %.3f%%, superposition %.3f%%", loc, 100*romErr, 100*supErr)
+
+		if romErr > 0.05 {
+			t.Errorf("%v: MORE-Stress error %.4f too large", loc, romErr)
+		}
+		if supErr <= romErr {
+			t.Errorf("%v: superposition (%.4f) should be worse than MORE-Stress (%.4f)", loc, supErr, romErr)
+		}
+	}
+}
+
+func TestEmbeddedValidation(t *testing.T) {
+	cfg := testConfig(15)
+	m, err := BuildModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &CoarsePackage{}
+	if _, err := m.SolveEmbedded(pkg, EmbeddedSpec{Rows: 0, Cols: 1}); err == nil {
+		t.Error("expected error for empty array")
+	}
+}
+
+func TestEmbeddedSpecGeometry(t *testing.T) {
+	s := EmbeddedSpec{Rows: 15, Cols: 15, DummyRing: 2}
+	if s.Width(15) != 19*15 {
+		t.Errorf("width %g", s.Width(15))
+	}
+	if !s.IsDummy(0, 0) || !s.IsDummy(18, 18) || !s.IsDummy(1, 9) {
+		t.Error("ring blocks should be dummies")
+	}
+	if s.IsDummy(2, 2) || s.IsDummy(16, 16) || s.IsDummy(9, 9) {
+		t.Error("array blocks should not be dummies")
+	}
+}
+
+func TestPaperGeometryFacade(t *testing.T) {
+	g := PaperGeometry(10)
+	if g.Pitch != 10 || g.Height != 50 || g.Diameter != 5 || g.Liner != 0.5 {
+		t.Errorf("paper geometry: %+v", g)
+	}
+	if math.Abs(DefaultMaterials().Via.E-111.5e3) > 1 {
+		t.Error("default materials wrong")
+	}
+}

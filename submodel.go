@@ -1,0 +1,177 @@
+package morestress
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/chiplet"
+	"repro/internal/mesh"
+)
+
+// Package-level (chiplet) types for scenario 2.
+type (
+	// Package is the 2.5D chiplet stack of Fig. 5(b): composite substrate,
+	// silicon interposer (hosting the TSVs), silicon die.
+	Package = chiplet.Stack
+	// PackageResolution controls the coarse package mesh.
+	PackageResolution = chiplet.Resolution
+	// Location identifies the five array embedding positions of Fig. 5(b).
+	Location = chiplet.Location
+)
+
+// The five standard locations (Fig. 5(b)).
+const (
+	Loc1 = chiplet.Loc1 // interposer center
+	Loc2 = chiplet.Loc2 // die edge
+	Loc3 = chiplet.Loc3 // die ("chip") corner
+	Loc4 = chiplet.Loc4 // interposer edge
+	Loc5 = chiplet.Loc5 // interposer corner
+)
+
+// Locations lists all five standard locations.
+var Locations = chiplet.Locations
+
+// DefaultPackage returns the chiplet stack used by the scenario-2
+// experiments.
+func DefaultPackage() Package { return chiplet.DefaultStack() }
+
+// DefaultPackageResolution returns the coarse-model mesh density.
+func DefaultPackageResolution() PackageResolution { return chiplet.DefaultResolution() }
+
+// CoarsePackage is a solved coarse package model, the displacement source
+// for sub-modeling.
+type CoarsePackage struct {
+	Coarse *chiplet.Coarse
+}
+
+// SolvePackage runs the coarse thermal-warpage solve of the TSV-free package
+// (the first step of the sub-modeling procedure, §4.4).
+func SolvePackage(pkg Package, res PackageResolution, deltaT float64, opt SolverOptions, workers int) (*CoarsePackage, error) {
+	c, err := chiplet.SolveCoarse(pkg, res, deltaT, nil, opt, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &CoarsePackage{Coarse: c}, nil
+}
+
+// DeltaT returns the thermal load of the coarse solve.
+func (p *CoarsePackage) DeltaT() float64 { return p.Coarse.DeltaT }
+
+// DisplacementAt interpolates the coarse displacement at a package-space
+// point.
+func (p *CoarsePackage) DisplacementAt(at Vec3) [3]float64 {
+	return p.Coarse.DisplacementAt(at)
+}
+
+// StressAt recovers the coarse background stress at a package-space point.
+func (p *CoarsePackage) StressAt(at Vec3) [6]float64 {
+	return p.Coarse.StressAt(at)
+}
+
+// EmbeddedSpec describes a TSV array embedded in a package (scenario 2): a
+// Rows×Cols TSV array padded by DummyRing rings of pure-silicon blocks, at
+// one of the five locations. The sub-model boundary displacement comes from
+// the coarse package solution.
+type EmbeddedSpec struct {
+	// Rows, Cols count the TSV blocks (the paper uses 15×15).
+	Rows, Cols int
+	// DummyRing is the number of dummy-block rings added around the array
+	// (the paper uses 2).
+	DummyRing int
+	// Location places the sub-model in the package.
+	Location Location
+	// GridSamples is the per-block mid-plane sampling resolution (0 = skip).
+	GridSamples int
+	// Options tunes the global solver.
+	Options SolverOptions
+}
+
+// TotalBlocks returns the sub-model extent in blocks per axis.
+func (s EmbeddedSpec) totalCols() int { return s.Cols + 2*s.DummyRing }
+func (s EmbeddedSpec) totalRows() int { return s.Rows + 2*s.DummyRing }
+
+// Width returns the sub-model footprint edge length for the given pitch.
+func (s EmbeddedSpec) Width(pitch float64) float64 {
+	return float64(s.totalCols()) * pitch
+}
+
+// IsDummy reports whether block (bx, by) of the padded sub-model is a dummy.
+func (s EmbeddedSpec) IsDummy(bx, by int) bool {
+	r := s.DummyRing
+	return bx < r || bx >= s.Cols+r || by < r || by >= s.Rows+r
+}
+
+// EmbeddedResult is a solved embedded array.
+type EmbeddedResult struct {
+	// VM is the mid-plane von Mises field over the TSV array only
+	// (dummy ring cropped away), matching the paper's error region.
+	VM *Field
+	// VMFull covers the whole padded sub-model.
+	VMFull *Field
+	// Origin is the sub-model minimum corner in package coordinates.
+	Origin Vec3
+	// Solution retains the raw global-stage solution.
+	Solution *array.Solution
+	// GlobalTime is the paper's reported runtime: assembly + solve +
+	// sampling (the coarse solve is shared across locations).
+	GlobalTime time.Duration
+	// Stats reports the global iterative solve.
+	Stats SolverStats
+}
+
+// SolveEmbedded runs the sub-modeling global stage: coarse displacements are
+// imposed on the sub-model boundary through the lifting procedure and the
+// padded array is solved with the reduced model.
+func (m *Model) SolveEmbedded(pkg *CoarsePackage, spec EmbeddedSpec) (*EmbeddedResult, error) {
+	if spec.Rows < 1 || spec.Cols < 1 {
+		return nil, fmt.Errorf("morestress: embedded array must be at least 1×1")
+	}
+	if spec.DummyRing > 0 {
+		if err := m.EnsureDummy(); err != nil {
+			return nil, err
+		}
+	}
+	pitch := m.Config.Geometry.Pitch
+	origin, err := chiplet.SubmodelOrigin(pkg.Coarse.Stack, spec.Location, spec.Width(pitch))
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	var isDummy func(int, int) bool
+	var dummyROM = m.Dummy
+	if spec.DummyRing > 0 {
+		isDummy = spec.IsDummy
+	} else {
+		dummyROM = nil
+	}
+	sol, err := array.Solve(&array.Problem{
+		ROM: m.TSV, DummyROM: dummyROM,
+		Bx: spec.totalCols(), By: spec.totalRows(),
+		IsDummy: isDummy,
+		DeltaT:  pkg.DeltaT(),
+		BC:      array.PrescribedBoundary,
+		BoundaryDisp: func(p mesh.Vec3) [3]float64 {
+			return pkg.DisplacementAt(origin.Add(p))
+		},
+		Opt:     spec.Options,
+		Workers: m.Config.workers(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &EmbeddedResult{
+		Origin:   origin,
+		Solution: sol,
+		Stats:    sol.Stats,
+	}
+	if spec.GridSamples > 0 {
+		gs := spec.GridSamples
+		res.VMFull = sol.VMField(gs, m.Config.workers())
+		r := spec.DummyRing
+		res.VM = res.VMFull.Crop(r*gs, r*gs, (r+spec.Cols)*gs, (r+spec.Rows)*gs)
+	}
+	res.GlobalTime = time.Since(start)
+	return res, nil
+}
