@@ -1,0 +1,43 @@
+// Command serve exposes the MORE-Stress batch engine over HTTP: scenario
+// solves share cached unit-block ROMs (the one-shot local stage runs once
+// per distinct unit cell, even under concurrent requests) and repeated
+// direct solves of the same lattice share a Cholesky factorization.
+//
+// Endpoints:
+//
+//	POST /solve   one scenario            {"pitch":15,"rows":10,"cols":10,"deltaT":-250,"gridSamples":100}
+//	POST /batch   many scenarios          {"jobs":[{...},{...}]}
+//	GET  /stats   engine + cache counters
+//	GET  /healthz liveness probe
+//
+// Usage:
+//
+//	serve [-addr :8080] [-workers N] [-cache-entries 8] [-cache-dir DIR]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	morestress "repro"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
+	cacheEntries := flag.Int("cache-entries", 8, "in-memory ROM cache capacity")
+	cacheDir := flag.String("cache-dir", "", "directory for ROM disk spill (empty disables)")
+	flag.Parse()
+
+	engine := morestress.NewEngine(morestress.EngineOptions{
+		Workers:      *workers,
+		CacheEntries: *cacheEntries,
+		CacheDir:     *cacheDir,
+	})
+	srv := newServer(engine)
+	log.Printf("serve: listening on %s (cache entries %d, spill %q)", *addr, *cacheEntries, *cacheDir)
+	if err := http.ListenAndServe(*addr, srv.routes()); err != nil {
+		log.Fatal(err)
+	}
+}

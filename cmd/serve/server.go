@@ -1,0 +1,342 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	morestress "repro"
+	"repro/internal/mesh"
+)
+
+// Request-size guards: the server is a demonstration front end, not a
+// hardened ingress, but it should not let one request allocate the machine.
+const (
+	maxArrayDim    = 512
+	maxGridSamples = 500
+	maxBatchJobs   = 1024
+	maxBodyBytes   = 8 << 20
+	// maxFieldSamples caps rows·cols·gridSamples², the total von Mises
+	// sample count of one job (the per-dimension caps alone would still
+	// admit a ~10¹¹-sample field). 2²² float64s ≈ 32 MB.
+	maxFieldSamples = 1 << 22
+	// maxBatchFieldSamples caps the sample count summed over a /batch
+	// request: every sampled field is held in memory at once in the batch
+	// result, so the per-job cap alone would still let maxBatchJobs
+	// at-cap jobs allocate ~34 GB. 2²⁵ float64s ≈ 268 MB.
+	maxBatchFieldSamples = 1 << 25
+)
+
+// fieldSamples returns the request's total von Mises sample count.
+func (r *jobRequest) fieldSamples() int64 {
+	return int64(r.Rows) * int64(r.Cols) * int64(r.GridSamples) * int64(r.GridSamples)
+}
+
+// jobRequest is the JSON description of one scenario, shared by /solve and
+// the elements of /batch. Zero values select the paper defaults.
+type jobRequest struct {
+	// Unit cell (determines the cached ROM).
+	Pitch      float64 `json:"pitch"`      // µm, default 15
+	Nodes      int     `json:"nodes"`      // interpolation nodes per axis, default 5
+	Resolution string  `json:"resolution"` // "default" or "coarse"
+	Structure  string  `json:"structure"`  // "tsv", "pillar", or "annular"
+	Quadratic  bool    `json:"quadratic"`
+
+	// Scenario.
+	Rows int `json:"rows"`
+	Cols int `json:"cols"`
+	// DeltaT is the thermal load in °C; omitted means −250. A pointer so
+	// an explicit 0 (the zero-load baseline) survives JSON decoding.
+	DeltaT      *float64 `json:"deltaT"`
+	GridSamples int      `json:"gridSamples"`
+	Solver      string   `json:"solver"` // "gmres" (default), "cg", or "direct"
+	Tol         float64  `json:"tol"`
+	MaxIter     int      `json:"maxIter"`
+
+	// IncludeField returns the sampled von Mises field in the response
+	// (requires gridSamples > 0).
+	IncludeField bool `json:"includeField"`
+}
+
+func (r *jobRequest) toJob() (morestress.Job, error) {
+	var job morestress.Job
+	pitch := r.Pitch
+	if pitch == 0 {
+		pitch = 15
+	}
+	cfg := morestress.DefaultConfig(pitch)
+	if r.Nodes != 0 {
+		if r.Nodes < 2 || r.Nodes > 8 {
+			return job, fmt.Errorf("nodes must be in [2, 8], got %d", r.Nodes)
+		}
+		cfg.Nodes = [3]int{r.Nodes, r.Nodes, r.Nodes}
+	}
+	switch strings.ToLower(r.Resolution) {
+	case "", "default":
+	case "coarse":
+		cfg.Resolution = mesh.CoarseResolution()
+	default:
+		return job, fmt.Errorf("unknown resolution %q (want \"default\" or \"coarse\")", r.Resolution)
+	}
+	switch strings.ToLower(r.Structure) {
+	case "", "tsv":
+	case "pillar":
+		cfg.Structure = morestress.StructurePillar
+	case "annular":
+		cfg.Structure = morestress.StructureAnnular
+	default:
+		return job, fmt.Errorf("unknown structure %q (want \"tsv\", \"pillar\", or \"annular\")", r.Structure)
+	}
+	cfg.Quadratic = r.Quadratic
+	job.Config = cfg
+
+	job.Rows, job.Cols = r.Rows, r.Cols
+	if job.Rows < 1 || job.Cols < 1 {
+		return job, fmt.Errorf("rows and cols must be positive, got %d×%d", r.Rows, r.Cols)
+	}
+	if job.Rows > maxArrayDim || job.Cols > maxArrayDim {
+		return job, fmt.Errorf("array dimension exceeds %d blocks", maxArrayDim)
+	}
+	job.DeltaT = -250
+	if r.DeltaT != nil {
+		job.DeltaT = *r.DeltaT
+	}
+	if r.GridSamples < 0 || r.GridSamples > maxGridSamples {
+		return job, fmt.Errorf("gridSamples must be in [0, %d], got %d", maxGridSamples, r.GridSamples)
+	}
+	if total := r.fieldSamples(); total > maxFieldSamples {
+		return job, fmt.Errorf("field would hold %d samples; rows·cols·gridSamples² must not exceed %d", total, maxFieldSamples)
+	}
+	job.GridSamples = r.GridSamples
+	if r.IncludeField && r.GridSamples == 0 {
+		return job, fmt.Errorf("includeField requires gridSamples > 0")
+	}
+	switch strings.ToLower(r.Solver) {
+	case "", "gmres":
+		job.Solver = morestress.SolveGMRES
+	case "cg":
+		job.Solver = morestress.SolveCG
+	case "direct":
+		job.Solver = morestress.SolveDirect
+	default:
+		return job, fmt.Errorf("unknown solver %q (want \"gmres\", \"cg\", or \"direct\")", r.Solver)
+	}
+	job.Options = morestress.SolverOptions{Tol: r.Tol, MaxIter: r.MaxIter}
+	return job, nil
+}
+
+// fieldResponse is a sampled von Mises field.
+type fieldResponse struct {
+	NX int       `json:"nx"`
+	NY int       `json:"ny"`
+	V  []float64 `json:"v"` // row-major, x fastest, MPa
+}
+
+// jobResponse is the JSON outcome of one scenario.
+type jobResponse struct {
+	Error       string         `json:"error,omitempty"`
+	Converged   bool           `json:"converged"`
+	Iterations  int            `json:"iterations"`
+	Residual    float64        `json:"residual"`
+	GlobalDoFs  int            `json:"globalDoFs"`
+	MaxVonMises float64        `json:"maxVonMises,omitempty"`
+	CacheHit    bool           `json:"cacheHit"`
+	LocalWaitMS float64        `json:"localWaitMs"`
+	TotalMS     float64        `json:"totalMs"`
+	Field       *fieldResponse `json:"field,omitempty"`
+}
+
+func toResponse(res *morestress.JobResult, includeField bool) jobResponse {
+	out := jobResponse{
+		CacheHit:    res.CacheHit,
+		LocalWaitMS: float64(res.LocalWait) / float64(time.Millisecond),
+		TotalMS:     float64(res.Total) / float64(time.Millisecond),
+	}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+		return out
+	}
+	r := res.Result
+	out.Converged = r.Stats.Converged
+	out.Iterations = r.Stats.Iterations
+	out.Residual = r.Stats.Residual
+	out.GlobalDoFs = r.GlobalDoFs
+	if r.VM != nil {
+		out.MaxVonMises = r.VM.Max()
+		if includeField {
+			out.Field = &fieldResponse{NX: r.VM.NX, NY: r.VM.NY, V: r.VM.V}
+		}
+	}
+	return out
+}
+
+// server is the HTTP front end over a shared Engine.
+type server struct {
+	engine   *morestress.Engine
+	start    time.Time
+	requests atomic.Int64
+}
+
+func newServer(e *morestress.Engine) *server {
+	return &server{engine: e, start: time.Now()}
+}
+
+// routes builds the handler mux: POST /solve, POST /batch, GET /stats,
+// GET /healthz.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /solve", s.handleSolve)
+	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req jobRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	job, err := req.toJob()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, _ := s.engine.Solve(job)
+	if res.Err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, toResponse(res, false))
+		return
+	}
+	writeJSON(w, http.StatusOK, toResponse(res, req.IncludeField))
+}
+
+// batchRequest wraps the /batch payload.
+type batchRequest struct {
+	Jobs []jobRequest `json:"jobs"`
+}
+
+// batchResponse reports per-job outcomes plus the batch aggregate.
+type batchResponse struct {
+	Results []jobResponse `json:"results"`
+	Stats   struct {
+		Jobs        int     `json:"jobs"`
+		Errors      int     `json:"errors"`
+		CacheHits   int     `json:"cacheHits"`
+		CacheMisses int     `json:"cacheMisses"`
+		WallMS      float64 `json:"wallMs"`
+		LocalMS     float64 `json:"localMs"`
+		GlobalMS    float64 `json:"globalMs"`
+	} `json:"stats"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req batchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Jobs) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("batch has no jobs"))
+		return
+	}
+	if len(req.Jobs) > maxBatchJobs {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("batch exceeds %d jobs", maxBatchJobs))
+		return
+	}
+	jobs := make([]morestress.Job, len(req.Jobs))
+	var batchSamples int64
+	for i := range req.Jobs {
+		job, err := req.Jobs[i].toJob()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err))
+			return
+		}
+		jobs[i] = job
+		batchSamples += req.Jobs[i].fieldSamples()
+	}
+	if batchSamples > maxBatchFieldSamples {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("batch fields would hold %d samples; the sum of rows·cols·gridSamples² must not exceed %d", batchSamples, maxBatchFieldSamples))
+		return
+	}
+	br := s.engine.BatchSolve(jobs)
+	var out batchResponse
+	out.Results = make([]jobResponse, len(br.Results))
+	for i := range br.Results {
+		out.Results[i] = toResponse(&br.Results[i], req.Jobs[i].IncludeField)
+	}
+	st := br.Stats
+	out.Stats.Jobs = st.Jobs
+	out.Stats.Errors = st.Errors
+	out.Stats.CacheHits = st.CacheHits
+	out.Stats.CacheMisses = st.CacheMisses
+	out.Stats.WallMS = float64(st.Wall) / float64(time.Millisecond)
+	out.Stats.LocalMS = float64(st.LocalTime) / float64(time.Millisecond)
+	out.Stats.GlobalMS = float64(st.GlobalTime) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// statsResponse is the /stats payload.
+type statsResponse struct {
+	UptimeSeconds  float64 `json:"uptimeSeconds"`
+	Requests       int64   `json:"requests"`
+	JobsDone       int64   `json:"jobsDone"`
+	JobsFailed     int64   `json:"jobsFailed"`
+	Factorizations int64   `json:"factorizations"`
+	FactorHits     int64   `json:"factorHits"`
+	Cache          struct {
+		Hits        int64   `json:"hits"`
+		Misses      int64   `json:"misses"`
+		DiskHits    int64   `json:"diskHits"`
+		Evictions   int64   `json:"evictions"`
+		Entries     int     `json:"entries"`
+		BuildTimeMS float64 `json:"buildTimeMs"`
+	} `json:"cache"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	es := s.engine.Stats()
+	var out statsResponse
+	out.UptimeSeconds = time.Since(s.start).Seconds()
+	out.Requests = s.requests.Load()
+	out.JobsDone = es.JobsDone
+	out.JobsFailed = es.JobsFailed
+	out.Factorizations = es.Factorizations
+	out.FactorHits = es.FactorHits
+	out.Cache.Hits = es.Cache.Hits
+	out.Cache.Misses = es.Cache.Misses
+	out.Cache.DiskHits = es.Cache.DiskHits
+	out.Cache.Evictions = es.Cache.Evictions
+	out.Cache.Entries = es.Cache.Entries
+	out.Cache.BuildTimeMS = float64(es.Cache.BuildTime) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	morestress "repro"
+)
+
+// testServer returns an httptest server over a fresh engine.
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer(morestress.NewEngine(morestress.EngineOptions{Workers: 2})).routes())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// cheapJob is a coarse low-order request that keeps the local stage fast.
+const cheapJob = `{"resolution":"coarse","nodes":3,"rows":1,"cols":2,"deltaT":-100,"gridSamples":4}`
+
+func TestHealthz(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body map[string]bool
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !body["ok"] {
+		t.Error("healthz not ok")
+	}
+}
+
+func TestSolveEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(cheapJob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out jobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Error != "" {
+		t.Fatalf("solve error: %s", out.Error)
+	}
+	if !out.Converged || out.MaxVonMises <= 0 || out.GlobalDoFs <= 0 {
+		t.Errorf("implausible solve response: %+v", out)
+	}
+	if out.Field != nil {
+		t.Error("field returned without includeField")
+	}
+}
+
+func TestSolveIncludeField(t *testing.T) {
+	ts := testServer(t)
+	body := strings.TrimSuffix(cheapJob, "}") + `,"includeField":true}`
+	resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out jobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Field == nil {
+		t.Fatal("includeField returned no field")
+	}
+	if out.Field.NX != 2*4 || out.Field.NY != 1*4 || len(out.Field.V) != out.Field.NX*out.Field.NY {
+		t.Errorf("field shape %d×%d (%d values)", out.Field.NX, out.Field.NY, len(out.Field.V))
+	}
+}
+
+func TestSolveRejectsBadRequests(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct {
+		name, body string
+	}{
+		{"malformed", `{"rows":`},
+		{"unknown field", `{"rows":1,"cols":1,"bogus":true}`},
+		{"zero size", `{"rows":0,"cols":4}`},
+		{"bad solver", `{"rows":1,"cols":1,"solver":"lu"}`},
+		{"bad structure", `{"rows":1,"cols":1,"structure":"coax"}`},
+		{"oversized", `{"rows":100000,"cols":1}`},
+		{"oversized field", `{"rows":512,"cols":512,"gridSamples":500}`},
+		{"field without samples", `{"rows":1,"cols":1,"includeField":true}`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	// Wrong method routes to 405.
+	resp, err := http.Get(ts.URL + "/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /solve: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestBatchEndpointSharesCache(t *testing.T) {
+	ts := testServer(t)
+	batch := `{"jobs":[` + cheapJob + `,` + cheapJob + `,` + cheapJob + `]}`
+	resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 || out.Stats.Errors != 0 {
+		t.Fatalf("batch stats %+v", out.Stats)
+	}
+	if out.Stats.CacheMisses != 1 || out.Stats.CacheHits != 2 {
+		t.Errorf("cache misses/hits = %d/%d, want 1/2 (identical unit cells)", out.Stats.CacheMisses, out.Stats.CacheHits)
+	}
+
+	// The /stats endpoint reflects the work done.
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.JobsDone != 3 || stats.Cache.Misses != 1 || stats.Cache.Entries != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+// TestSolveExplicitZeroDeltaT checks that an explicit "deltaT": 0 is the
+// zero-load baseline (zero stress), not silently coerced to the −250
+// default.
+func TestSolveExplicitZeroDeltaT(t *testing.T) {
+	ts := testServer(t)
+	body := `{"resolution":"coarse","nodes":3,"rows":1,"cols":1,"deltaT":0,"gridSamples":3}`
+	resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out jobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Error != "" {
+		t.Fatalf("solve error: %s", out.Error)
+	}
+	if out.MaxVonMises != 0 {
+		t.Errorf("ΔT=0 produced max von Mises %g MPa, want 0 (deltaT coerced to default?)", out.MaxVonMises)
+	}
+}
+
+func TestBatchRejectsEmptyAndBadJobs(t *testing.T) {
+	ts := testServer(t)
+	// A batch whose per-job fields are each in limits but whose sum is not.
+	big := strings.Repeat(`{"rows":512,"cols":16,"gridSamples":22},`, 24)
+	overAggregate := `{"jobs":[` + strings.TrimSuffix(big, ",") + `]}`
+	for _, body := range []string{`{"jobs":[]}`, `{"jobs":[{"rows":0,"cols":1}]}`, overAggregate} {
+		resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}

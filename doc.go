@@ -29,6 +29,22 @@
 //     conditions for the array sub-model, with rings of pure-silicon "dummy"
 //     blocks keeping the boundary away from the region of interest.
 //
+// Because a built ROM is reusable across arbitrary array sizes, thermal
+// loads, and placements (§4.1), the package also provides a serving layer:
+//
+//   - An Engine (NewEngine / Engine.BatchSolve) schedules scenario Jobs on a
+//     bounded worker pool over a content-addressed ROM cache
+//     (internal/romcache): jobs with the same unit-cell configuration share
+//     one ROM, concurrent requests for a missing ROM run the local stage
+//     exactly once (singleflight), recently used models stay in an in-memory
+//     LRU, and built models optionally spill to disk in the Save/LoadModel
+//     gob format. Repeated SolveDirect jobs on the same lattice additionally
+//     share a sparse Cholesky factorization, so ΔT sweeps factor once.
+//
+//   - cmd/serve exposes the engine over HTTP (POST /solve, POST /batch,
+//     GET /stats, GET /healthz) for many concurrent clients;
+//     examples/batch is the library-level walkthrough.
+//
 // The package also provides the two baselines evaluated in the paper: a
 // conventional full-resolution FEM reference (ReferenceArray — the ground
 // truth played by ANSYS in the paper) and the linear superposition method

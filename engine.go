@@ -1,0 +1,355 @@
+package morestress
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/romcache"
+	"repro/internal/solver"
+)
+
+// SolverChoice selects the global-stage solver of a batch job.
+type SolverChoice int
+
+const (
+	// SolveGMRES is the paper's recommendation (default).
+	SolveGMRES SolverChoice = iota
+	// SolveCG uses conjugate gradients on the SPD global matrix.
+	SolveCG
+	// SolveDirect factors the reduced global matrix with sparse Cholesky.
+	// Under the Engine, repeated Direct jobs on the same unit cell, array
+	// size, and boundary condition share one factorization, so batches of
+	// load sweeps pay it once.
+	SolveDirect
+)
+
+// Job describes one scenario for the batch engine: which unit cell (and
+// therefore which ROM), the array dimensions, the thermal load, and the
+// global solver. Jobs with equal unit-cell configurations share one ROM.
+type Job struct {
+	// Config is the unit-cell configuration; its ROM is obtained from the
+	// engine cache (the local stage runs only on the first use).
+	Config Config
+	// Rows, Cols are the array dimensions in blocks.
+	Rows, Cols int
+	// DeltaT is the thermal load in °C.
+	DeltaT float64
+	// DeltaTMap optionally overrides DeltaT per block, indexed (row, col).
+	DeltaTMap func(row, col int) float64
+	// GridSamples is the per-block mid-plane sampling resolution
+	// (0 disables field sampling).
+	GridSamples int
+	// Solver selects the global solver.
+	Solver SolverChoice
+	// Options tunes the iterative solvers.
+	Options SolverOptions
+}
+
+// JobResult is the outcome of one batch job.
+type JobResult struct {
+	// Index is the job's position in the BatchSolve input.
+	Index int
+	// Err is the job's failure, nil on success. Failures are per-job: one
+	// bad job does not abort the batch.
+	Err error
+	// Result is the solved array (nil when Err is set).
+	Result *ArrayResult
+	// CacheHit reports whether the job's ROM came from the cache (memory,
+	// disk, or an in-flight build) instead of running the local stage.
+	CacheHit bool
+	// LocalWait is the time spent obtaining the ROM: the full local stage
+	// on a cache miss, near zero on a hit.
+	LocalWait time.Duration
+	// Total is the job's wall time (ROM wait + global stage).
+	Total time.Duration
+}
+
+// BatchStats aggregates a BatchSolve call.
+type BatchStats struct {
+	// Jobs is the number of jobs submitted; Errors counts failures.
+	Jobs, Errors int
+	// CacheHits/CacheMisses partition the jobs by ROM cache outcome.
+	CacheHits, CacheMisses int
+	// Wall is the batch wall time across the worker pool.
+	Wall time.Duration
+	// LocalTime and GlobalTime are the per-job times summed over the
+	// batch (CPU-time-like; they exceed Wall under concurrency).
+	LocalTime, GlobalTime time.Duration
+}
+
+// BatchResult is the outcome of a BatchSolve call.
+type BatchResult struct {
+	// Results holds one entry per job, in input order.
+	Results []JobResult
+	// Stats aggregates the batch.
+	Stats BatchStats
+}
+
+// EngineOptions configures an Engine.
+type EngineOptions struct {
+	// Workers bounds the number of concurrently solving jobs
+	// (default GOMAXPROCS).
+	Workers int
+	// CacheEntries is the in-memory ROM LRU capacity (default 8).
+	CacheEntries int
+	// CacheDir enables disk spill of built ROMs (empty disables).
+	CacheDir string
+	// BuildWorkers is the local-stage parallelism of cache-miss builds
+	// (default GOMAXPROCS).
+	BuildWorkers int
+	// MaxFactors bounds the shared Cholesky factorization cache used by
+	// SolveDirect jobs (default 16).
+	MaxFactors int
+}
+
+// EngineStats is a snapshot of an engine's lifetime counters.
+type EngineStats struct {
+	// Cache reports the ROM cache.
+	Cache romcache.Stats
+	// JobsDone and JobsFailed count completed jobs since engine creation.
+	JobsDone, JobsFailed int64
+	// Factorizations counts Cholesky factorizations performed for
+	// SolveDirect jobs; FactorHits counts Direct solves that reused one.
+	Factorizations, FactorHits int64
+}
+
+// Engine is a concurrent batch-solve front end over the ROM machinery: it
+// schedules scenario jobs on a bounded worker pool, shares cached ROMs so
+// each distinct unit cell pays the one-shot local stage once (even under
+// concurrent submission, via singleflight), and shares sparse Cholesky
+// factorizations across repeated Direct solves of the same lattice. The
+// Workers bound holds across every entry point: concurrent Solve calls and
+// overlapping BatchSolve calls together never run more than Workers jobs at
+// once. An Engine is safe for concurrent use; create one and reuse it.
+type Engine struct {
+	opt     EngineOptions
+	cache   *romcache.Cache
+	factors *factorCache
+	// sem is the engine-wide job bound: every solve holds one slot, so
+	// Solve and BatchSolve share the same Workers budget.
+	sem chan struct{}
+
+	jobsDone, jobsFailed atomic.Int64
+}
+
+// NewEngine creates an engine. A zero EngineOptions is valid.
+func NewEngine(opt EngineOptions) *Engine {
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.MaxFactors <= 0 {
+		opt.MaxFactors = 16
+	}
+	return &Engine{
+		opt: opt,
+		cache: romcache.New(romcache.Options{
+			MaxEntries: opt.CacheEntries,
+			Dir:        opt.CacheDir,
+			Workers:    opt.BuildWorkers,
+		}),
+		factors: &factorCache{max: opt.MaxFactors},
+		sem:     make(chan struct{}, opt.Workers),
+	}
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Cache:          e.cache.Stats(),
+		JobsDone:       e.jobsDone.Load(),
+		JobsFailed:     e.jobsFailed.Load(),
+		Factorizations: e.factors.factored.Load(),
+		FactorHits:     e.factors.hits.Load(),
+	}
+}
+
+// Solve runs a single job through the engine (cache-aware, factor-sharing).
+// The returned JobResult always carries the outcome; the error mirrors
+// JobResult.Err for convenience.
+func (e *Engine) Solve(job Job) (*JobResult, error) {
+	res := e.solve(job, 0, runtime.GOMAXPROCS(0))
+	return res, res.Err
+}
+
+// BatchSolve runs every job on a pool of at most EngineOptions.Workers
+// goroutines and returns per-job results in input order plus aggregate
+// stats. Jobs with the same unit-cell configuration share one ROM; the
+// local stage runs once per distinct configuration no matter how the jobs
+// interleave.
+func (e *Engine) BatchSolve(jobs []Job) *BatchResult {
+	start := time.Now()
+	out := &BatchResult{Results: make([]JobResult, len(jobs))}
+	workers := e.opt.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Split the machine between concurrent jobs so a batch does not
+	// oversubscribe: each job's inner stages (mat-vecs, sampling) get an
+	// equal share of GOMAXPROCS.
+	inner := runtime.GOMAXPROCS(0) / workers
+	if inner < 1 {
+		inner = 1
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out.Results[i] = *e.solve(jobs[i], i, inner)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	s := &out.Stats
+	s.Jobs = len(jobs)
+	s.Wall = time.Since(start)
+	for i := range out.Results {
+		r := &out.Results[i]
+		s.LocalTime += r.LocalWait
+		if r.Err != nil {
+			s.Errors++
+			continue
+		}
+		if r.CacheHit {
+			s.CacheHits++
+		} else {
+			s.CacheMisses++
+		}
+		s.GlobalTime += r.Result.GlobalTime
+	}
+	return out
+}
+
+func (e *Engine) solve(job Job, index, workers int) *JobResult {
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+	if job.Config.Workers > 0 {
+		workers = job.Config.Workers
+	}
+	res := &JobResult{Index: index}
+	start := time.Now()
+	defer func() {
+		res.Total = time.Since(start)
+		if res.Err != nil {
+			e.jobsFailed.Add(1)
+		} else {
+			e.jobsDone.Add(1)
+		}
+	}()
+
+	if job.Rows < 1 || job.Cols < 1 {
+		res.Err = fmt.Errorf("morestress: job array size must be positive, got %d×%d", job.Rows, job.Cols)
+		return res
+	}
+	spec := job.Config.romSpec(true)
+	r, hit, err := e.cache.Get(spec)
+	res.LocalWait = time.Since(start)
+	if err != nil {
+		res.Err = fmt.Errorf("morestress: job local stage: %w", err)
+		return res
+	}
+	res.CacheHit = hit
+
+	kind := array.GMRES
+	switch job.Solver {
+	case SolveCG:
+		kind = array.CG
+	case SolveDirect:
+		kind = array.Direct
+	}
+	prob := globalProblem(r, job.Rows, job.Cols, job.DeltaT, job.DeltaTMap, kind, job.Options, workers)
+	if kind == array.Direct {
+		// The reduced matrix depends on the ROM content, the array
+		// dimensions, and the BC pattern — not on ΔT — so key on exactly
+		// those and let load sweeps share the factorization.
+		if key, kerr := romcache.Key(spec); kerr == nil {
+			prob.Factors = e.factors
+			prob.FactorKey = fmt.Sprintf("%s|%dx%d|bc%d", key, job.Cols, job.Rows, prob.BC)
+		}
+	}
+	ar, err := solveGlobal(prob, job.GridSamples)
+	if err != nil {
+		res.Err = fmt.Errorf("morestress: job global stage: %w", err)
+		return res
+	}
+	res.Result = ar
+	return res
+}
+
+// factorCache memoizes sparse Cholesky factorizations for Direct solves,
+// with singleflight deduplication so concurrent jobs on the same lattice
+// factor once. The cache holds at most max entries; when full, an arbitrary
+// entry is dropped (factorizations are cheap to redo relative to holding
+// unbounded memory).
+type factorCache struct {
+	flight romcache.Group[*solver.CholFactor]
+	max    int
+
+	mu sync.Mutex
+	m  map[string]*solver.CholFactor
+
+	factored, hits atomic.Int64
+}
+
+// GetOrFactor implements array.FactorCache.
+func (f *factorCache) GetOrFactor(key string, build func() (*solver.CholFactor, error)) (*solver.CholFactor, error) {
+	if c := f.lookup(key); c != nil {
+		f.hits.Add(1)
+		return c, nil
+	}
+	c, err, shared := f.flight.Do(key, func() (*solver.CholFactor, error) {
+		if c := f.lookup(key); c != nil {
+			return c, nil
+		}
+		c, err := build()
+		if err != nil {
+			return nil, err
+		}
+		f.factored.Add(1)
+		f.insert(key, c)
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if shared {
+		f.hits.Add(1)
+	}
+	return c, nil
+}
+
+func (f *factorCache) lookup(key string) *solver.CholFactor {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.m[key]
+}
+
+func (f *factorCache) insert(key string, c *solver.CholFactor) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.m == nil {
+		f.m = make(map[string]*solver.CholFactor)
+	}
+	if _, ok := f.m[key]; !ok && len(f.m) >= f.max {
+		for k := range f.m {
+			delete(f.m, k)
+			break
+		}
+	}
+	f.m[key] = c
+}

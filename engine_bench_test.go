@@ -1,0 +1,78 @@
+package morestress
+
+import "testing"
+
+// BenchmarkBatchEngine measures a warm-cache batch of 8 identical-spec
+// scenarios: after the first build, every job must skip the local stage
+// (the benchmark fails if any warm job re-runs it), so the timing is pure
+// global stage + scheduling overhead.
+func BenchmarkBatchEngine(b *testing.B) {
+	e := NewEngine(EngineOptions{Workers: 4})
+	cfg := testConfig(15)
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{Config: cfg, Rows: 3, Cols: 3, DeltaT: -250 + 5*float64(i)}
+	}
+	if _, err := e.Solve(jobs[0]); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br := e.BatchSolve(jobs)
+		if br.Stats.Errors != 0 {
+			b.Fatalf("batch errors: %+v", br.Stats)
+		}
+		if br.Stats.CacheMisses != 0 {
+			b.Fatalf("warm batch re-ran the local stage %d times", br.Stats.CacheMisses)
+		}
+	}
+	b.StopTimer()
+	s := e.Stats()
+	b.ReportMetric(float64(s.Cache.Hits)/float64(s.Cache.Hits+s.Cache.Misses), "hit-rate")
+}
+
+// BenchmarkBatchEngineColdBuild is the contrast case: each iteration uses a
+// fresh engine, so the batch pays one full local stage before the 7 hits.
+// Comparing against BenchmarkBatchEngine isolates the cache-hit speedup.
+func BenchmarkBatchEngineColdBuild(b *testing.B) {
+	cfg := testConfig(15)
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{Config: cfg, Rows: 3, Cols: 3, DeltaT: -250 + 5*float64(i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(EngineOptions{Workers: 4})
+		br := e.BatchSolve(jobs)
+		if br.Stats.Errors != 0 || br.Stats.CacheMisses != 1 {
+			b.Fatalf("cold batch stats: %+v", br.Stats)
+		}
+	}
+}
+
+// BenchmarkEngineDirectSweep measures a ΔT sweep under the Direct solver,
+// where the engine shares one Cholesky factorization across the batch.
+func BenchmarkEngineDirectSweep(b *testing.B) {
+	e := NewEngine(EngineOptions{Workers: 4})
+	cfg := testConfig(15)
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{Config: cfg, Rows: 3, Cols: 3, DeltaT: -30 * float64(i+1), Solver: SolveDirect}
+	}
+	if _, err := e.Solve(jobs[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br := e.BatchSolve(jobs)
+		if br.Stats.Errors != 0 {
+			b.Fatalf("batch errors: %+v", br.Stats)
+		}
+	}
+	b.StopTimer()
+	s := e.Stats()
+	if s.Factorizations != 1 {
+		b.Fatalf("factorizations = %d, want 1", s.Factorizations)
+	}
+	b.ReportMetric(float64(s.FactorHits), "factor-hits")
+}

@@ -1,0 +1,182 @@
+package morestress
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEngineBatchSharesROM(t *testing.T) {
+	e := NewEngine(EngineOptions{Workers: 4})
+	cfg := testConfig(15)
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{
+			Config: cfg, Rows: 2, Cols: 2,
+			DeltaT:      -250 + 10*float64(i),
+			GridSamples: 4,
+		}
+	}
+	br := e.BatchSolve(jobs)
+	if br.Stats.Errors != 0 {
+		for _, r := range br.Results {
+			if r.Err != nil {
+				t.Fatalf("job %d: %v", r.Index, r.Err)
+			}
+		}
+	}
+	// All 8 jobs share one unit cell: exactly one local stage, 7 hits.
+	if br.Stats.CacheMisses != 1 || br.Stats.CacheHits != 7 {
+		t.Errorf("cache misses/hits = %d/%d, want 1/7", br.Stats.CacheMisses, br.Stats.CacheHits)
+	}
+	for i, r := range br.Results {
+		if r.Index != i {
+			t.Errorf("result %d has index %d", i, r.Index)
+		}
+		if !r.Result.Stats.Converged {
+			t.Errorf("job %d did not converge", i)
+		}
+		if r.Result.VM == nil || r.Result.VM.NX != 8 {
+			t.Errorf("job %d: missing or mis-sized field", i)
+		}
+	}
+	// Heavier loads produce larger stresses: |ΔT| decreases with i here.
+	if m0, m7 := br.Results[0].Result.VM.Max(), br.Results[7].Result.VM.Max(); m0 <= m7 {
+		t.Errorf("VM max not monotone in |ΔT|: %g (ΔT=-250) vs %g (ΔT=-180)", m0, m7)
+	}
+	s := e.Stats()
+	if s.JobsDone != 8 || s.JobsFailed != 0 {
+		t.Errorf("engine counters = %+v", s)
+	}
+}
+
+// TestEngineConcurrentSingleflight hammers one engine from many goroutines
+// with the same unit cell and checks the local stage ran exactly once
+// (exercised under -race by CI).
+func TestEngineConcurrentSingleflight(t *testing.T) {
+	e := NewEngine(EngineOptions{Workers: 8})
+	cfg := testConfig(15)
+	const callers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := e.Solve(Job{Config: cfg, Rows: 1, Cols: 2, DeltaT: -100 - float64(i)}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := e.Stats()
+	if s.Cache.Misses != 1 {
+		t.Errorf("local stage ran %d times under %d concurrent solves, want 1", s.Cache.Misses, callers)
+	}
+	if s.Cache.Hits != callers-1 {
+		t.Errorf("cache hits = %d, want %d", s.Cache.Hits, callers-1)
+	}
+}
+
+func TestEngineDirectSharesFactorization(t *testing.T) {
+	e := NewEngine(EngineOptions{Workers: 2})
+	cfg := testConfig(15)
+	jobs := make([]Job, 4)
+	for i := range jobs {
+		jobs[i] = Job{Config: cfg, Rows: 2, Cols: 2, DeltaT: -50 * float64(i+1), Solver: SolveDirect}
+	}
+	br := e.BatchSolve(jobs)
+	for _, r := range br.Results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", r.Index, r.Err)
+		}
+	}
+	s := e.Stats()
+	if s.Factorizations != 1 {
+		t.Errorf("factorizations = %d, want 1 (same lattice, ΔT sweep)", s.Factorizations)
+	}
+	if s.FactorHits != 3 {
+		t.Errorf("factor hits = %d, want 3", s.FactorHits)
+	}
+
+	// The shared-factor Direct solution must agree with an independent
+	// GMRES solve of the same scenario.
+	ref, err := e.Solve(Job{Config: cfg, Rows: 2, Cols: 2, DeltaT: -100, GridSamples: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := e.Solve(Job{Config: cfg, Rows: 2, Cols: 2, DeltaT: -100, GridSamples: 5, Solver: SolveDirect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, dm := ref.Result.VM.Max(), dir.Result.VM.Max()
+	if rel := math.Abs(rm-dm) / rm; rel > 1e-6 {
+		t.Errorf("Direct vs GMRES VM max differ: %g vs %g (rel %g)", dm, rm, rel)
+	}
+}
+
+func TestEngineBadJobDoesNotAbortBatch(t *testing.T) {
+	e := NewEngine(EngineOptions{Workers: 2})
+	cfg := testConfig(15)
+	br := e.BatchSolve([]Job{
+		{Config: cfg, Rows: 0, Cols: 2, DeltaT: -100},
+		{Config: cfg, Rows: 1, Cols: 1, DeltaT: -100},
+	})
+	if br.Results[0].Err == nil {
+		t.Error("zero-row job succeeded")
+	}
+	if br.Results[1].Err != nil {
+		t.Errorf("good job failed: %v", br.Results[1].Err)
+	}
+	if br.Stats.Errors != 1 || br.Stats.Jobs != 2 {
+		t.Errorf("stats = %+v", br.Stats)
+	}
+}
+
+// TestLoadModelCorruptDummy is the regression test for the LoadModel error
+// swallowing: a model whose dummy ROM record is truncated must fail to load
+// rather than silently dropping the dummy, while a model saved without a
+// dummy still loads cleanly.
+func TestLoadModelCorruptDummy(t *testing.T) {
+	m, err := BuildModelWithDummy(testConfig(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var noDummy bytes.Buffer
+	if err := m.TSV.Save(&noDummy); err != nil {
+		t.Fatal(err)
+	}
+	tsvLen := noDummy.Len()
+	loaded, err := LoadModel(bytes.NewReader(noDummy.Bytes()))
+	if err != nil {
+		t.Fatalf("model without dummy failed to load: %v", err)
+	}
+	if loaded.Dummy != nil {
+		t.Error("phantom dummy after dummy-less save")
+	}
+
+	var full bytes.Buffer
+	if err := m.Save(&full); err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() <= tsvLen {
+		t.Fatal("dummy ROM added no bytes; truncation test is vacuous")
+	}
+	cut := tsvLen + (full.Len()-tsvLen)/2 // mid-dummy truncation
+	if _, err := LoadModel(bytes.NewReader(full.Bytes()[:cut])); err == nil {
+		t.Fatal("truncated dummy ROM loaded without error")
+	} else if !strings.Contains(err.Error(), "dummy") {
+		t.Errorf("error does not identify the dummy record: %v", err)
+	}
+
+	// Round-trip sanity: the intact stream restores both ROMs.
+	restored, err := LoadModel(bytes.NewReader(full.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Dummy == nil {
+		t.Error("dummy ROM lost in round-trip")
+	}
+}

@@ -1,0 +1,81 @@
+// Batch: serve many array scenarios off shared reduced-order models with
+// the concurrent batch engine. The engine caches each distinct unit cell's
+// ROM (content-addressed, singleflight-deduplicated), so a batch mixing
+// array sizes, thermal loads, and pitches pays the one-shot local stage
+// once per unit cell — the reusability claim of §4.1 turned into a service
+// primitive. A second, warm batch then runs with zero local stages, and a
+// ΔT sweep under the Direct solver shares one Cholesky factorization.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	morestress "repro"
+)
+
+func main() {
+	engine := morestress.NewEngine(morestress.EngineOptions{Workers: 4})
+
+	// 12 scenarios over two unit cells (pitch 15 and 10 µm): different
+	// array sizes and thermal loads, one shared ROM per pitch.
+	var jobs []morestress.Job
+	for i, pitch := range []float64{15, 10} {
+		cfg := morestress.DefaultConfig(pitch)
+		for j := 0; j < 6; j++ {
+			jobs = append(jobs, morestress.Job{
+				Config: cfg,
+				Rows:   4 + 2*j, Cols: 4 + 2*j,
+				DeltaT:      -250 + 25*float64(i+j),
+				GridSamples: 20,
+			})
+		}
+	}
+
+	fmt.Println("cold batch (local stage runs once per unit cell):")
+	report(engine, jobs)
+
+	fmt.Println("\nwarm batch (every ROM cached — no local stage at all):")
+	report(engine, jobs)
+
+	// ΔT sweep with the Direct solver: same lattice, so the engine shares
+	// a single Cholesky factorization across the whole sweep.
+	sweep := make([]morestress.Job, 8)
+	for i := range sweep {
+		sweep[i] = morestress.Job{
+			Config: morestress.DefaultConfig(15),
+			Rows:   6, Cols: 6,
+			DeltaT: -40 * float64(i+1),
+			Solver: morestress.SolveDirect,
+		}
+	}
+	fmt.Println("\ndirect-solver ΔT sweep (one factorization, eight solves):")
+	report(engine, sweep)
+
+	s := engine.Stats()
+	fmt.Printf("\nengine lifetime: %d jobs, %d ROM builds (%v local-stage time), %d cache hits, %d factorization(s), %d factor hits\n",
+		s.JobsDone, s.Cache.Misses, s.Cache.BuildTime, s.Cache.Hits, s.Factorizations, s.FactorHits)
+}
+
+func report(e *morestress.Engine, jobs []morestress.Job) {
+	br := e.BatchSolve(jobs)
+	for _, r := range br.Results {
+		if r.Err != nil {
+			log.Fatalf("job %d: %v", r.Index, r.Err)
+		}
+		j := jobs[r.Index]
+		src := "built"
+		if r.CacheHit {
+			src = "cached"
+		}
+		maxVM := 0.0
+		if r.Result.VM != nil {
+			maxVM = r.Result.VM.Max()
+		}
+		fmt.Printf("  %2dx%-2d ΔT=%-6.0f rom=%-6s local=%-12v global=%-12v maxVM=%.1f MPa\n",
+			j.Rows, j.Cols, j.DeltaT, src, r.LocalWait.Round(1e5), r.Result.GlobalTime.Round(1e5), maxVM)
+	}
+	st := br.Stats
+	fmt.Printf("  => %d jobs in %v wall (%d cache hits / %d misses; local %v, global %v summed)\n",
+		st.Jobs, st.Wall.Round(1e6), st.CacheHits, st.CacheMisses, st.LocalTime.Round(1e6), st.GlobalTime.Round(1e6))
+}

@@ -77,6 +77,25 @@ type Problem struct {
 	Opt solver.Options
 	// Workers bounds the parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Factors optionally shares sparse Cholesky factorizations across
+	// repeated Direct solves: when set together with FactorKey, the Direct
+	// branch asks the cache instead of factoring unconditionally. The
+	// reduced global matrix depends only on the ROMs, the array size, the
+	// dummy layout, and the BC pattern — not on the thermal load — so
+	// batches of Direct solves over one lattice pay the factorization once.
+	Factors FactorCache
+	// FactorKey identifies the reduced global matrix to Factors. The
+	// caller must fold in everything the matrix depends on (ROM content,
+	// Bx×By, BC kind, dummy layout); an empty key disables sharing.
+	FactorKey string
+}
+
+// FactorCache supplies memoized sparse Cholesky factorizations for Direct
+// solves. GetOrFactor returns the cached factorization for key, calling
+// build (and retaining its result) on the first request. Implementations
+// must be safe for concurrent use.
+type FactorCache interface {
+	GetOrFactor(key string, build func() (*solver.CholFactor, error)) (*solver.CholFactor, error)
 }
 
 // Lattice is the global surface-node lattice: integer coordinates
@@ -323,8 +342,13 @@ func Solve(p *Problem) (*Solution, error) {
 	case CG:
 		qf, stats, err = solver.PCG(red.Aff, rhs, nil, p.Precond, opt)
 	case Direct:
+		factor := func() (*solver.CholFactor, error) { return solver.NewCholesky(red.Aff) }
 		var chol *solver.CholFactor
-		chol, err = solver.NewCholesky(red.Aff)
+		if p.Factors != nil && p.FactorKey != "" {
+			chol, err = p.Factors.GetOrFactor(p.FactorKey, factor)
+		} else {
+			chol, err = factor()
+		}
 		if err == nil {
 			qf = chol.Solve(rhs)
 			stats = solver.Stats{Converged: true}

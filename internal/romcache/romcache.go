@@ -1,0 +1,265 @@
+// Package romcache provides a content-addressed cache of unit-block
+// reduced-order models. The one-shot local stage is the expensive part of
+// MORE-Stress; its output, the ROM, is reusable across arbitrary array
+// sizes, thermal loads, and placements (§4.1 of the paper). The cache keys
+// ROMs by a canonical hash of rom.Spec, keeps recently used models in an
+// in-memory LRU, optionally spills every built model to disk in the gob
+// format of rom.Save/rom.Load, and deduplicates concurrent builds with
+// singleflight so N simultaneous requests for the same unit cell run the
+// local stage exactly once.
+package romcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rom"
+)
+
+// Key returns the canonical content address of a spec: the hex SHA-256 of
+// its gob encoding. Specs with equal field values always hash equally; any
+// differing field changes the key.
+func Key(spec rom.Spec) (string, error) {
+	h := sha256.New()
+	if err := gob.NewEncoder(h).Encode(&spec); err != nil {
+		return "", fmt.Errorf("romcache: hash spec: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Options configures a Cache.
+type Options struct {
+	// MaxEntries bounds the in-memory LRU (default 8; ROMs hold full
+	// fine-mesh basis vectors and are hundreds of MB at paper resolution).
+	MaxEntries int
+	// Dir enables disk spill: every built model is written to
+	// Dir/<key>.rom (write-through), and an in-memory miss tries the disk
+	// before re-running the local stage. Empty disables spill.
+	Dir string
+	// Workers is the local-stage parallelism for cache-miss builds
+	// (0 = GOMAXPROCS).
+	Workers int
+	// Build overrides the local stage (used by tests); defaults to
+	// rom.Build.
+	Build func(spec rom.Spec, workers int) (*rom.ROM, error)
+}
+
+// Stats is a snapshot of cache effectiveness counters.
+type Stats struct {
+	// Hits counts Get calls served without running the local stage
+	// (in-memory, disk, or by joining another caller's in-flight build).
+	Hits int64
+	// Misses counts Get calls that ran the local stage.
+	Misses int64
+	// DiskHits counts the subset of Hits served by loading a spilled model.
+	DiskHits int64
+	// Evictions counts models dropped from the in-memory LRU.
+	Evictions int64
+	// BuildTime is the cumulative local-stage time paid by misses.
+	BuildTime time.Duration
+	// Entries is the current in-memory model count.
+	Entries int
+}
+
+// Cache is a content-addressed ROM cache, safe for concurrent use.
+type Cache struct {
+	opt    Options
+	flight Group[*rom.ROM]
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+
+	hits, misses, diskHits, evictions atomic.Int64
+	buildNanos                        atomic.Int64
+}
+
+type cacheEntry struct {
+	key string
+	rom *rom.ROM
+}
+
+// New creates a cache. A zero Options is valid: 8 in-memory entries, no
+// disk spill, GOMAXPROCS build workers.
+func New(opt Options) *Cache {
+	if opt.MaxEntries <= 0 {
+		opt.MaxEntries = 8
+	}
+	if opt.Build == nil {
+		opt.Build = rom.Build
+	}
+	return &Cache{
+		opt:     opt,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// Get returns the ROM for spec, running the local stage only when the model
+// is in neither memory nor disk and no equivalent build is already in
+// flight. The boolean reports whether the call avoided the local stage.
+func (c *Cache) Get(spec rom.Spec) (*rom.ROM, bool, error) {
+	key, err := Key(spec)
+	if err != nil {
+		return nil, false, err
+	}
+	if r := c.lookup(key); r != nil {
+		c.hits.Add(1)
+		return r, true, nil
+	}
+	built := false
+	r, err, shared := c.flight.Do(key, func() (*rom.ROM, error) {
+		// Another flight may have inserted the model between our lookup
+		// and acquiring the flight slot.
+		if r := c.lookup(key); r != nil {
+			return r, nil
+		}
+		if r := c.loadDisk(key); r != nil {
+			c.diskHits.Add(1)
+			c.insert(key, r)
+			return r, nil
+		}
+		built = true
+		start := time.Now()
+		r, err := c.opt.Build(spec, c.opt.Workers)
+		if err != nil {
+			return nil, err
+		}
+		c.buildNanos.Add(int64(time.Since(start)))
+		c.insert(key, r)
+		c.saveDisk(key, r)
+		return r, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	hit := shared || !built
+	if hit {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return r, hit, nil
+}
+
+// Contains reports whether the model for spec is currently in memory,
+// without touching LRU order or counters.
+func (c *Cache) Contains(spec rom.Spec) bool {
+	key, err := Key(spec)
+	if err != nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		DiskHits:  c.diskHits.Load(),
+		Evictions: c.evictions.Load(),
+		BuildTime: time.Duration(c.buildNanos.Load()),
+		Entries:   n,
+	}
+}
+
+func (c *Cache) lookup(key string) *rom.ROM {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).rom
+}
+
+func (c *Cache) insert(key string, r *rom.ROM) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*cacheEntry).rom = r
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, rom: r})
+	for c.lru.Len() > c.opt.MaxEntries {
+		back := c.lru.Back()
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.lru.Remove(back)
+		c.evictions.Add(1)
+	}
+}
+
+func (c *Cache) diskPath(key string) string {
+	return filepath.Join(c.opt.Dir, key+".rom")
+}
+
+// loadDisk restores a spilled model, returning nil on any failure: a
+// missing, truncated, or corrupt spill file is a plain cache miss (the spill
+// is a performance hint, not a source of truth), and a decode failure
+// removes the bad file so the fresh build can replace it. A well-formed file
+// whose content hashes to a different key is likewise rejected.
+func (c *Cache) loadDisk(key string) *rom.ROM {
+	if c.opt.Dir == "" {
+		return nil
+	}
+	f, err := os.Open(c.diskPath(key))
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	r, err := rom.Load(f)
+	if err != nil {
+		os.Remove(c.diskPath(key))
+		return nil
+	}
+	if got, err := Key(r.Spec); err != nil || got != key {
+		os.Remove(c.diskPath(key))
+		return nil
+	}
+	return r
+}
+
+// saveDisk spills a built model (write-through), atomically via a temp file
+// so concurrent readers never observe a partial write. Spill failures are
+// ignored: the in-memory model is intact and the next miss simply rebuilds.
+func (c *Cache) saveDisk(key string, r *rom.ROM) {
+	if c.opt.Dir == "" {
+		return
+	}
+	if err := os.MkdirAll(c.opt.Dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.opt.Dir, key+".tmp*")
+	if err != nil {
+		return
+	}
+	if err := r.Save(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.diskPath(key)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

@@ -3,6 +3,7 @@ package solver
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"repro/internal/linalg"
 	"repro/internal/sparse"
@@ -24,7 +25,8 @@ type Options struct {
 	// Restart is the GMRES restart length m (default 60).
 	Restart int
 	// Workers is the number of goroutines for matrix-vector products
-	// (default 1).
+	// (default GOMAXPROCS, matching the Workers convention of the array
+	// and root packages).
 	Workers int
 }
 
@@ -39,7 +41,7 @@ func (o Options) withDefaults(n int) Options {
 		o.Restart = 60
 	}
 	if o.Workers <= 0 {
-		o.Workers = 1
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }

@@ -1,6 +1,7 @@
 package morestress
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -184,7 +185,8 @@ func (m *Model) Save(w io.Writer) error {
 }
 
 // LoadModel reads a model written by Save. The dummy ROM is restored when it
-// was saved.
+// was saved: a clean end of stream after the TSV ROM means no dummy was
+// saved, while a truncated or corrupt dummy record is an error.
 func LoadModel(r io.Reader) (*Model, error) {
 	tsv, err := rom.Load(r)
 	if err != nil {
@@ -199,8 +201,13 @@ func LoadModel(r io.Reader) (*Model, error) {
 		Structure:  tsv.Spec.Kind,
 		Quadratic:  tsv.Spec.Quadratic,
 	}
-	if dummy, err := rom.Load(r); err == nil {
+	switch dummy, err := rom.Load(r); {
+	case err == nil:
 		m.Dummy = dummy
+	case errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF):
+		// No dummy ROM in the stream.
+	default:
+		return nil, fmt.Errorf("morestress: load dummy ROM: %w", err)
 	}
 	return m, nil
 }
@@ -244,24 +251,39 @@ type ArrayResult struct {
 
 // SolveArray runs the global stage for a standalone clamped array.
 func (m *Model) SolveArray(spec ArraySpec) (*ArrayResult, error) {
-	start := time.Now()
 	kind := array.GMRES
 	if spec.UseCG {
 		kind = array.CG
 	}
+	prob := globalProblem(m.TSV, spec.Rows, spec.Cols, spec.DeltaT, spec.DeltaTMap, kind, spec.Options, m.Config.workers())
+	return solveGlobal(prob, spec.GridSamples)
+}
+
+// globalProblem translates a standalone clamped-array scenario into the
+// abstract global-stage problem — the single scenario-to-Problem mapping
+// shared by Model.SolveArray and the batch Engine. dtMap is indexed
+// (row, col) and is swapped here to the array package's (bx, by).
+func globalProblem(r *rom.ROM, rows, cols int, deltaT float64, dtMap func(row, col int) float64, kind array.SolverKind, opt SolverOptions, workers int) *array.Problem {
 	var dtFor func(bx, by int) float64
-	if spec.DeltaTMap != nil {
-		dtFor = func(bx, by int) float64 { return spec.DeltaTMap(by, bx) }
+	if dtMap != nil {
+		dtFor = func(bx, by int) float64 { return dtMap(by, bx) }
 	}
-	sol, err := array.Solve(&array.Problem{
-		ROM: m.TSV, Bx: spec.Cols, By: spec.Rows,
-		DeltaT:    spec.DeltaT,
+	return &array.Problem{
+		ROM: r, Bx: cols, By: rows,
+		DeltaT:    deltaT,
 		DeltaTFor: dtFor,
 		BC:        array.ClampedTopBottom,
 		Solver:    kind,
-		Opt:       spec.Options,
-		Workers:   m.Config.workers(),
-	})
+		Opt:       opt,
+		Workers:   workers,
+	}
+}
+
+// solveGlobal runs the global stage of prob, samples the mid-plane field
+// when requested, and packages the result with its timing.
+func solveGlobal(prob *array.Problem, gridSamples int) (*ArrayResult, error) {
+	start := time.Now()
+	sol, err := array.Solve(prob)
 	if err != nil {
 		return nil, err
 	}
@@ -270,8 +292,8 @@ func (m *Model) SolveArray(spec ArraySpec) (*ArrayResult, error) {
 		Stats:      sol.Stats,
 		GlobalDoFs: sol.GlobalDoFs,
 	}
-	if spec.GridSamples > 0 {
-		res.VM = sol.VMField(spec.GridSamples, m.Config.workers())
+	if gridSamples > 0 {
+		res.VM = sol.VMField(gridSamples, prob.Workers)
 	}
 	res.GlobalTime = time.Since(start)
 	return res, nil
