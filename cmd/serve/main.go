@@ -1,43 +1,147 @@
 // Command serve exposes the MORE-Stress batch engine over HTTP: scenario
 // solves share cached unit-block ROMs (the one-shot local stage runs once
 // per distinct unit cell, even under concurrent requests) and repeated
-// direct solves of the same lattice share a Cholesky factorization.
+// direct solves of the same lattice share a Cholesky factorization. The ROM
+// cache is admitted by bytes — each model's MemoryBytes against the
+// -cache-bytes budget — so one large lattice cannot evict a working set of
+// small ones.
 //
-// Endpoints:
+// # Synchronous endpoints
 //
 //	POST /solve   one scenario            {"pitch":15,"rows":10,"cols":10,"deltaT":-250,"gridSamples":100}
 //	POST /batch   many scenarios          {"jobs":[{...},{...}]}
-//	GET  /stats   engine + cache counters
-//	GET  /healthz liveness probe
+//
+// # Asynchronous job queue
+//
+// A /batch caller holds its connection for the whole solve. For long ΔT
+// sweeps, submit the same payload to the job queue instead and get an ID
+// back immediately:
+//
+//	POST   /jobs              submit; 202 + {"id":...}, 429 when the queue is full
+//	GET    /jobs/{id}         poll state, progress, timing; results once finished
+//	GET    /jobs/{id}/events  Server-Sent Events stream of the lifecycle
+//	DELETE /jobs/{id}         cancel (pending: never runs; running: stops at
+//	                          the next scenario boundary; finished: 409)
+//
+// The job lifecycle:
+//
+//	pending ──▶ running ──▶ done | failed
+//	   │            │
+//	   └────────────┴─────▶ cancelled
+//
+// Finished jobs (and their results) are kept for -job-ttl, then garbage-
+// collected; polling an expired ID returns 404.
+//
+// A polling round trip:
+//
+//	$ curl -s localhost:8080/jobs -d '{"jobs":[{"rows":40,"cols":40,"deltaT":-250},
+//	                                           {"rows":40,"cols":40,"deltaT":-200}]}'
+//	{"id":"f9a31c0e21d4b007","state":"pending","queueDepth":1,
+//	 "poll":"/jobs/f9a31c0e21d4b007","events":"/jobs/f9a31c0e21d4b007/events"}
+//	$ curl -s localhost:8080/jobs/f9a31c0e21d4b007
+//	{"id":"f9a31c0e21d4b007","state":"running","total":2,"completed":1,...}
+//	$ curl -s localhost:8080/jobs/f9a31c0e21d4b007      # later
+//	{"id":"f9a31c0e21d4b007","state":"done","total":2,"completed":2,
+//	 "results":[{"converged":true,"maxVonMises":...},...]}
+//
+// Or stream it (one "state" event per transition, one "scenario" event per
+// completed scenario):
+//
+//	$ curl -sN localhost:8080/jobs/f9a31c0e21d4b007/events
+//	event: state
+//	data: {"type":"state","jobId":"f9a31c0e21d4b007","state":"pending",...}
+//	event: state
+//	data: {"type":"state","jobId":"f9a31c0e21d4b007","state":"running",...}
+//	event: scenario
+//	data: {"type":"scenario","jobId":"f9a31c0e21d4b007","state":"running","scenario":0,"completed":1,"total":2}
+//	...
+//	event: state
+//	data: {"type":"state","jobId":"f9a31c0e21d4b007","state":"done","completed":2,"total":2}
+//
+// # Observability
+//
+//	GET /stats    engine, cache (bytes in use vs budget), and queue counters
+//	              (depth, running, throughput)
+//	GET /healthz  liveness probe
 //
 // Usage:
 //
-//	serve [-addr :8080] [-workers N] [-cache-entries 8] [-cache-dir DIR]
+//	serve [-addr :8080] [-workers N]
+//	      [-cache-bytes 2147483648] [-cache-entries 0] [-cache-dir DIR]
+//	      [-queue-depth 64] [-job-workers 1] [-job-ttl 10m]
+//	      [-job-field-budget 134217728]
+//
+// Defaults: -cache-bytes is 2 GiB (romcache.DefaultMaxBytes); -cache-entries
+// is 0, meaning the byte budget alone governs admission (set it to add a
+// hard model-count cap on top); -queue-depth bounds the async backlog
+// (submissions beyond it get 429); -job-workers is the number of jobs
+// solving concurrently (scenarios inside a job run in order; the engine
+// parallelizes within each solve); -job-ttl is the finished-result
+// retention; -job-field-budget caps the aggregate field samples of all
+// tracked async jobs, queued through retained (default 2²⁷ ≈ 1 GiB of
+// float64 samples — results held for the TTL count against it, so parked
+// results cannot exhaust memory; over-budget submissions get 429).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	morestress "repro"
+	"repro/internal/romcache"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
-	cacheEntries := flag.Int("cache-entries", 8, "in-memory ROM cache capacity")
+	workers := flag.Int("workers", 0, "concurrent engine jobs (0 = GOMAXPROCS)")
+	cacheBytes := flag.Int64("cache-bytes", romcache.DefaultMaxBytes, "in-memory ROM cache byte budget")
+	cacheEntries := flag.Int("cache-entries", 0, "optional ROM cache entry cap on top of the byte budget (0 = bytes only)")
 	cacheDir := flag.String("cache-dir", "", "directory for ROM disk spill (empty disables)")
+	queueDepth := flag.Int("queue-depth", 64, "async job queue capacity (backlog beyond it gets 429)")
+	jobWorkers := flag.Int("job-workers", 1, "async jobs solving concurrently")
+	jobTTL := flag.Duration("job-ttl", 10*time.Minute, "finished async job retention before GC")
+	jobFieldBudget := flag.Int64("job-field-budget", defaultJobFieldBudget,
+		"aggregate field samples across tracked async jobs, 429 beyond it (0 = unlimited)")
 	flag.Parse()
 
 	engine := morestress.NewEngine(morestress.EngineOptions{
 		Workers:      *workers,
+		CacheBytes:   *cacheBytes,
 		CacheEntries: *cacheEntries,
 		CacheDir:     *cacheDir,
 	})
-	srv := newServer(engine)
-	log.Printf("serve: listening on %s (cache entries %d, spill %q)", *addr, *cacheEntries, *cacheDir)
-	if err := http.ListenAndServe(*addr, srv.routes()); err != nil {
+	queue, err := newQueue(engine, *queueDepth, *jobWorkers, *jobTTL, *jobFieldBudget)
+	if err != nil {
 		log.Fatal(err)
 	}
+	srv := newServer(engine, queue)
+	log.Printf("serve: listening on %s (cache %d MiB budget, spill %q, queue depth %d, job ttl %v)",
+		*addr, *cacheBytes>>20, *cacheDir, *queueDepth, *jobTTL)
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections,
+	// then close the queue so queued jobs land in a terminal state and
+	// in-flight ones stop at their next scenario boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("serve: shutdown: %v", err)
+	}
+	queue.Close()
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	morestress "repro"
+	"repro/internal/jobqueue"
 	"repro/internal/mesh"
 )
 
@@ -173,23 +174,31 @@ func toResponse(res *morestress.JobResult, includeField bool) jobResponse {
 	return out
 }
 
-// server is the HTTP front end over a shared Engine.
+// server is the HTTP front end over a shared Engine and its async job
+// queue.
 type server struct {
 	engine   *morestress.Engine
+	queue    *jobqueue.Queue
 	start    time.Time
 	requests atomic.Int64
 }
 
-func newServer(e *morestress.Engine) *server {
-	return &server{engine: e, start: time.Now()}
+func newServer(e *morestress.Engine, q *jobqueue.Queue) *server {
+	return &server{engine: e, queue: q, start: time.Now()}
 }
 
-// routes builds the handler mux: POST /solve, POST /batch, GET /stats,
-// GET /healthz.
+// routes builds the handler mux: the synchronous endpoints (POST /solve,
+// POST /batch), the async job lifecycle (POST /jobs, GET /jobs/{id},
+// GET /jobs/{id}/events, DELETE /jobs/{id}), and the observability pair
+// (GET /stats, GET /healthz).
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /solve", s.handleSolve)
 	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -235,39 +244,15 @@ type batchResponse struct {
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	var req batchRequest
-	if !decodeJSON(w, r, &req) {
-		return
-	}
-	if len(req.Jobs) == 0 {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("batch has no jobs"))
-		return
-	}
-	if len(req.Jobs) > maxBatchJobs {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("batch exceeds %d jobs", maxBatchJobs))
-		return
-	}
-	jobs := make([]morestress.Job, len(req.Jobs))
-	var batchSamples int64
-	for i := range req.Jobs {
-		job, err := req.Jobs[i].toJob()
-		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err))
-			return
-		}
-		jobs[i] = job
-		batchSamples += req.Jobs[i].fieldSamples()
-	}
-	if batchSamples > maxBatchFieldSamples {
-		httpError(w, http.StatusBadRequest,
-			fmt.Errorf("batch fields would hold %d samples; the sum of rows·cols·gridSamples² must not exceed %d", batchSamples, maxBatchFieldSamples))
+	jobs, include, _, ok := s.decodeBatch(w, r)
+	if !ok {
 		return
 	}
 	br := s.engine.BatchSolve(jobs)
 	var out batchResponse
 	out.Results = make([]jobResponse, len(br.Results))
 	for i := range br.Results {
-		out.Results[i] = toResponse(&br.Results[i], req.Jobs[i].IncludeField)
+		out.Results[i] = toResponse(&br.Results[i], include[i])
 	}
 	st := br.Stats
 	out.Stats.Jobs = st.Jobs
@@ -294,8 +279,29 @@ type statsResponse struct {
 		DiskHits    int64   `json:"diskHits"`
 		Evictions   int64   `json:"evictions"`
 		Entries     int     `json:"entries"`
+		Bytes       int64   `json:"bytes"`
+		MaxBytes    int64   `json:"maxBytes"`
 		BuildTimeMS float64 `json:"buildTimeMs"`
 	} `json:"cache"`
+	Queue struct {
+		Depth           int     `json:"depth"`
+		Capacity        int     `json:"capacity"`
+		Running         int     `json:"running"`
+		Retained        int     `json:"retained"`
+		Submitted       int64   `json:"submitted"`
+		Done            int64   `json:"done"`
+		Failed          int64   `json:"failed"`
+		Cancelled       int64   `json:"cancelled"`
+		Expired         int64   `json:"expired"`
+		ScenariosSolved int64   `json:"scenariosSolved"`
+		SolveTimeMS     float64 `json:"solveTimeMs"`
+		// RetainedFieldSamples is the field-sample cost of every tracked
+		// job, drawn against FieldSampleBudget (0 = unlimited).
+		RetainedFieldSamples int64 `json:"retainedFieldSamples"`
+		FieldSampleBudget    int64 `json:"fieldSampleBudget"`
+		// ThroughputPerSec is completed scenarios per second of uptime.
+		ThroughputPerSec float64 `json:"throughputPerSec"`
+	} `json:"queue"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -313,7 +319,26 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out.Cache.DiskHits = es.Cache.DiskHits
 	out.Cache.Evictions = es.Cache.Evictions
 	out.Cache.Entries = es.Cache.Entries
+	out.Cache.Bytes = es.Cache.Bytes
+	out.Cache.MaxBytes = es.Cache.MaxBytes
 	out.Cache.BuildTimeMS = float64(es.Cache.BuildTime) / float64(time.Millisecond)
+	qs := s.queue.Stats()
+	out.Queue.Depth = qs.Depth
+	out.Queue.Capacity = qs.Capacity
+	out.Queue.Running = qs.Running
+	out.Queue.Retained = qs.Retained
+	out.Queue.Submitted = qs.Submitted
+	out.Queue.Done = qs.Done
+	out.Queue.Failed = qs.Failed
+	out.Queue.Cancelled = qs.Cancelled
+	out.Queue.Expired = qs.Expired
+	out.Queue.ScenariosSolved = qs.ScenariosSolved
+	out.Queue.SolveTimeMS = float64(qs.SolveTime) / float64(time.Millisecond)
+	out.Queue.RetainedFieldSamples = qs.RetainedCost
+	out.Queue.FieldSampleBudget = qs.MaxCost
+	if up := out.UptimeSeconds; up > 0 {
+		out.Queue.ThroughputPerSec = float64(qs.ScenariosSolved) / up
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 

@@ -6,14 +6,23 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	morestress "repro"
 )
 
-// testServer returns an httptest server over a fresh engine.
+// testServer returns an httptest server over a fresh engine and a
+// single-worker job queue (strict FIFO, so queued-job tests are
+// deterministic).
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer(morestress.NewEngine(morestress.EngineOptions{Workers: 2})).routes())
+	engine := morestress.NewEngine(morestress.EngineOptions{Workers: 2})
+	queue, err := newQueue(engine, 8, 1, time.Minute, defaultJobFieldBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(queue.Close)
+	ts := httptest.NewServer(newServer(engine, queue).routes())
 	t.Cleanup(ts.Close)
 	return ts
 }

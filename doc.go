@@ -37,13 +37,26 @@
 //     (internal/romcache): jobs with the same unit-cell configuration share
 //     one ROM, concurrent requests for a missing ROM run the local stage
 //     exactly once (singleflight), recently used models stay in an in-memory
-//     LRU, and built models optionally spill to disk in the Save/LoadModel
-//     gob format. Repeated SolveDirect jobs on the same lattice additionally
-//     share a sparse Cholesky factorization, so ΔT sweeps factor once.
+//     LRU admitted against a byte budget (each model's MemoryBytes, so one
+//     large lattice cannot evict a working set of small ones), and built
+//     models optionally spill to disk in the Save/LoadModel gob format.
+//     Repeated SolveDirect jobs on the same lattice additionally share a
+//     sparse Cholesky factorization, so ΔT sweeps factor once.
 //
-//   - cmd/serve exposes the engine over HTTP (POST /solve, POST /batch,
-//     GET /stats, GET /healthz) for many concurrent clients;
-//     examples/batch is the library-level walkthrough.
+//   - An asynchronous job queue (internal/jobqueue) turns the engine into a
+//     submit-and-poll service: a job of many scenarios gets an ID
+//     immediately and moves through pending → running → done or failed
+//     (cancellable from either non-terminal state), with per-scenario
+//     progress events, bounded-FIFO backpressure, cooperative cancellation,
+//     and TTL garbage collection of finished results; see the jobqueue
+//     package documentation for the lifecycle diagram.
+//
+//   - cmd/serve exposes both over HTTP — synchronous POST /solve and
+//     POST /batch, asynchronous POST /jobs + GET /jobs/{id} (poll) +
+//     GET /jobs/{id}/events (SSE) + DELETE /jobs/{id} (cancel), and
+//     GET /stats / GET /healthz — for many concurrent clients;
+//     examples/batch is the library-level walkthrough of both entry
+//     points.
 //
 // The package also provides the two baselines evaluated in the paper: a
 // conventional full-resolution FEM reference (ReferenceArray — the ground

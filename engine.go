@@ -94,7 +94,14 @@ type EngineOptions struct {
 	// Workers bounds the number of concurrently solving jobs
 	// (default GOMAXPROCS).
 	Workers int
-	// CacheEntries is the in-memory ROM LRU capacity (default 8).
+	// CacheBytes is the in-memory ROM cache byte budget: models are
+	// admitted against the sum of their MemoryBytes, so one huge lattice
+	// cannot evict a whole working set of small ones. When both CacheBytes
+	// and CacheEntries are zero the budget defaults to
+	// romcache.DefaultMaxBytes (2 GiB).
+	CacheBytes int64
+	// CacheEntries optionally caps the ROM cache by model count on top of
+	// the byte budget (0 = no entry cap).
 	CacheEntries int
 	// CacheDir enables disk spill of built ROMs (empty disables).
 	CacheDir string
@@ -102,8 +109,11 @@ type EngineOptions struct {
 	// (default GOMAXPROCS).
 	BuildWorkers int
 	// MaxFactors bounds the shared Cholesky factorization cache used by
-	// SolveDirect jobs (default 16).
+	// SolveDirect jobs by entry count (default 16).
 	MaxFactors int
+	// FactorBytes additionally bounds the factorization cache by the sum
+	// of the factors' MemoryBytes (0 = entry-count bound only).
+	FactorBytes int64
 }
 
 // EngineStats is a snapshot of an engine's lifetime counters.
@@ -147,11 +157,12 @@ func NewEngine(opt EngineOptions) *Engine {
 	return &Engine{
 		opt: opt,
 		cache: romcache.New(romcache.Options{
+			MaxBytes:   opt.CacheBytes,
 			MaxEntries: opt.CacheEntries,
 			Dir:        opt.CacheDir,
 			Workers:    opt.BuildWorkers,
 		}),
-		factors: &factorCache{max: opt.MaxFactors},
+		factors: &factorCache{max: opt.MaxFactors, maxBytes: opt.FactorBytes},
 		sem:     make(chan struct{}, opt.Workers),
 	}
 }
@@ -293,15 +304,18 @@ func (e *Engine) solve(job Job, index, workers int) *JobResult {
 
 // factorCache memoizes sparse Cholesky factorizations for Direct solves,
 // with singleflight deduplication so concurrent jobs on the same lattice
-// factor once. The cache holds at most max entries; when full, an arbitrary
-// entry is dropped (factorizations are cheap to redo relative to holding
-// unbounded memory).
+// factor once. The cache holds at most max entries and, when maxBytes is
+// set, at most that many bytes of factors (each factor's MemoryBytes); when
+// over either budget, arbitrary entries are dropped (factorizations are
+// cheap to redo relative to holding unbounded memory).
 type factorCache struct {
-	flight romcache.Group[*solver.CholFactor]
-	max    int
+	flight   romcache.Group[*solver.CholFactor]
+	max      int
+	maxBytes int64
 
-	mu sync.Mutex
-	m  map[string]*solver.CholFactor
+	mu    sync.Mutex
+	m     map[string]*solver.CholFactor
+	bytes int64
 
 	factored, hits atomic.Int64
 }
@@ -345,11 +359,21 @@ func (f *factorCache) insert(key string, c *solver.CholFactor) {
 	if f.m == nil {
 		f.m = make(map[string]*solver.CholFactor)
 	}
-	if _, ok := f.m[key]; !ok && len(f.m) >= f.max {
-		for k := range f.m {
-			delete(f.m, k)
-			break
-		}
+	if old, ok := f.m[key]; ok {
+		f.bytes -= old.MemoryBytes()
 	}
 	f.m[key] = c
+	f.bytes += c.MemoryBytes()
+	// Drop arbitrary other entries until both budgets hold; the entry just
+	// inserted always stays (it is about to be used).
+	for k, v := range f.m {
+		if len(f.m) <= f.max && (f.maxBytes <= 0 || f.bytes <= f.maxBytes) {
+			break
+		}
+		if k == key {
+			continue
+		}
+		delete(f.m, k)
+		f.bytes -= v.MemoryBytes()
+	}
 }

@@ -5,13 +5,19 @@
 // once per unit cell — the reusability claim of §4.1 turned into a service
 // primitive. A second, warm batch then runs with zero local stages, and a
 // ΔT sweep under the Direct solver shares one Cholesky factorization.
+// Finally the same engine is wrapped in the async job queue (the library
+// face of cmd/serve's POST /jobs): submit returns an ID immediately and the
+// lifecycle streams as events while the solve proceeds in the background.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	morestress "repro"
+	"repro/internal/jobqueue"
 )
 
 func main() {
@@ -55,6 +61,53 @@ func main() {
 	s := engine.Stats()
 	fmt.Printf("\nengine lifetime: %d jobs, %d ROM builds (%v local-stage time), %d cache hits, %d factorization(s), %d factor hits\n",
 		s.JobsDone, s.Cache.Misses, s.Cache.BuildTime, s.Cache.Hits, s.Factorizations, s.FactorHits)
+
+	asyncDemo(engine)
+}
+
+// asyncDemo submits a ΔT sweep to the job queue and watches its lifecycle
+// through the event stream instead of blocking on the solve.
+func asyncDemo(engine *morestress.Engine) {
+	queue, err := jobqueue.New(jobqueue.Options{
+		Depth: 16, Workers: 1, TTL: time.Minute,
+		Solve: func(ctx context.Context, sc morestress.Job) (*morestress.JobResult, error) {
+			res, _ := engine.Solve(sc)
+			return res, nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer queue.Close()
+
+	scenarios := make([]morestress.Job, 4)
+	for i := range scenarios {
+		scenarios[i] = morestress.Job{
+			Config: morestress.DefaultConfig(15),
+			Rows:   5, Cols: 5,
+			DeltaT: -60 * float64(i+1),
+		}
+	}
+	id, err := queue.Submit(scenarios, nil, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nasync job %s submitted (returns immediately; queue depth %d):\n", id, queue.Stats().Depth)
+	events, stop, ok := queue.Subscribe(id)
+	if !ok {
+		log.Fatalf("job %s vanished", id)
+	}
+	defer stop()
+	for ev := range events {
+		switch ev.Type {
+		case jobqueue.EventState:
+			fmt.Printf("  state=%s %d/%d scenarios\n", ev.State, ev.Completed, ev.Total)
+		case jobqueue.EventScenario:
+			fmt.Printf("  scenario %d finished (%d/%d)\n", ev.Scenario, ev.Completed, ev.Total)
+		}
+	}
+	snap, _ := queue.Get(id)
+	fmt.Printf("  => %s in %v wait + %v run; results retained for the TTL\n", snap.State, snap.Wait.Round(1e6), snap.Run.Round(1e6))
 }
 
 func report(e *morestress.Engine, jobs []morestress.Job) {

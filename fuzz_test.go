@@ -1,0 +1,86 @@
+package morestress
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+)
+
+// fuzzSaved lazily builds one cheap model with a dummy ROM and serializes
+// it, shared across fuzz iterations (the local stage is too slow to run per
+// input).
+var fuzzSaved struct {
+	once          sync.Once
+	full, tsvOnly []byte
+	err           error
+}
+
+func fuzzSavedModel() ([]byte, []byte, error) {
+	s := &fuzzSaved
+	s.once.Do(func() {
+		cfg := testConfig(15)
+		cfg.Nodes = [3]int{3, 3, 3}
+		m, err := BuildModelWithDummy(cfg)
+		if err != nil {
+			s.err = err
+			return
+		}
+		var full, tsvOnly bytes.Buffer
+		if err := m.Save(&full); err != nil {
+			s.err = err
+			return
+		}
+		if err := m.TSV.Save(&tsvOnly); err != nil {
+			s.err = err
+			return
+		}
+		s.full, s.tsvOnly = full.Bytes(), tsvOnly.Bytes()
+	})
+	return s.full, s.tsvOnly, s.err
+}
+
+// FuzzLoadModelStream hardens LoadModel's two-record gob stream against
+// arbitrary bytes: no input may panic, a clean end of stream after the TSV
+// record means "no dummy" (never an error), and any model that does load
+// must be structurally consistent. The seeded corpus covers the regression
+// territory of the PR-1 error-swallowing fix: mid-dummy truncations must
+// surface an error instead of silently dropping the dummy.
+func FuzzLoadModelStream(f *testing.F) {
+	full, tsvOnly, err := fuzzSavedModel()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(full)
+	f.Add(tsvOnly)
+	f.Add(full[:len(tsvOnly)+(len(full)-len(tsvOnly))/2]) // mid-dummy cut
+	f.Add(tsvOnly[:len(tsvOnly)/2])                       // mid-TSV cut
+	f.Add(append(append([]byte(nil), tsvOnly...), "trailing junk"...))
+	f.Add([]byte{})
+	f.Add([]byte("not a gob stream"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := LoadModel(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		if m == nil || m.TSV == nil {
+			t.Fatal("LoadModel returned nil model without error")
+		}
+		if m.TSV.N <= 0 || len(m.TSV.Basis) != m.TSV.N || len(m.TSV.Belem) != m.TSV.N {
+			t.Fatalf("loaded TSV ROM inconsistent: N=%d basis=%d belem=%d",
+				m.TSV.N, len(m.TSV.Basis), len(m.TSV.Belem))
+		}
+		if m.Dummy != nil && (m.Dummy.N <= 0 || len(m.Dummy.Basis) != m.Dummy.N) {
+			t.Fatalf("loaded dummy ROM inconsistent: N=%d basis=%d", m.Dummy.N, len(m.Dummy.Basis))
+		}
+		// Round-trip: anything that loads must save and load again.
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatalf("re-save of loaded model failed: %v", err)
+		}
+		if _, err := LoadModel(bytes.NewReader(buf.Bytes())); err != nil && err != io.EOF {
+			t.Fatalf("re-load of re-saved model failed: %v", err)
+		}
+	})
+}

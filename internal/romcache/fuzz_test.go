@@ -1,0 +1,95 @@
+package romcache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/rom"
+)
+
+// fuzzModel lazily builds one cheap ROM shared by every fuzz iteration (the
+// local stage is far too slow to run per input) and its valid spill bytes.
+var fuzzModel struct {
+	once sync.Once
+	spec rom.Spec
+	rom  *rom.ROM
+	blob []byte
+	err  error
+}
+
+func fuzzSetup() (rom.Spec, *rom.ROM, []byte, error) {
+	m := &fuzzModel
+	m.once.Do(func() {
+		m.spec = testSpec(15)
+		m.spec.Nodes = [3]int{3, 3, 3}
+		m.rom, m.err = rom.Build(m.spec, 0)
+		if m.err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if m.err = m.rom.Save(&buf); m.err != nil {
+			return
+		}
+		m.blob = buf.Bytes()
+	})
+	return m.spec, m.rom, m.blob, m.err
+}
+
+// FuzzSpillDecode feeds arbitrary bytes through the disk-spill path: the
+// cache must treat any malformed spill file as a plain miss — no panic, no
+// error to the caller, the bad file replaced by a fresh build — and any
+// well-formed file must decode to the model whose key it sits under.
+// Hand-picked corrupt inputs (truncation) were covered by unit tests; this
+// hardens the gob boundary against everything else.
+func FuzzSpillDecode(f *testing.F) {
+	spec, prebuilt, blob, err := fuzzSetup()
+	if err != nil {
+		f.Fatal(err)
+	}
+	key, err := Key(spec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Seeded corpus: the valid spill, truncations from both ends, a bit
+	// flip in the header, the empty file, and plain garbage.
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add(blob[:1])
+	f.Add(blob[len(blob)/3:])
+	flipped := append([]byte(nil), blob...)
+	flipped[0] ^= 0xff
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte("not a gob stream"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, key+".rom"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c := New(Options{
+			Dir: dir,
+			Build: func(rom.Spec, int) (*rom.ROM, error) {
+				return prebuilt, nil
+			},
+		})
+		r, _, err := c.Get(spec)
+		if err != nil {
+			t.Fatalf("Get over fuzzed spill errored: %v", err)
+		}
+		if r == nil {
+			t.Fatal("Get returned nil model")
+		}
+		// Whatever the spill held, the caller gets the model for the key:
+		// either the decoded file (content-verified) or the fresh build.
+		if got, err := Key(r.Spec); err != nil || got != key {
+			t.Fatalf("returned model keys to %s (err %v), want %s", got, err, key)
+		}
+		if r.N != prebuilt.N || len(r.Basis) != r.N {
+			t.Fatalf("returned model inconsistent: N=%d basis=%d want N=%d", r.N, len(r.Basis), prebuilt.N)
+		}
+	})
+}

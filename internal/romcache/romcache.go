@@ -3,7 +3,9 @@
 // MORE-Stress; its output, the ROM, is reusable across arbitrary array
 // sizes, thermal loads, and placements (§4.1 of the paper). The cache keys
 // ROMs by a canonical hash of rom.Spec, keeps recently used models in an
-// in-memory LRU, optionally spills every built model to disk in the gob
+// in-memory LRU admitted against a byte budget (each model's MemoryBytes,
+// so a handful of large lattices cannot silently evict a whole working set
+// of small ones), optionally spills every built model to disk in the gob
 // format of rom.Save/rom.Load, and deduplicates concurrent builds with
 // singleflight so N simultaneous requests for the same unit cell run the
 // local stage exactly once.
@@ -35,10 +37,24 @@ func Key(spec rom.Spec) (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// DefaultMaxBytes is the in-memory budget used when Options sets neither
+// MaxBytes nor MaxEntries: 2 GiB, a few paper-resolution ROMs.
+const DefaultMaxBytes = 2 << 30
+
 // Options configures a Cache.
 type Options struct {
-	// MaxEntries bounds the in-memory LRU (default 8; ROMs hold full
-	// fine-mesh basis vectors and are hundreds of MB at paper resolution).
+	// MaxBytes bounds the in-memory LRU by model size — the sum of the
+	// cached ROMs' MemoryBytes (basis vectors dominate; hundreds of MB per
+	// model at paper resolution). Admission is by bytes so one large
+	// lattice cannot evict an entire working set of small ones the way an
+	// entry-count bound would let it. A single model larger than the whole
+	// budget is still admitted (alone); otherwise the cache could never
+	// serve it. When both MaxBytes and MaxEntries are zero, MaxBytes
+	// defaults to DefaultMaxBytes.
+	MaxBytes int64
+	// MaxEntries optionally bounds the LRU by entry count as well
+	// (0 = no entry bound). Kept for callers that want a hard model count
+	// on top of the byte budget.
 	MaxEntries int
 	// Dir enables disk spill: every built model is written to
 	// Dir/<key>.rom (write-through), and an in-memory miss tries the disk
@@ -50,6 +66,10 @@ type Options struct {
 	// Build overrides the local stage (used by tests); defaults to
 	// rom.Build.
 	Build func(spec rom.Spec, workers int) (*rom.ROM, error)
+	// Size overrides the per-model byte accounting (used by tests);
+	// defaults to the model's recorded Stats.MemoryBytes with a structural
+	// recount as fallback.
+	Size func(r *rom.ROM) int64
 }
 
 // Stats is a snapshot of cache effectiveness counters.
@@ -67,6 +87,9 @@ type Stats struct {
 	BuildTime time.Duration
 	// Entries is the current in-memory model count.
 	Entries int
+	// Bytes is the current in-memory model footprint; MaxBytes is the
+	// budget it is admitted against (0 = entry-count bound only).
+	Bytes, MaxBytes int64
 }
 
 // Cache is a content-addressed ROM cache, safe for concurrent use.
@@ -77,30 +100,53 @@ type Cache struct {
 	mu      sync.Mutex
 	entries map[string]*list.Element
 	lru     *list.List // front = most recently used
+	bytes   int64      // sum of resident entry sizes
 
 	hits, misses, diskHits, evictions atomic.Int64
 	buildNanos                        atomic.Int64
 }
 
 type cacheEntry struct {
-	key string
-	rom *rom.ROM
+	key   string
+	rom   *rom.ROM
+	bytes int64
 }
 
-// New creates a cache. A zero Options is valid: 8 in-memory entries, no
-// disk spill, GOMAXPROCS build workers.
+// New creates a cache. A zero Options is valid: a DefaultMaxBytes budget,
+// no entry cap, no disk spill, GOMAXPROCS build workers.
 func New(opt Options) *Cache {
-	if opt.MaxEntries <= 0 {
-		opt.MaxEntries = 8
+	if opt.MaxBytes <= 0 && opt.MaxEntries <= 0 {
+		opt.MaxBytes = DefaultMaxBytes
 	}
 	if opt.Build == nil {
 		opt.Build = rom.Build
+	}
+	if opt.Size == nil {
+		opt.Size = romBytes
 	}
 	return &Cache{
 		opt:     opt,
 		entries: make(map[string]*list.Element),
 		lru:     list.New(),
 	}
+}
+
+// romBytes is the default Size: the model's recorded build-time footprint,
+// recounted structurally when the record is missing (older spill files).
+func romBytes(r *rom.ROM) int64 {
+	if b := r.Stats.MemoryBytes; b > 0 {
+		return b
+	}
+	var b int64
+	for _, f := range r.Basis {
+		b += int64(len(f)) * 8
+	}
+	b += int64(len(r.BasisT)) * 8
+	if r.Aelem != nil {
+		b += int64(len(r.Aelem.Data)) * 8
+	}
+	b += int64(len(r.Belem)) * 8
+	return b
 }
 
 // Get returns the ROM for spec, running the local stage only when the model
@@ -166,7 +212,7 @@ func (c *Cache) Contains(spec rom.Spec) bool {
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
-	n := len(c.entries)
+	n, b := len(c.entries), c.bytes
 	c.mu.Unlock()
 	return Stats{
 		Hits:      c.hits.Load(),
@@ -175,6 +221,8 @@ func (c *Cache) Stats() Stats {
 		Evictions: c.evictions.Load(),
 		BuildTime: time.Duration(c.buildNanos.Load()),
 		Entries:   n,
+		Bytes:     b,
+		MaxBytes:  c.opt.MaxBytes,
 	}
 }
 
@@ -190,20 +238,38 @@ func (c *Cache) lookup(key string) *rom.ROM {
 }
 
 func (c *Cache) insert(key string, r *rom.ROM) {
+	size := c.opt.Size(r)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
-		el.Value.(*cacheEntry).rom = r
+		e := el.Value.(*cacheEntry)
+		c.bytes += size - e.bytes
+		e.rom, e.bytes = r, size
 		return
 	}
-	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, rom: r})
-	for c.lru.Len() > c.opt.MaxEntries {
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, rom: r, bytes: size})
+	c.bytes += size
+	// Evict from the cold end until both budgets hold, but never the entry
+	// just admitted: a single model over the whole byte budget still serves
+	// (it simply shares the cache with nothing).
+	for c.lru.Len() > 1 && c.overBudget() {
 		back := c.lru.Back()
-		delete(c.entries, back.Value.(*cacheEntry).key)
+		e := back.Value.(*cacheEntry)
+		delete(c.entries, e.key)
 		c.lru.Remove(back)
+		c.bytes -= e.bytes
 		c.evictions.Add(1)
 	}
+}
+
+// overBudget reports whether either configured bound is exceeded.
+// Callers hold c.mu.
+func (c *Cache) overBudget() bool {
+	if c.opt.MaxBytes > 0 && c.bytes > c.opt.MaxBytes {
+		return true
+	}
+	return c.opt.MaxEntries > 0 && c.lru.Len() > c.opt.MaxEntries
 }
 
 func (c *Cache) diskPath(key string) string {
