@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+
+	morestress "repro"
 )
 
 // FuzzJobRequestJSON hardens the request-parsing layer: arbitrary JSON must
@@ -19,6 +21,8 @@ func FuzzJobRequestJSON(f *testing.F) {
 	f.Add([]byte(`{"rows":1,"cols":1,"solver":"direct","structure":"annular","resolution":"coarse","quadratic":true}`))
 	f.Add([]byte(`{"rows":512,"cols":512,"gridSamples":500}`))
 	f.Add([]byte(`{"rows":1,"cols":1,"deltaT":0,"includeField":true,"gridSamples":3}`))
+	f.Add([]byte(`{"rows":2,"cols":2,"solver":"cg","precond":"ic0"}`))
+	f.Add([]byte(`{"rows":2,"cols":2,"precond":"bogus"}`))
 	f.Add([]byte(`{"rows":1e9,"cols":-3,"nodes":99,"tol":-1}`))
 	f.Add([]byte(`{"jobs":[{"rows":1,"cols":1}]}`))
 	f.Add([]byte(`{`))
@@ -26,7 +30,7 @@ func FuzzJobRequestJSON(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		check := func(req jobRequest) {
-			job, err := req.toJob()
+			job, err := req.toJob(morestress.PrecondAuto)
 			if err != nil {
 				return // rejected; only panics are bugs
 			}

@@ -190,6 +190,16 @@ func TestJobsEndToEnd(t *testing.T) {
 			if ev.Total != 3 {
 				t.Errorf("scenario event total = %d, want 3", ev.Total)
 			}
+			// The three scenarios share one lattice, so the events carry
+			// the solver telemetry: every iterative solve names its
+			// preconditioner, and every solve after the first warm-starts
+			// from its predecessor's solution.
+			if ev.Precond == "" {
+				t.Errorf("scenario %d event missing precond", ev.Scenario)
+			}
+			if wantWarm := scenarios > 1; ev.WarmStart != wantWarm {
+				t.Errorf("scenario %d warmStart = %v, want %v", ev.Scenario, ev.WarmStart, wantWarm)
+			}
 		}
 		if ev.JobID != sub.ID {
 			t.Errorf("event for job %q, want %q", ev.JobID, sub.ID)

@@ -70,6 +70,7 @@
 //	      [-cache-bytes 2147483648] [-cache-entries 0] [-cache-dir DIR]
 //	      [-queue-depth 64] [-job-workers 1] [-job-ttl 10m]
 //	      [-job-field-budget 134217728]
+//	      [-precond auto] [-warm-start=true] [-assembly-bytes 1073741824]
 //
 // Defaults: -cache-bytes is 2 GiB (romcache.DefaultMaxBytes); -cache-entries
 // is 0, meaning the byte budget alone governs admission (set it to add a
@@ -81,6 +82,19 @@
 // tracked async jobs, queued through retained (default 2²⁷ ≈ 1 GiB of
 // float64 samples — results held for the TTL count against it, so parked
 // results cannot exhaust memory; over-budget submissions get 429).
+//
+// # Global-stage solver tuning
+//
+// The reduced global solve dominates warm-cache request time, so the engine
+// assembles each lattice's global matrix once (shared by every scenario on
+// that lattice), defaults the iterative solvers to preconditioned CG/GMRES
+// (-precond auto picks block-Jacobi-3 for small lattices and IC0 for large
+// ones; per-request "precond" overrides), and warm-starts each iterative
+// solve from the latest solution of the same lattice (-warm-start=false
+// disables). GET /stats reports the machinery under "solver": assemblies
+// built vs reused, warm-start hit rate, divergence fallbacks, and total
+// iterations; per-scenario SSE events carry iterations, residual, precond,
+// and warmStart. See docs/SOLVER_TUNING.md for guidance and measurements.
 package main
 
 import (
@@ -108,19 +122,32 @@ func main() {
 	jobTTL := flag.Duration("job-ttl", 10*time.Minute, "finished async job retention before GC")
 	jobFieldBudget := flag.Int64("job-field-budget", defaultJobFieldBudget,
 		"aggregate field samples across tracked async jobs, 429 beyond it (0 = unlimited)")
+	precondFlag := flag.String("precond", "auto",
+		"default iterative preconditioner: auto, jacobi, block-jacobi3, ic0, or none (per-request \"precond\" overrides)")
+	warmStart := flag.Bool("warm-start", true,
+		"seed iterative solves with the latest solution on the same lattice")
+	assemblyBytes := flag.Int64("assembly-bytes", 1<<30,
+		"byte budget of the assemble-once cache of reduced global matrices (0 = entry-count bound only)")
 	flag.Parse()
 
+	precond, err := morestress.ParsePrecond(*precondFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 	engine := morestress.NewEngine(morestress.EngineOptions{
-		Workers:      *workers,
-		CacheBytes:   *cacheBytes,
-		CacheEntries: *cacheEntries,
-		CacheDir:     *cacheDir,
+		Workers:          *workers,
+		CacheBytes:       *cacheBytes,
+		CacheEntries:     *cacheEntries,
+		CacheDir:         *cacheDir,
+		DisableWarmStart: !*warmStart,
+		AssemblyBytes:    *assemblyBytes,
 	})
 	queue, err := newQueue(engine, *queueDepth, *jobWorkers, *jobTTL, *jobFieldBudget)
 	if err != nil {
 		log.Fatal(err)
 	}
 	srv := newServer(engine, queue)
+	srv.precond = precond
 	log.Printf("serve: listening on %s (cache %d MiB budget, spill %q, queue depth %d, job ttl %v)",
 		*addr, *cacheBytes>>20, *cacheDir, *queueDepth, *jobTTL)
 

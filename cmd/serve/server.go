@@ -56,13 +56,17 @@ type jobRequest struct {
 	Solver      string   `json:"solver"` // "gmres" (default), "cg", or "direct"
 	Tol         float64  `json:"tol"`
 	MaxIter     int      `json:"maxIter"`
+	// Precond selects the iterative preconditioner: "auto" (default,
+	// size-resolved), "jacobi", "block-jacobi3"/"bj3", "ic0", or "none".
+	// Empty falls back to the server's -precond flag.
+	Precond string `json:"precond"`
 
 	// IncludeField returns the sampled von Mises field in the response
 	// (requires gridSamples > 0).
 	IncludeField bool `json:"includeField"`
 }
 
-func (r *jobRequest) toJob() (morestress.Job, error) {
+func (r *jobRequest) toJob(defaultPrecond morestress.Precond) (morestress.Job, error) {
 	var job morestress.Job
 	pitch := r.Pitch
 	if pitch == 0 {
@@ -125,7 +129,14 @@ func (r *jobRequest) toJob() (morestress.Job, error) {
 	default:
 		return job, fmt.Errorf("unknown solver %q (want \"gmres\", \"cg\", or \"direct\")", r.Solver)
 	}
-	job.Options = morestress.SolverOptions{Tol: r.Tol, MaxIter: r.MaxIter}
+	precond := defaultPrecond
+	if r.Precond != "" {
+		var err error
+		if precond, err = morestress.ParsePrecond(r.Precond); err != nil {
+			return job, err
+		}
+	}
+	job.Options = morestress.SolverOptions{Tol: r.Tol, MaxIter: r.MaxIter, Precond: precond}
 	return job, nil
 }
 
@@ -138,10 +149,15 @@ type fieldResponse struct {
 
 // jobResponse is the JSON outcome of one scenario.
 type jobResponse struct {
-	Error       string         `json:"error,omitempty"`
-	Converged   bool           `json:"converged"`
-	Iterations  int            `json:"iterations"`
-	Residual    float64        `json:"residual"`
+	Error      string  `json:"error,omitempty"`
+	Converged  bool    `json:"converged"`
+	Iterations int     `json:"iterations"`
+	Residual   float64 `json:"residual"`
+	// Precond is the resolved preconditioner of an iterative solve;
+	// WarmStart reports whether it was seeded from a previous solution on
+	// the same lattice. Empty/false for direct solves.
+	Precond     string         `json:"precond,omitempty"`
+	WarmStart   bool           `json:"warmStart,omitempty"`
 	GlobalDoFs  int            `json:"globalDoFs"`
 	MaxVonMises float64        `json:"maxVonMises,omitempty"`
 	CacheHit    bool           `json:"cacheHit"`
@@ -164,6 +180,10 @@ func toResponse(res *morestress.JobResult, includeField bool) jobResponse {
 	out.Converged = r.Stats.Converged
 	out.Iterations = r.Stats.Iterations
 	out.Residual = r.Stats.Residual
+	if r.Iterative() {
+		out.Precond = r.Stats.Precond.String()
+		out.WarmStart = r.Stats.Warm
+	}
 	out.GlobalDoFs = r.GlobalDoFs
 	if r.VM != nil {
 		out.MaxVonMises = r.VM.Max()
@@ -177,8 +197,11 @@ func toResponse(res *morestress.JobResult, includeField bool) jobResponse {
 // server is the HTTP front end over a shared Engine and its async job
 // queue.
 type server struct {
-	engine   *morestress.Engine
-	queue    *jobqueue.Queue
+	engine *morestress.Engine
+	queue  *jobqueue.Queue
+	// precond is the server-wide default preconditioner (-precond flag),
+	// applied to requests that do not name one.
+	precond  morestress.Precond
 	start    time.Time
 	requests atomic.Int64
 }
@@ -210,7 +233,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	job, err := req.toJob()
+	job, err := req.toJob(s.precond)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -273,7 +296,20 @@ type statsResponse struct {
 	JobsFailed     int64   `json:"jobsFailed"`
 	Factorizations int64   `json:"factorizations"`
 	FactorHits     int64   `json:"factorHits"`
-	Cache          struct {
+	// Solver reports the global-stage scaling machinery: the assemble-once
+	// cache (one matrix assembly per lattice) and the warm-start behavior
+	// of the iterative solvers.
+	Solver struct {
+		Assemblies      int64 `json:"assemblies"`
+		AssemblyHits    int64 `json:"assemblyHits"`
+		IterativeSolves int64 `json:"iterativeSolves"`
+		WarmStarts      int64 `json:"warmStarts"`
+		WarmFallbacks   int64 `json:"warmFallbacks"`
+		Iterations      int64 `json:"iterations"`
+		// WarmStartRate is WarmStarts / IterativeSolves (0 when none ran).
+		WarmStartRate float64 `json:"warmStartRate"`
+	} `json:"solver"`
+	Cache struct {
 		Hits        int64   `json:"hits"`
 		Misses      int64   `json:"misses"`
 		DiskHits    int64   `json:"diskHits"`
@@ -314,6 +350,15 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out.JobsFailed = es.JobsFailed
 	out.Factorizations = es.Factorizations
 	out.FactorHits = es.FactorHits
+	out.Solver.Assemblies = es.Assemblies
+	out.Solver.AssemblyHits = es.AssemblyHits
+	out.Solver.IterativeSolves = es.IterativeSolves
+	out.Solver.WarmStarts = es.WarmStarts
+	out.Solver.WarmFallbacks = es.WarmFallbacks
+	out.Solver.Iterations = es.Iterations
+	if es.IterativeSolves > 0 {
+		out.Solver.WarmStartRate = float64(es.WarmStarts) / float64(es.IterativeSolves)
+	}
 	out.Cache.Hits = es.Cache.Hits
 	out.Cache.Misses = es.Cache.Misses
 	out.Cache.DiskHits = es.Cache.DiskHits

@@ -205,3 +205,91 @@ func TestBatchRejectsEmptyAndBadJobs(t *testing.T) {
 		}
 	}
 }
+
+// TestSolvePrecondField checks the per-request preconditioner control: a
+// named preconditioner is honored and echoed in the response, an unknown
+// one is a 400, and an iterative response always names its (auto-resolved)
+// preconditioner.
+func TestSolvePrecondField(t *testing.T) {
+	ts := testServer(t)
+
+	post := func(body string) (*http.Response, jobResponse) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out jobResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp, out
+	}
+
+	resp, out := post(`{"resolution":"coarse","nodes":3,"rows":1,"cols":2,"deltaT":-100,"solver":"cg","precond":"jacobi"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Precond != "jacobi" {
+		t.Errorf("precond = %q, want jacobi", out.Precond)
+	}
+
+	resp, out = post(cheapJob)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Precond == "" || out.Precond == "auto" {
+		t.Errorf("iterative response should name the resolved preconditioner, got %q", out.Precond)
+	}
+
+	resp, _ = post(`{"rows":1,"cols":1,"precond":"bogus"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown precond: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestStatsSolverSection checks /stats surfaces the global-stage scaling
+// counters: after a two-point sweep on one lattice the server must report
+// one assembly, a reuse, and a warm-started iterative solve.
+func TestStatsSolverSection(t *testing.T) {
+	ts := testServer(t)
+	for _, dt := range []string{"-100", "-200"} {
+		resp, err := http.Post(ts.URL+"/solve", "application/json",
+			strings.NewReader(`{"resolution":"coarse","nodes":3,"rows":1,"cols":2,"deltaT":`+dt+`,"solver":"cg"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve status %d", resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	s := stats.Solver
+	if s.Assemblies != 1 {
+		t.Errorf("assemblies = %d, want 1", s.Assemblies)
+	}
+	if s.AssemblyHits != 1 {
+		t.Errorf("assemblyHits = %d, want 1", s.AssemblyHits)
+	}
+	if s.IterativeSolves != 2 || s.WarmStarts != 1 {
+		t.Errorf("iterativeSolves/warmStarts = %d/%d, want 2/1", s.IterativeSolves, s.WarmStarts)
+	}
+	if s.WarmStartRate != 0.5 {
+		t.Errorf("warmStartRate = %g, want 0.5", s.WarmStartRate)
+	}
+	if s.Iterations <= 0 {
+		t.Errorf("iterations = %d, want > 0", s.Iterations)
+	}
+}

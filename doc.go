@@ -43,6 +43,17 @@
 //     Repeated SolveDirect jobs on the same lattice additionally share a
 //     sparse Cholesky factorization, so ΔT sweeps factor once.
 //
+//   - The global stage itself scales across scenarios: the engine assembles
+//     each lattice's reduced global system once (array.Assembly, shared by
+//     every solver kind), the iterative solvers default to auto-selected
+//     preconditioning (block-Jacobi-3 for small lattices, IC0 above
+//     solver.AutoIC0Threshold DoFs; SolverOptions.Precond overrides), and
+//     uniform-ΔT sweeps are chained in ΔT order so each solve warm-starts
+//     from its neighbor's solution, falling back to a cold solve on
+//     divergence. EngineStats and Solution/SolverStats surface assemblies
+//     reused, warm-start hit rate, and iteration counts. See
+//     docs/SOLVER_TUNING.md for guidance and measurements.
+//
 //   - An asynchronous job queue (internal/jobqueue) turns the engine into a
 //     submit-and-poll service: a job of many scenarios gets an ID
 //     immediately and moves through pending → running → done or failed
@@ -64,6 +75,11 @@
 // (BuildSuperposition), plus the error metrics, benchmark harness, and
 // example scenarios that regenerate every table and figure of the paper's
 // evaluation.
+//
+// The docs/ directory maps the system: docs/ARCHITECTURE.md is the layer
+// map (mesh → fem → rom → array → engine → jobqueue → serve) and cache
+// inventory; docs/SOLVER_TUNING.md covers global-stage solver selection,
+// preconditioner trade-offs, and warm-start behavior with measurements.
 //
 // All lengths are in µm, moduli in MPa, temperatures in °C; stresses come
 // out in MPa.

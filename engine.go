@@ -3,6 +3,7 @@ package morestress
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,7 +19,9 @@ type SolverChoice int
 const (
 	// SolveGMRES is the paper's recommendation (default).
 	SolveGMRES SolverChoice = iota
-	// SolveCG uses conjugate gradients on the SPD global matrix.
+	// SolveCG uses preconditioned conjugate gradients on the SPD global
+	// matrix (the preconditioner comes from Job.Options.Precond, default
+	// auto-selected).
 	SolveCG
 	// SolveDirect factors the reduced global matrix with sparse Cholesky.
 	// Under the Engine, repeated Direct jobs on the same unit cell, array
@@ -29,7 +32,8 @@ const (
 
 // Job describes one scenario for the batch engine: which unit cell (and
 // therefore which ROM), the array dimensions, the thermal load, and the
-// global solver. Jobs with equal unit-cell configurations share one ROM.
+// global solver. Jobs with equal unit-cell configurations share one ROM, and
+// jobs on the same lattice additionally share one reduced-global assembly.
 type Job struct {
 	// Config is the unit-cell configuration; its ROM is obtained from the
 	// engine cache (the local stage runs only on the first use).
@@ -45,7 +49,8 @@ type Job struct {
 	GridSamples int
 	// Solver selects the global solver.
 	Solver SolverChoice
-	// Options tunes the iterative solvers.
+	// Options tunes the iterative solvers, including the preconditioner
+	// (Options.Precond, default PrecondAuto).
 	Options SolverOptions
 }
 
@@ -79,6 +84,12 @@ type BatchStats struct {
 	// LocalTime and GlobalTime are the per-job times summed over the
 	// batch (CPU-time-like; they exceed Wall under concurrency).
 	LocalTime, GlobalTime time.Duration
+	// Iterations sums the iterative global-solve iteration counts of the
+	// batch; WarmStarts counts the solves that were seeded from a previous
+	// solution on the same lattice. Together they quantify the warm-start
+	// payoff of a ΔT sweep.
+	Iterations int64
+	WarmStarts int
 }
 
 // BatchResult is the outcome of a BatchSolve call.
@@ -114,6 +125,18 @@ type EngineOptions struct {
 	// FactorBytes additionally bounds the factorization cache by the sum
 	// of the factors' MemoryBytes (0 = entry-count bound only).
 	FactorBytes int64
+	// MaxAssemblies bounds the shared assemble-once cache of reduced
+	// global systems by entry count (default 16). Every solver kind uses
+	// it: a ΔT sweep on one lattice assembles the global matrix once.
+	MaxAssemblies int
+	// AssemblyBytes additionally bounds the assembly cache by the sum of
+	// the assemblies' MemoryBytes (0 = entry-count bound only).
+	AssemblyBytes int64
+	// DisableWarmStart turns off initial-guess reuse: by default the
+	// engine seeds each iterative solve on a lattice with the most recent
+	// solution of that lattice (scaled across uniform-ΔT scenarios),
+	// falling back to a cold solve on divergence.
+	DisableWarmStart bool
 }
 
 // EngineStats is a snapshot of an engine's lifetime counters.
@@ -125,25 +148,42 @@ type EngineStats struct {
 	// Factorizations counts Cholesky factorizations performed for
 	// SolveDirect jobs; FactorHits counts Direct solves that reused one.
 	Factorizations, FactorHits int64
+	// Assemblies counts reduced-global assemblies built; AssemblyHits
+	// counts solves that reused a cached one instead of re-scattering the
+	// global matrix.
+	Assemblies, AssemblyHits int64
+	// IterativeSolves counts global solves through GMRES/PCG. WarmStarts
+	// of them were seeded from a previous solution; WarmFallbacks
+	// diverged under the seed and were retried cold. The warm-start hit
+	// rate is WarmStarts / IterativeSolves.
+	IterativeSolves, WarmStarts, WarmFallbacks int64
+	// Iterations sums the iteration counts of the iterative solves.
+	Iterations int64
 }
 
 // Engine is a concurrent batch-solve front end over the ROM machinery: it
 // schedules scenario jobs on a bounded worker pool, shares cached ROMs so
 // each distinct unit cell pays the one-shot local stage once (even under
-// concurrent submission, via singleflight), and shares sparse Cholesky
-// factorizations across repeated Direct solves of the same lattice. The
+// concurrent submission, via singleflight), assembles the reduced global
+// matrix once per lattice (shared by every solver kind), shares sparse
+// Cholesky factorizations across repeated Direct solves, and warm-starts
+// iterative solves from the latest solution on the same lattice. The
 // Workers bound holds across every entry point: concurrent Solve calls and
 // overlapping BatchSolve calls together never run more than Workers jobs at
 // once. An Engine is safe for concurrent use; create one and reuse it.
 type Engine struct {
-	opt     EngineOptions
-	cache   *romcache.Cache
-	factors *factorCache
+	opt        EngineOptions
+	cache      *romcache.Cache
+	factors    *factorCache
+	assemblies *memo[*array.Assembly]
+	seeds      *seedCache
 	// sem is the engine-wide job bound: every solve holds one slot, so
 	// Solve and BatchSolve share the same Workers budget.
 	sem chan struct{}
 
-	jobsDone, jobsFailed atomic.Int64
+	jobsDone, jobsFailed                       atomic.Int64
+	iterativeSolves, warmStarts, warmFallbacks atomic.Int64
+	iterations                                 atomic.Int64
 }
 
 // NewEngine creates an engine. A zero EngineOptions is valid.
@@ -154,6 +194,9 @@ func NewEngine(opt EngineOptions) *Engine {
 	if opt.MaxFactors <= 0 {
 		opt.MaxFactors = 16
 	}
+	if opt.MaxAssemblies <= 0 {
+		opt.MaxAssemblies = 16
+	}
 	return &Engine{
 		opt: opt,
 		cache: romcache.New(romcache.Options{
@@ -162,46 +205,69 @@ func NewEngine(opt EngineOptions) *Engine {
 			Dir:        opt.CacheDir,
 			Workers:    opt.BuildWorkers,
 		}),
-		factors: &factorCache{max: opt.MaxFactors, maxBytes: opt.FactorBytes},
-		sem:     make(chan struct{}, opt.Workers),
+		factors: &factorCache{memo: memo[*solver.CholFactor]{
+			max: opt.MaxFactors, maxBytes: opt.FactorBytes,
+			size: (*solver.CholFactor).MemoryBytes,
+		}},
+		assemblies: &memo[*array.Assembly]{
+			max: opt.MaxAssemblies, maxBytes: opt.AssemblyBytes,
+			size: (*array.Assembly).MemoryBytes,
+		},
+		seeds: &seedCache{max: 64},
+		sem:   make(chan struct{}, opt.Workers),
 	}
 }
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() EngineStats {
 	return EngineStats{
-		Cache:          e.cache.Stats(),
-		JobsDone:       e.jobsDone.Load(),
-		JobsFailed:     e.jobsFailed.Load(),
-		Factorizations: e.factors.factored.Load(),
-		FactorHits:     e.factors.hits.Load(),
+		Cache:           e.cache.Stats(),
+		JobsDone:        e.jobsDone.Load(),
+		JobsFailed:      e.jobsFailed.Load(),
+		Factorizations:  e.factors.built.Load(),
+		FactorHits:      e.factors.hits.Load(),
+		Assemblies:      e.assemblies.built.Load(),
+		AssemblyHits:    e.assemblies.hits.Load(),
+		IterativeSolves: e.iterativeSolves.Load(),
+		WarmStarts:      e.warmStarts.Load(),
+		WarmFallbacks:   e.warmFallbacks.Load(),
+		Iterations:      e.iterations.Load(),
 	}
 }
 
-// Solve runs a single job through the engine (cache-aware, factor-sharing).
-// The returned JobResult always carries the outcome; the error mirrors
-// JobResult.Err for convenience.
+// Solve runs a single job through the engine (cache-aware, factor-sharing,
+// warm-starting). The returned JobResult always carries the outcome; the
+// error mirrors JobResult.Err for convenience.
 func (e *Engine) Solve(job Job) (*JobResult, error) {
 	res := e.solve(job, 0, runtime.GOMAXPROCS(0))
 	return res, res.Err
 }
 
+// solve computes the job's lattice key and delegates; BatchSolve threads
+// the keys it already computed for chain planning instead.
+func (e *Engine) solve(job Job, index, workers int) *JobResult {
+	return e.solveKeyed(job, index, workers, e.jobKey(job))
+}
+
 // BatchSolve runs every job on a pool of at most EngineOptions.Workers
 // goroutines and returns per-job results in input order plus aggregate
-// stats. Jobs with the same unit-cell configuration share one ROM; the
+// stats. Jobs with the same unit-cell configuration share one ROM (the
 // local stage runs once per distinct configuration no matter how the jobs
-// interleave.
+// interleave), jobs on the same lattice share one reduced-global assembly,
+// and uniform-ΔT iterative jobs on the same lattice are chained in ΔT order
+// so each solve warm-starts from its neighbor's solution.
 func (e *Engine) BatchSolve(jobs []Job) *BatchResult {
 	start := time.Now()
 	out := &BatchResult{Results: make([]JobResult, len(jobs))}
+	chains, keys := e.planChains(jobs)
 	workers := e.opt.Workers
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > len(chains) {
+		workers = len(chains)
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	// Split the machine between concurrent jobs so a batch does not
+	// Split the machine between concurrent chains so a batch does not
 	// oversubscribe: each job's inner stages (mat-vecs, sampling) get an
 	// equal share of GOMAXPROCS.
 	inner := runtime.GOMAXPROCS(0) / workers
@@ -209,19 +275,21 @@ func (e *Engine) BatchSolve(jobs []Job) *BatchResult {
 		inner = 1
 	}
 
-	next := make(chan int)
+	next := make(chan []int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				out.Results[i] = *e.solve(jobs[i], i, inner)
+			for chain := range next {
+				for _, i := range chain {
+					out.Results[i] = *e.solveKeyed(jobs[i], i, inner, keys[i])
+				}
 			}
 		}()
 	}
-	for i := range jobs {
-		next <- i
+	for _, chain := range chains {
+		next <- chain
 	}
 	close(next)
 	wg.Wait()
@@ -242,11 +310,62 @@ func (e *Engine) BatchSolve(jobs []Job) *BatchResult {
 			s.CacheMisses++
 		}
 		s.GlobalTime += r.Result.GlobalTime
+		s.Iterations += int64(r.Result.Stats.Iterations)
+		if r.Result.Stats.Warm {
+			s.WarmStarts++
+		}
 	}
 	return out
 }
 
-func (e *Engine) solve(job Job, index, workers int) *JobResult {
+// planChains partitions the job indices into execution chains: uniform-ΔT
+// iterative jobs on the same lattice form one chain sorted by ΔT (they run
+// sequentially so each solve can warm-start from its neighbor — consecutive
+// ΔT scenarios differ by a smooth parameter, making the previous solution
+// an excellent seed); everything else is a singleton chain. The per-job
+// lattice keys are returned so the solve path does not re-hash the specs.
+func (e *Engine) planChains(jobs []Job) (chains [][]int, keys []string) {
+	chains = make([][]int, 0, len(jobs))
+	keys = make([]string, len(jobs))
+	grouped := make(map[string][]int)
+	var order []string // deterministic chain emission order
+	for i, job := range jobs {
+		key := e.jobKey(job)
+		keys[i] = key
+		if e.opt.DisableWarmStart || key == "" || job.Solver == SolveDirect || job.DeltaTMap != nil {
+			chains = append(chains, []int{i})
+			continue
+		}
+		if _, seen := grouped[key]; !seen {
+			order = append(order, key)
+		}
+		grouped[key] = append(grouped[key], i)
+	}
+	for _, key := range order {
+		idxs := grouped[key]
+		sort.SliceStable(idxs, func(a, b int) bool { return jobs[idxs[a]].DeltaT < jobs[idxs[b]].DeltaT })
+		chains = append(chains, idxs)
+	}
+	return chains, keys
+}
+
+// engineBC is the boundary condition of every engine job (globalProblem
+// builds the Problem with it); the cache keys bake it in so a future second
+// BC kind cannot silently collide.
+const engineBC = array.ClampedTopBottom
+
+// jobKey identifies the job's reduced global system: ROM content, array
+// dimensions, and BC pattern — everything the matrix depends on and nothing
+// it does not (the thermal load). Empty when the spec cannot be hashed.
+func (e *Engine) jobKey(job Job) string {
+	key, err := romcache.Key(job.Config.romSpec(true))
+	if err != nil {
+		return ""
+	}
+	return fmt.Sprintf("%s|%dx%d|bc%d", key, job.Cols, job.Rows, engineBC)
+}
+
+func (e *Engine) solveKeyed(job Job, index, workers int, key string) *JobResult {
 	e.sem <- struct{}{}
 	defer func() { <-e.sem }()
 	if job.Config.Workers > 0 {
@@ -284,13 +403,24 @@ func (e *Engine) solve(job Job, index, workers int) *JobResult {
 		kind = array.Direct
 	}
 	prob := globalProblem(r, job.Rows, job.Cols, job.DeltaT, job.DeltaTMap, kind, job.Options, workers)
-	if kind == array.Direct {
-		// The reduced matrix depends on the ROM content, the array
-		// dimensions, and the BC pattern — not on ΔT — so key on exactly
-		// those and let load sweeps share the factorization.
-		if key, kerr := romcache.Key(spec); kerr == nil {
+	if key != "" {
+		// Assemble-once: the reduced global system depends on the ROM
+		// content, the array dimensions, and the BC pattern — not on ΔT —
+		// so every scenario on the lattice shares one assembly.
+		asm, aerr := e.assemblies.getOrBuild(key, func() (*array.Assembly, error) {
+			return array.NewAssembly(prob, workers)
+		})
+		if aerr != nil {
+			res.Err = fmt.Errorf("morestress: job global assembly: %w", aerr)
+			return res
+		}
+		prob.Assembly = asm
+		if kind == array.Direct {
 			prob.Factors = e.factors
-			prob.FactorKey = fmt.Sprintf("%s|%dx%d|bc%d", key, job.Cols, job.Rows, prob.BC)
+			prob.FactorKey = key
+		}
+		if kind != array.Direct && !e.opt.DisableWarmStart && job.DeltaTMap == nil {
+			prob.X0 = e.seeds.get(key, job.DeltaT)
 		}
 	}
 	ar, err := solveGlobal(prob, job.GridSamples)
@@ -298,82 +428,179 @@ func (e *Engine) solve(job Job, index, workers int) *JobResult {
 		res.Err = fmt.Errorf("morestress: job global stage: %w", err)
 		return res
 	}
+	sol := ar.Solution
+	// Count only solves that actually ran an iterative solver: Direct jobs
+	// and degenerate all-constrained lattices (no free DoFs, QFree empty)
+	// would otherwise skew the warm-start hit rate.
+	if kind != array.Direct && len(sol.QFree) > 0 {
+		e.iterativeSolves.Add(1)
+		e.iterations.Add(int64(sol.Stats.Iterations))
+		if sol.Stats.Warm {
+			e.warmStarts.Add(1)
+		}
+		if sol.WarmFallback {
+			e.warmFallbacks.Add(1)
+		}
+	}
+	if key != "" && !e.opt.DisableWarmStart && job.DeltaTMap == nil && len(sol.QFree) > 0 {
+		e.seeds.put(key, job.DeltaT, sol.QFree)
+	}
 	res.Result = ar
 	return res
 }
 
-// factorCache memoizes sparse Cholesky factorizations for Direct solves,
-// with singleflight deduplication so concurrent jobs on the same lattice
-// factor once. The cache holds at most max entries and, when maxBytes is
-// set, at most that many bytes of factors (each factor's MemoryBytes); when
-// over either budget, arbitrary entries are dropped (factorizations are
-// cheap to redo relative to holding unbounded memory).
-type factorCache struct {
-	flight   romcache.Group[*solver.CholFactor]
+// memo is a keyed build-once cache with singleflight deduplication, an
+// entry-count bound, and an optional byte budget over size(value). When over
+// either budget, arbitrary entries other than the newest are dropped (the
+// cached artifacts are cheap to rebuild relative to holding unbounded
+// memory). The zero sizes are never counted; size must not be nil.
+type memo[T any] struct {
+	flight   romcache.Group[T]
 	max      int
 	maxBytes int64
+	size     func(T) int64
 
 	mu    sync.Mutex
-	m     map[string]*solver.CholFactor
+	m     map[string]T
 	bytes int64
 
-	factored, hits atomic.Int64
+	built, hits atomic.Int64
 }
 
-// GetOrFactor implements array.FactorCache.
-func (f *factorCache) GetOrFactor(key string, build func() (*solver.CholFactor, error)) (*solver.CholFactor, error) {
-	if c := f.lookup(key); c != nil {
-		f.hits.Add(1)
-		return c, nil
+func (c *memo[T]) getOrBuild(key string, build func() (T, error)) (T, error) {
+	if v, ok := c.lookup(key); ok {
+		c.hits.Add(1)
+		return v, nil
 	}
-	c, err, shared := f.flight.Do(key, func() (*solver.CholFactor, error) {
-		if c := f.lookup(key); c != nil {
-			return c, nil
+	v, err, shared := c.flight.Do(key, func() (T, error) {
+		if v, ok := c.lookup(key); ok {
+			return v, nil
 		}
-		c, err := build()
+		v, err := build()
 		if err != nil {
-			return nil, err
+			return v, err
 		}
-		f.factored.Add(1)
-		f.insert(key, c)
-		return c, nil
+		c.built.Add(1)
+		c.insert(key, v)
+		return v, nil
 	})
 	if err != nil {
-		return nil, err
+		var zero T
+		return zero, err
 	}
 	if shared {
-		f.hits.Add(1)
+		c.hits.Add(1)
 	}
-	return c, nil
+	return v, nil
 }
 
-func (f *factorCache) lookup(key string) *solver.CholFactor {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.m[key]
+func (c *memo[T]) lookup(key string) (T, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	return v, ok
 }
 
-func (f *factorCache) insert(key string, c *solver.CholFactor) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.m == nil {
-		f.m = make(map[string]*solver.CholFactor)
+func (c *memo[T]) insert(key string, v T) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]T)
 	}
-	if old, ok := f.m[key]; ok {
-		f.bytes -= old.MemoryBytes()
+	if old, ok := c.m[key]; ok {
+		c.bytes -= c.size(old)
 	}
-	f.m[key] = c
-	f.bytes += c.MemoryBytes()
+	c.m[key] = v
+	c.bytes += c.size(v)
 	// Drop arbitrary other entries until both budgets hold; the entry just
 	// inserted always stays (it is about to be used).
-	for k, v := range f.m {
-		if len(f.m) <= f.max && (f.maxBytes <= 0 || f.bytes <= f.maxBytes) {
+	for k, old := range c.m {
+		if len(c.m) <= c.max && (c.maxBytes <= 0 || c.bytes <= c.maxBytes) {
 			break
 		}
 		if k == key {
 			continue
 		}
-		delete(f.m, k)
-		f.bytes -= v.MemoryBytes()
+		delete(c.m, k)
+		c.bytes -= c.size(old)
+	}
+}
+
+// factorCache memoizes sparse Cholesky factorizations for Direct solves; it
+// adapts the generic memo to the array.FactorCache interface.
+type factorCache struct {
+	memo[*solver.CholFactor]
+}
+
+// GetOrFactor implements array.FactorCache.
+func (f *factorCache) GetOrFactor(key string, build func() (*solver.CholFactor, error)) (*solver.CholFactor, error) {
+	return f.getOrBuild(key, build)
+}
+
+// seedCache holds the most recent reduced solution per lattice key for
+// warm-starting. Entries record the uniform ΔT they were solved at so a
+// seed can be rescaled to the target load: for a uniform thermal field the
+// reduced RHS — and therefore the solution — is linear in ΔT, so the scaled
+// seed of a converged neighbor is already at the solver's tolerance and a
+// sweep effectively pays one cold solve per lattice.
+type seedCache struct {
+	max int
+
+	mu sync.Mutex
+	m  map[string]seedEntry
+}
+
+type seedEntry struct {
+	qf []float64
+	dt float64
+}
+
+// get returns a seed for solving the key's lattice at deltaT, nil when none
+// is applicable. The returned slice is freshly scaled (or shared read-only
+// when the loads match; solver entry points copy their x0 before iterating).
+func (s *seedCache) get(key string, deltaT float64) []float64 {
+	if deltaT == 0 {
+		return nil // the zero-load solution is zero: a "seed" would be a cold start counted as warm
+	}
+	s.mu.Lock()
+	e, ok := s.m[key]
+	s.mu.Unlock()
+	if !ok || e.dt == 0 || len(e.qf) == 0 {
+		return nil
+	}
+	if deltaT == e.dt {
+		return e.qf
+	}
+	scale := deltaT / e.dt
+	out := make([]float64, len(e.qf))
+	for i, v := range e.qf {
+		out[i] = scale * v
+	}
+	return out
+}
+
+// put records the solution of a uniform-ΔT solve. The slice must not be
+// mutated afterwards (Solution.QFree is freshly allocated per solve).
+func (s *seedCache) put(key string, deltaT float64, qf []float64) {
+	if deltaT == 0 {
+		return // zero-load solution is all zeros: no better than a cold start
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[string]seedEntry)
+	}
+	_, existed := s.m[key]
+	s.m[key] = seedEntry{qf: qf, dt: deltaT}
+	if !existed {
+		for k := range s.m {
+			if len(s.m) <= s.max {
+				break
+			}
+			if k == key {
+				continue
+			}
+			delete(s.m, k)
+		}
 	}
 }

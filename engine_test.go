@@ -180,3 +180,142 @@ func TestLoadModelCorruptDummy(t *testing.T) {
 		t.Error("dummy ROM lost in round-trip")
 	}
 }
+
+// TestEngineWarmStartSweepMatchesCold is the correctness contract of the
+// warm-start machinery: a ΔT sweep solved with warm starts (and submitted in
+// scrambled ΔT order, so BatchSolve must re-order the chain itself) must
+// reproduce the cold-started solutions within the solver tolerance, while
+// doing measurably less iterative work on one shared assembly.
+func TestEngineWarmStartSweepMatchesCold(t *testing.T) {
+	cfg := testConfig(15)
+	sweep := func() []Job {
+		loads := []float64{-150, -250, -50, -200, -100, -300} // scrambled
+		jobs := make([]Job, len(loads))
+		for i, dt := range loads {
+			jobs[i] = Job{
+				Config: cfg, Rows: 3, Cols: 3, DeltaT: dt,
+				GridSamples: 6, Solver: SolveCG,
+				Options: SolverOptions{Tol: 1e-10},
+			}
+		}
+		return jobs
+	}
+
+	warmE := NewEngine(EngineOptions{Workers: 2})
+	coldE := NewEngine(EngineOptions{Workers: 2, DisableWarmStart: true})
+	warm := warmE.BatchSolve(sweep())
+	cold := coldE.BatchSolve(sweep())
+	if warm.Stats.Errors != 0 || cold.Stats.Errors != 0 {
+		t.Fatalf("sweep errors: warm %d, cold %d", warm.Stats.Errors, cold.Stats.Errors)
+	}
+
+	for i := range warm.Results {
+		wv, cv := warm.Results[i].Result.VM, cold.Results[i].Result.VM
+		var maxDiff float64
+		for k := range wv.V {
+			if d := math.Abs(wv.V[k] - cv.V[k]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		if maxDiff > 1e-4 {
+			t.Errorf("job %d (ΔT=%g): warm field deviates from cold by %g MPa", i, sweep()[i].DeltaT, maxDiff)
+		}
+	}
+
+	if warm.Stats.WarmStarts != len(warm.Results)-1 {
+		t.Errorf("warm starts = %d, want %d (all but the chain head)", warm.Stats.WarmStarts, len(warm.Results)-1)
+	}
+	if cold.Stats.WarmStarts != 0 {
+		t.Errorf("cold engine warm-started %d solves", cold.Stats.WarmStarts)
+	}
+	if warm.Stats.Iterations >= cold.Stats.Iterations {
+		t.Errorf("warm sweep took %d total iterations, cold %d — warm must be fewer", warm.Stats.Iterations, cold.Stats.Iterations)
+	}
+	t.Logf("total PCG iterations: warm %d vs cold %d", warm.Stats.Iterations, cold.Stats.Iterations)
+
+	ws, cs := warmE.Stats(), coldE.Stats()
+	if ws.Assemblies != 1 || cs.Assemblies != 1 {
+		t.Errorf("assemblies = %d warm / %d cold, want 1 each (one lattice)", ws.Assemblies, cs.Assemblies)
+	}
+	if ws.AssemblyHits != int64(len(warm.Results)-1) {
+		t.Errorf("assembly hits = %d, want %d", ws.AssemblyHits, len(warm.Results)-1)
+	}
+	if ws.WarmFallbacks != 0 {
+		t.Errorf("unexpected warm fallbacks: %d", ws.WarmFallbacks)
+	}
+	if rate := float64(ws.WarmStarts) / float64(ws.IterativeSolves); rate <= 0.5 {
+		t.Errorf("warm-start hit rate %.2f, want > 0.5", rate)
+	}
+}
+
+// TestEngineWarmStartAcrossSolveCalls checks the seed cache works outside
+// BatchSolve chains too: sequential Engine.Solve calls on one lattice (the
+// async job queue's access pattern) warm-start from each other, and a
+// different lattice never reuses a foreign seed.
+func TestEngineWarmStartAcrossSolveCalls(t *testing.T) {
+	cfg := testConfig(15)
+	e := NewEngine(EngineOptions{Workers: 1})
+	first, err := e.Solve(Job{Config: cfg, Rows: 2, Cols: 3, DeltaT: -100, Solver: SolveCG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Result.Stats.Warm {
+		t.Error("first solve on a lattice cannot be warm")
+	}
+	second, err := e.Solve(Job{Config: cfg, Rows: 2, Cols: 3, DeltaT: -200, Solver: SolveCG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Result.Stats.Warm {
+		t.Error("second solve on the lattice should warm-start from the first")
+	}
+	if second.Result.Stats.Iterations > first.Result.Stats.Iterations {
+		t.Errorf("warm solve took %d iterations vs %d cold", second.Result.Stats.Iterations, first.Result.Stats.Iterations)
+	}
+	other, err := e.Solve(Job{Config: cfg, Rows: 3, Cols: 2, DeltaT: -200, Solver: SolveCG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Result.Stats.Warm {
+		t.Error("a different lattice must not reuse a foreign seed")
+	}
+	// Nonuniform (DeltaTMap) jobs neither consume nor overwrite seeds.
+	hot, err := e.Solve(Job{Config: cfg, Rows: 2, Cols: 3, DeltaT: -100,
+		DeltaTMap: func(r, c int) float64 { return -100 * float64(1+r+c) }, Solver: SolveCG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.Result.Stats.Warm {
+		t.Error("nonuniform-ΔT solve must run cold")
+	}
+	if s := e.Stats(); s.Assemblies != 2 {
+		t.Errorf("assemblies = %d, want 2 (two lattices)", s.Assemblies)
+	}
+}
+
+// TestEngineDirectSharesAssembly checks Direct jobs ride the assemble-once
+// cache alongside their shared factorization.
+func TestEngineDirectSharesAssembly(t *testing.T) {
+	cfg := testConfig(15)
+	e := NewEngine(EngineOptions{Workers: 2})
+	jobs := make([]Job, 4)
+	for i := range jobs {
+		jobs[i] = Job{Config: cfg, Rows: 2, Cols: 2, DeltaT: -60 * float64(i+1), Solver: SolveDirect}
+	}
+	br := e.BatchSolve(jobs)
+	if br.Stats.Errors != 0 {
+		t.Fatalf("batch errors: %+v", br.Stats)
+	}
+	s := e.Stats()
+	if s.Assemblies != 1 {
+		t.Errorf("assemblies = %d, want 1", s.Assemblies)
+	}
+	if s.Factorizations != 1 {
+		t.Errorf("factorizations = %d, want 1", s.Factorizations)
+	}
+	for i, r := range br.Results {
+		if !r.Result.Solution.AssemblyShared {
+			t.Errorf("job %d did not use the shared assembly", i)
+		}
+	}
+}

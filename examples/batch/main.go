@@ -58,11 +58,50 @@ func main() {
 	fmt.Println("\ndirect-solver ΔT sweep (one factorization, eight solves):")
 	report(engine, sweep)
 
+	// The same sweep through the iterative (PCG) path: the engine assembles
+	// the reduced global system once per lattice, orders the sweep by ΔT,
+	// and warm-starts each solve from its neighbor's solution. The second
+	// engine disables warm starts — identical work, every solve from zero —
+	// to show the iteration budget the warm start saves.
+	pcgSweep := func() []morestress.Job {
+		jobs := make([]morestress.Job, 8)
+		for i := range jobs {
+			jobs[i] = morestress.Job{
+				Config: morestress.DefaultConfig(15),
+				Rows:   6, Cols: 6,
+				DeltaT: -40 * float64(i+1),
+				Solver: morestress.SolveCG,
+			}
+		}
+		return jobs
+	}
+	fmt.Println("\npcg ΔT sweep (assemble-once + warm starts vs cold baseline):")
+	warmBR := engine.BatchSolve(pcgSweep())
+	coldEngine := morestress.NewEngine(morestress.EngineOptions{Workers: 4, DisableWarmStart: true})
+	coldBR := coldEngine.BatchSolve(pcgSweep())
+	fmt.Printf("  warm: %4d total PCG iterations (%d/%d solves warm-started; lattice matrix reused from the direct sweep's assembly)\n",
+		warmBR.Stats.Iterations, warmBR.Stats.WarmStarts, warmBR.Stats.Jobs)
+	fmt.Printf("  cold: %4d total PCG iterations (every solve from zero)\n", coldBR.Stats.Iterations)
+	if warmBR.Stats.Iterations < coldBR.Stats.Iterations {
+		fmt.Printf("  => warm-start + assemble-once saved %d iterations (%.0f%%)\n",
+			coldBR.Stats.Iterations-warmBR.Stats.Iterations,
+			100*float64(coldBR.Stats.Iterations-warmBR.Stats.Iterations)/float64(coldBR.Stats.Iterations))
+	}
+
 	s := engine.Stats()
-	fmt.Printf("\nengine lifetime: %d jobs, %d ROM builds (%v local-stage time), %d cache hits, %d factorization(s), %d factor hits\n",
-		s.JobsDone, s.Cache.Misses, s.Cache.BuildTime, s.Cache.Hits, s.Factorizations, s.FactorHits)
+	fmt.Printf("\nengine lifetime: %d jobs, %d ROM builds (%v local-stage time), %d cache hits, %d factorization(s), %d factor hits, %d assemblies (%d reused), warm-start rate %.0f%%\n",
+		s.JobsDone, s.Cache.Misses, s.Cache.BuildTime, s.Cache.Hits, s.Factorizations, s.FactorHits,
+		s.Assemblies, s.AssemblyHits, 100*warmRate(s))
 
 	asyncDemo(engine)
+}
+
+// warmRate is the engine-lifetime warm-start hit rate.
+func warmRate(s morestress.EngineStats) float64 {
+	if s.IterativeSolves == 0 {
+		return 0
+	}
+	return float64(s.WarmStarts) / float64(s.IterativeSolves)
 }
 
 // asyncDemo submits a ΔT sweep to the job queue and watches its lifecycle
@@ -103,7 +142,8 @@ func asyncDemo(engine *morestress.Engine) {
 		case jobqueue.EventState:
 			fmt.Printf("  state=%s %d/%d scenarios\n", ev.State, ev.Completed, ev.Total)
 		case jobqueue.EventScenario:
-			fmt.Printf("  scenario %d finished (%d/%d)\n", ev.Scenario, ev.Completed, ev.Total)
+			fmt.Printf("  scenario %d finished (%d/%d): %d iterations, precond=%s, warm=%v\n",
+				ev.Scenario, ev.Completed, ev.Total, ev.Iterations, ev.Precond, ev.WarmStart)
 		}
 	}
 	snap, _ := queue.Get(id)

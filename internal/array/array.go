@@ -8,6 +8,7 @@
 package array
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -70,13 +71,25 @@ type Problem struct {
 	BoundaryDisp func(p mesh.Vec3) [3]float64
 	// Solver selects GMRES (default), CG, or Direct.
 	Solver SolverKind
-	// Precond selects the preconditioner of the iterative solvers
-	// (default Jacobi).
-	Precond solver.PrecondKind
-	// Opt configures the iterative solver.
+	// Opt configures the iterative solver, including the preconditioner
+	// (Opt.Precond, default solver.PrecondAuto).
 	Opt solver.Options
 	// Workers bounds the parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Assembly optionally supplies a prebuilt assemble-once snapshot of the
+	// reduced global system. The matrix depends only on the ROM content,
+	// the array dimensions, the dummy layout, and the BC pattern — not on
+	// the thermal load — so a ΔT sweep over one lattice can build it once
+	// (NewAssembly) and re-solve with a fresh RHS per scenario. The caller
+	// must guarantee the snapshot was built for an equivalent Problem;
+	// Solve checks the cheap structural invariants (dimensions, node
+	// counts, BC kind) and trusts the rest.
+	Assembly *Assembly
+	// X0 optionally seeds the iterative solvers with an initial guess in
+	// reduced free-DoF ordering — the QFree of a previous Solution on the
+	// same assembly (warm start). A wrong-length seed is ignored; a seed
+	// that makes the solver diverge is retried cold (WarmFallback).
+	X0 []float64
 	// Factors optionally shares sparse Cholesky factorizations across
 	// repeated Direct solves: when set together with FactorKey, the Direct
 	// branch asks the cache instead of factoring unconditionally. The
@@ -200,18 +213,151 @@ func (l *Lattice) BlockDoFMap(r *rom.ROM, bx, by int) []int32 {
 
 // Solution is the outcome of the global stage.
 type Solution struct {
+	// Prob is a snapshot of the solved problem for post-processing (field
+	// reconstruction needs the ROMs and the ΔT field). Its Assembly and X0
+	// are cleared so a retained Solution — e.g. an async job result held
+	// for its TTL — does not pin the reduced global matrix or the
+	// warm-start seed beyond the solve.
 	Prob    *Problem
 	Lattice *Lattice
 	// Q holds the global surface-node displacements (3 per node).
 	Q []float64
-	// Stats reports the iterative solve.
+	// QFree is the solution in reduced free-DoF ordering — the warm-start
+	// seed (Problem.X0) for the next solve on the same assembly. Empty in
+	// the degenerate all-constrained case.
+	QFree []float64
+	// Stats reports the iterative solve, including the resolved
+	// preconditioner kind and whether the solve was warm-started.
 	Stats solver.Stats
-	// Timings of the two global-stage phases.
+	// Timings of the two global-stage phases. When AssemblyShared is true,
+	// AssembleTime covers only the per-scenario RHS build; the matrix
+	// assembly was paid once by the shared Assembly (its cost is in
+	// Assembly.BuildTime).
 	AssembleTime, SolveTime time.Duration
+	// AssemblyShared reports that the reduced system came from
+	// Problem.Assembly instead of being assembled by this Solve call.
+	AssemblyShared bool
+	// WarmFallback reports that the warm-started solve diverged and the
+	// recorded Stats are from the cold retry.
+	WarmFallback bool
 	// GlobalDoFs is the size of the abstract global system.
 	GlobalDoFs int
 	// MatrixNNZ is the assembled global matrix's stored entries.
 	MatrixNNZ int
+}
+
+// Assembly is the assemble-once snapshot of a lattice's reduced global
+// system: everything about the global stage that does not depend on the
+// thermal load. Solving a scenario against a prebuilt Assembly costs one
+// RHS build plus the linear solve; the matrix scatter, compaction, and
+// Dirichlet reduction are paid once per lattice. An Assembly is immutable
+// after NewAssembly and safe to share across concurrent Solve calls.
+type Assembly struct {
+	// Lat is the global surface-node lattice.
+	Lat *Lattice
+	// Red is the reduced system (A_ff, A_fb, unit thermal load b_f); nil in
+	// the degenerate case where every DoF is constrained (AllBC).
+	Red *fem.Reduced
+	// BC is the boundary-condition kind the constraint mask was built for.
+	BC BCKind
+	// BCNodes lists the constrained global node ids in id order.
+	BCNodes []int32
+	// AllBC marks the degenerate case with no free DoFs (e.g. (2,2,2)
+	// interpolation nodes under ClampedTopBottom).
+	AllBC bool
+	// NNZ is the stored-entry count of the full assembled matrix.
+	NNZ int
+	// BuildTime is the one-shot cost of the matrix assembly + reduction.
+	BuildTime time.Duration
+}
+
+// NewAssembly runs the load-independent part of the global stage for the
+// problem: lattice enumeration, unit-load matrix assembly, and Dirichlet
+// reduction. The result can be placed in Problem.Assembly for every
+// scenario on the same lattice (same ROM content, dimensions, dummy layout,
+// and BC kind).
+func NewAssembly(p *Problem, workers int) (*Assembly, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	lat := NewLattice(p.Bx, p.By, p.ROM.Spec.Nodes, p.ROM.Spec.Geom.Pitch, p.ROM.Spec.Geom.Height)
+	k, f := assembleGlobal(p, lat, workers)
+
+	isBC := make([]bool, lat.NumDoFs())
+	var bcNodes []int32
+	for id := 0; id < lat.NumNodes(); id++ {
+		var fixed bool
+		switch p.BC {
+		case ClampedTopBottom:
+			fixed = lat.OnTopOrBottom(id)
+		case PrescribedBoundary:
+			fixed = lat.OnOuterBoundary(id)
+		}
+		if fixed {
+			isBC[3*id] = true
+			isBC[3*id+1] = true
+			isBC[3*id+2] = true
+			bcNodes = append(bcNodes, int32(id))
+		}
+	}
+	asm := &Assembly{Lat: lat, BC: p.BC, BCNodes: bcNodes, NNZ: k.NNZ()}
+	asm.AllBC = true
+	for _, b := range isBC {
+		if !b {
+			asm.AllBC = false
+			break
+		}
+	}
+	if !asm.AllBC {
+		red, err := fem.Reduce(k, f, isBC)
+		if err != nil {
+			return nil, err
+		}
+		asm.Red = red
+	}
+	asm.BuildTime = time.Since(start)
+	return asm, nil
+}
+
+// NumFree returns the reduced system size (0 when AllBC).
+func (a *Assembly) NumFree() int {
+	if a.Red == nil {
+		return 0
+	}
+	return a.Red.NFree()
+}
+
+// MemoryBytes estimates the snapshot's storage footprint, for byte-budgeted
+// caches.
+func (a *Assembly) MemoryBytes() int64 {
+	b := int64(4*len(a.Lat.Index)) + int64(24*len(a.Lat.Nodes)) + int64(4*len(a.BCNodes))
+	if a.Red != nil {
+		b += a.Red.Aff.MemoryBytes() + a.Red.Afb.MemoryBytes()
+		b += int64(8*len(a.Red.Bf)) + int64(4*(len(a.Red.FreeIdx)+len(a.Red.BCIdx)))
+	}
+	return b
+}
+
+// matches checks the cheap structural invariants between a shared assembly
+// and the problem about to use it. It cannot detect a different ROM with
+// identical dimensions — keying the cache on ROM content is the caller's
+// contract.
+func (a *Assembly) matches(p *Problem) error {
+	if a.Lat.Bx != p.Bx || a.Lat.By != p.By {
+		return fmt.Errorf("array: shared assembly is %d×%d blocks, problem wants %d×%d", a.Lat.Bx, a.Lat.By, p.Bx, p.By)
+	}
+	n := p.ROM.Spec.Nodes
+	if a.Lat.NxN != n[0] || a.Lat.NyN != n[1] || a.Lat.NzN != n[2] {
+		return fmt.Errorf("array: shared assembly node counts (%d,%d,%d) differ from ROM %v", a.Lat.NxN, a.Lat.NyN, a.Lat.NzN, n)
+	}
+	if a.BC != p.BC {
+		return fmt.Errorf("array: shared assembly was built for BC %d, problem wants %d", a.BC, p.BC)
+	}
+	return nil
 }
 
 // Validate checks problem consistency.
@@ -247,9 +393,21 @@ func (p *Problem) Validate() error {
 	return nil
 }
 
+// snapshot copies the problem for retention in a Solution, dropping the
+// references a solved result no longer needs: the Assembly (the full
+// reduced matrix — post-processing only needs the Lattice, stored on the
+// Solution) and the warm-start seed.
+func (p *Problem) snapshot() *Problem {
+	c := *p
+	c.Assembly = nil
+	c.X0 = nil
+	return &c
+}
+
 // Solve runs the global stage: assembly (Eqs. 18–19 outputs scattered by the
-// standard procedure), lifting of boundary conditions, iterative solve, and
-// returns the global surface-node displacement.
+// standard procedure) — or reuse of a shared Problem.Assembly — lifting of
+// boundary conditions, the (preconditioned, optionally warm-started) solve,
+// and returns the global surface-node displacement.
 func Solve(p *Problem) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -259,45 +417,32 @@ func Solve(p *Problem) (*Solution, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	lat := NewLattice(p.Bx, p.By, p.ROM.Spec.Nodes, p.ROM.Spec.Geom.Pitch, p.ROM.Spec.Geom.Height)
-	ndof := lat.NumDoFs()
-
 	tAsm := time.Now()
-	k, f := assembleGlobal(p, lat, workers)
-
-	// Boundary conditions by lifting.
-	isBC := make([]bool, ndof)
-	var bcNodes []int32
-	for id := 0; id < lat.NumNodes(); id++ {
-		var fixed bool
-		switch p.BC {
-		case ClampedTopBottom:
-			fixed = lat.OnTopOrBottom(id)
-		case PrescribedBoundary:
-			fixed = lat.OnOuterBoundary(id)
+	asm := p.Assembly
+	shared := asm != nil
+	if shared {
+		if err := asm.matches(p); err != nil {
+			return nil, err
 		}
-		if fixed {
-			isBC[3*id] = true
-			isBC[3*id+1] = true
-			isBC[3*id+2] = true
-			bcNodes = append(bcNodes, int32(id))
+	} else {
+		var err error
+		asm, err = NewAssembly(p, workers)
+		if err != nil {
+			return nil, err
 		}
 	}
+	lat := asm.Lat
+	ndof := lat.NumDoFs()
+	snap := p.snapshot()
+
 	// With (2,2,2) interpolation nodes and clamped top/bottom every global
 	// DoF is constrained; the global solve degenerates to q = u_bc (the
 	// paper's Table 3 still evaluates this case through the per-block
 	// thermal basis).
-	allBC := true
-	for _, b := range isBC {
-		if !b {
-			allBC = false
-			break
-		}
-	}
-	if allBC {
+	if asm.AllBC {
 		q := make([]float64, ndof)
 		if p.BC == PrescribedBoundary {
-			for _, id := range bcNodes {
+			for _, id := range asm.BCNodes {
 				d := p.BoundaryDisp(lat.Position(int(id)))
 				q[3*id] = d[0]
 				q[3*id+1] = d[1]
@@ -305,30 +450,33 @@ func Solve(p *Problem) (*Solution, error) {
 			}
 		}
 		return &Solution{
-			Prob: p, Lattice: lat, Q: q,
-			Stats:        solver.Stats{Converged: true},
-			AssembleTime: time.Since(tAsm),
-			GlobalDoFs:   ndof, MatrixNNZ: k.NNZ(),
+			Prob: snap, Lattice: lat, Q: q,
+			Stats:          solver.Stats{Converged: true},
+			AssembleTime:   time.Since(tAsm),
+			AssemblyShared: shared,
+			GlobalDoFs:     ndof, MatrixNNZ: asm.NNZ,
 		}, nil
 	}
 
-	red, err := fem.Reduce(k, f, isBC)
-	if err != nil {
-		return nil, err
-	}
+	red := asm.Red
 	var ubc []float64
 	if p.BC == PrescribedBoundary {
 		ubc = make([]float64, len(red.BCIdx))
-		for bi, id := range bcNodes {
+		for bi, id := range asm.BCNodes {
 			d := p.BoundaryDisp(lat.Position(int(id)))
 			ubc[3*bi] = d[0]
 			ubc[3*bi+1] = d[1]
 			ubc[3*bi+2] = d[2]
 		}
 	}
-	// The global load already carries ΔT (assembled above), so the reduced
-	// RHS uses deltaT = 1 against it.
-	rhs := red.RHS(1, ubc)
+	// The assembly carries the unit thermal load: a uniform scenario scales
+	// it by ΔT; a per-block field rebuilds the (cheap) load vector.
+	var rhs []float64
+	if p.DeltaTFor != nil {
+		rhs = red.RHSFrom(assembleLoad(p, lat), ubc)
+	} else {
+		rhs = red.RHS(p.DeltaT, ubc)
+	}
 	asmTime := time.Since(tAsm)
 
 	tSolve := time.Now()
@@ -336,25 +484,39 @@ func Solve(p *Problem) (*Solution, error) {
 	if opt.Workers == 0 {
 		opt.Workers = workers
 	}
-	var qf []float64
-	var stats solver.Stats
-	switch p.Solver {
-	case CG:
-		qf, stats, err = solver.PCG(red.Aff, rhs, nil, p.Precond, opt)
-	case Direct:
-		factor := func() (*solver.CholFactor, error) { return solver.NewCholesky(red.Aff) }
-		var chol *solver.CholFactor
-		if p.Factors != nil && p.FactorKey != "" {
-			chol, err = p.Factors.GetOrFactor(p.FactorKey, factor)
-		} else {
-			chol, err = factor()
+	x0 := p.X0
+	if len(x0) != len(rhs) {
+		x0 = nil
+	}
+	solve := func(seed []float64) (qf []float64, stats solver.Stats, err error) {
+		switch p.Solver {
+		case CG:
+			return solver.PCG(red.Aff, rhs, seed, opt)
+		case Direct:
+			factor := func() (*solver.CholFactor, error) { return solver.NewCholesky(red.Aff) }
+			var chol *solver.CholFactor
+			if p.Factors != nil && p.FactorKey != "" {
+				chol, err = p.Factors.GetOrFactor(p.FactorKey, factor)
+			} else {
+				chol, err = factor()
+			}
+			if err != nil {
+				return nil, stats, err
+			}
+			return chol.Solve(rhs), solver.Stats{Converged: true}, nil
+		default:
+			return solver.GMRES(red.Aff, rhs, seed, opt)
 		}
-		if err == nil {
-			qf = chol.Solve(rhs)
-			stats = solver.Stats{Converged: true}
-		}
-	default:
-		qf, stats, err = solver.GMRESP(red.Aff, rhs, nil, p.Precond, opt)
+	}
+	qf, stats, err := solve(x0)
+	fellBack := false
+	if err != nil && x0 != nil && errors.Is(err, solver.ErrStalled) {
+		// A bad warm seed can stall the iteration; the scenario is still
+		// solvable from zero. Retry cold and record the fallback. Structural
+		// failures (breakdowns, dimension mismatches) are not retried — a
+		// different start cannot fix them.
+		qf, stats, err = solve(nil)
+		fellBack = true
 	}
 	if err != nil {
 		return nil, fmt.Errorf("array: global solve failed: %w", err)
@@ -363,9 +525,10 @@ func Solve(p *Problem) (*Solution, error) {
 	solveTime := time.Since(tSolve)
 
 	return &Solution{
-		Prob: p, Lattice: lat, Q: q, Stats: stats,
+		Prob: snap, Lattice: lat, Q: q, QFree: qf, Stats: stats,
 		AssembleTime: asmTime, SolveTime: solveTime,
-		GlobalDoFs: ndof, MatrixNNZ: k.NNZ(),
+		AssemblyShared: shared, WarmFallback: fellBack,
+		GlobalDoFs: ndof, MatrixNNZ: asm.NNZ,
 	}, nil
 }
 

@@ -349,8 +349,9 @@ func TestBlockJacobiPrecondGlobal(t *testing.T) {
 		Opt: solver.Options{Tol: 1e-10},
 	}
 	pj := base
+	pj.Opt.Precond = solver.PrecondJacobi // pin: the auto default would also pick block-Jacobi-3 here
 	pb := base
-	pb.Precond = solver.PrecondBlockJacobi3
+	pb.Opt.Precond = solver.PrecondBlockJacobi3
 	sj, err := Solve(&pj)
 	if err != nil {
 		t.Fatal(err)
@@ -368,5 +369,143 @@ func TestBlockJacobiPrecondGlobal(t *testing.T) {
 	}
 	if maxDiff > 1e-6*(1+linalg.NormInf(sj.Q)) {
 		t.Errorf("preconditioners disagree: %g", maxDiff)
+	}
+}
+
+// TestAssemblyReuseMatchesFresh checks the assemble-once path is a pure
+// refactor of per-solve assembly: solving through a shared Assembly must
+// reproduce the fresh-assembly solution bitwise — including the nonuniform
+// (DeltaTFor) path, which rebuilds only the load vector against the cached
+// matrix.
+func TestAssemblyReuseMatchesFresh(t *testing.T) {
+	r := buildROM(t, 3, true)
+	base := Problem{
+		ROM: r, Bx: 3, By: 2, DeltaT: -180,
+		BC: ClampedTopBottom, Solver: CG,
+		Opt:     solver.Options{Tol: 1e-10},
+		Workers: 1, // deterministic reduction order on both paths
+	}
+	hot := func(bx, by int) float64 { return -60 * float64(1+bx+by) }
+
+	for _, tc := range []struct {
+		name  string
+		dtFor func(bx, by int) float64
+	}{
+		{"uniform", nil},
+		{"per-block", hot},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fresh := base
+			fresh.DeltaTFor = tc.dtFor
+			fs, err := Solve(&fresh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fs.AssemblyShared {
+				t.Error("fresh solve reported a shared assembly")
+			}
+
+			pre := base
+			pre.DeltaTFor = tc.dtFor
+			asm, err := NewAssembly(&pre, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shared := base
+			shared.DeltaTFor = tc.dtFor
+			shared.Assembly = asm
+			ss, err := Solve(&shared)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ss.AssemblyShared {
+				t.Error("shared solve did not report the shared assembly")
+			}
+			for i := range fs.Q {
+				if fs.Q[i] != ss.Q[i] {
+					t.Fatalf("Q[%d] differs: fresh %g vs shared %g", i, fs.Q[i], ss.Q[i])
+				}
+			}
+		})
+	}
+}
+
+// TestAssemblyMismatchRejected checks the structural guards on a shared
+// assembly: wrong dimensions or BC kind must fail loudly, not solve the
+// wrong system.
+func TestAssemblyMismatchRejected(t *testing.T) {
+	r := buildROM(t, 3, true)
+	p := &Problem{ROM: r, Bx: 2, By: 2, DeltaT: -100, BC: ClampedTopBottom}
+	asm, err := NewAssembly(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongDims := *p
+	wrongDims.Bx = 3
+	wrongDims.Assembly = asm
+	if _, err := Solve(&wrongDims); err == nil {
+		t.Error("expected error for mismatched dimensions")
+	}
+	wrongBC := *p
+	wrongBC.BC = PrescribedBoundary
+	wrongBC.BoundaryDisp = func(mesh.Vec3) [3]float64 { return [3]float64{} }
+	wrongBC.Assembly = asm
+	if _, err := Solve(&wrongBC); err == nil {
+		t.Error("expected error for mismatched BC kind")
+	}
+}
+
+// TestWarmStartFallbackOnBadSeed checks the divergence fallback: a poisoned
+// initial guess (NaNs break the PCG recurrence) must not fail the solve —
+// it is retried cold and flagged via WarmFallback.
+func TestWarmStartFallbackOnBadSeed(t *testing.T) {
+	r := buildROM(t, 3, true)
+	p := &Problem{
+		ROM: r, Bx: 2, By: 2, DeltaT: -100,
+		BC: ClampedTopBottom, Solver: CG,
+		Opt: solver.Options{Tol: 1e-9, MaxIter: 400},
+	}
+	good, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.WarmFallback || good.Stats.Warm {
+		t.Fatalf("cold solve misreported warm state: %+v", good.Stats)
+	}
+
+	bad := *p
+	bad.X0 = make([]float64, len(good.QFree))
+	for i := range bad.X0 {
+		bad.X0[i] = math.NaN()
+	}
+	sol, err := Solve(&bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.WarmFallback {
+		t.Error("poisoned seed did not trigger the cold fallback")
+	}
+	if sol.Stats.Warm {
+		t.Error("fallback stats still report a warm solve")
+	}
+	var maxDiff float64
+	for i := range sol.Q {
+		if d := math.Abs(sol.Q[i] - good.Q[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-9 {
+		t.Errorf("fallback solution deviates by %g", maxDiff)
+	}
+
+	// A wrong-length seed is ignored, not an error.
+	short := *p
+	short.X0 = []float64{1, 2, 3}
+	ss, err := Solve(&short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Stats.Warm || ss.WarmFallback {
+		t.Error("wrong-length seed should be dropped silently")
 	}
 }

@@ -10,7 +10,11 @@ import (
 
 // assembleGlobal scatters every block's dense element stiffness and load
 // (Eqs. 18–19) into the sparse global system by the standard assembly
-// procedure. The scatter is parallel over blocks: row segments are
+// procedure. The load is assembled for a unit thermal field (ΔT ≡ 1):
+// neither output depends on the scenario's thermal load, which is what lets
+// an Assembly be built once per lattice and reused across a ΔT sweep (the
+// RHS is scaled — or rebuilt by assembleLoad for per-block fields — per
+// scenario). The scatter is parallel over blocks: row segments are
 // pre-counted, per-row write cursors are advanced atomically, and the
 // unordered duplicated entries are compacted in a parallel finishing pass —
 // no triplet intermediary, which matters at paper-scale arrays (50×50 blocks
@@ -62,7 +66,6 @@ func assembleGlobal(p *Problem, lat *Lattice, workers int) (*sparse.CSR, []float
 			for jb := range jobs {
 				r := blockROM(jb.bx, jb.by)
 				dmap := lat.BlockDoFMap(r, jb.bx, jb.by)
-				dt := p.blockDeltaT(jb.bx, jb.by)
 				for i := 0; i < r.N; i++ {
 					gi := dmap[i]
 					row := r.Aelem.Row(i)
@@ -72,7 +75,7 @@ func assembleGlobal(p *Problem, lat *Lattice, workers int) (*sparse.CSR, []float
 						colIdx[seg+j] = dmap[j]
 						vals[seg+j] = row[j]
 					}
-					fb[gi] += dt * r.Belem[i]
+					fb[gi] += r.Belem[i]
 				}
 			}
 		}(w)
@@ -96,4 +99,27 @@ func assembleGlobal(p *Problem, lat *Lattice, workers int) (*sparse.CSR, []float
 	}
 	raw := &sparse.CSR{NRows: ndof, NCols: ndof, RowPtr: rowCount, ColIdx: colIdx, Vals: vals}
 	return raw.CompactRows(workers), f
+}
+
+// assembleLoad builds the thermal load vector for the problem's per-block
+// ΔT field. This is the only per-scenario assembly work left once the matrix
+// comes from a shared Assembly: O(blocks·n) scalar accumulation, no matrix
+// scatter. Serial — it is orders of magnitude cheaper than the stiffness
+// pass.
+func assembleLoad(p *Problem, lat *Lattice) []float64 {
+	f := make([]float64, lat.NumDoFs())
+	for by := 0; by < p.By; by++ {
+		for bx := 0; bx < p.Bx; bx++ {
+			r := p.ROM
+			if p.IsDummy != nil && p.IsDummy(bx, by) {
+				r = p.DummyROM
+			}
+			dmap := lat.BlockDoFMap(r, bx, by)
+			dt := p.blockDeltaT(bx, by)
+			for i := 0; i < r.N; i++ {
+				f[dmap[i]] += dt * r.Belem[i]
+			}
+		}
+	}
+	return f
 }

@@ -214,6 +214,12 @@ func SolveCoarse(st Stack, res Resolution, deltaT float64, extraBreaks []float64
 	if opt.Workers == 0 {
 		opt.Workers = workers
 	}
+	if opt.Precond == solver.PrecondAuto {
+		// The coarse package model is a large sparse fine-mesh system; see
+		// solver.JacobiFamily for why the size-based auto rule (which would
+		// pick serial IC0) does not apply.
+		opt.Precond = solver.JacobiFamily(red.NFree())
+	}
 	xf, stats, err := solver.CG(red.Aff, rhs, nil, opt)
 	if err != nil {
 		return nil, fmt.Errorf("chiplet: coarse solve failed: %w", err)

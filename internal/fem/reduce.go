@@ -77,6 +77,29 @@ func (r *Reduced) RHS(deltaT float64, ubc []float64) []float64 {
 	return rhs
 }
 
+// RHSFrom forms the lifted right-hand side f_f − A_fb·u_bc for a caller-
+// supplied full-size load vector f, bypassing the stored unit load Bf. The
+// assemble-once global stage uses this for per-block (nonuniform) thermal
+// fields, where the load is not a scalar multiple of the unit load.
+func (r *Reduced) RHSFrom(f []float64, ubc []float64) []float64 {
+	if len(f) != r.NFull {
+		panic(fmt.Sprintf("fem: RHSFrom load length %d, want %d", len(f), r.NFull))
+	}
+	rhs := make([]float64, len(r.FreeIdx))
+	for fi, full := range r.FreeIdx {
+		rhs[fi] = f[full]
+	}
+	if ubc != nil {
+		if len(ubc) != len(r.BCIdx) {
+			panic(fmt.Sprintf("fem: RHSFrom ubc length %d, want %d", len(ubc), len(r.BCIdx)))
+		}
+		tmp := make([]float64, len(r.FreeIdx))
+		r.Afb.MulVec(tmp, ubc)
+		linalg.Axpy(-1, tmp, rhs)
+	}
+	return rhs
+}
+
 // Expand reassembles the full displacement vector from the free solution xf
 // and the boundary values ubc (BCIdx order; nil means zero).
 func (r *Reduced) Expand(xf, ubc []float64) []float64 {

@@ -78,6 +78,16 @@ type Event struct {
 	// Err carries the scenario error of a failed EventScenario, or the
 	// job-level error of a failed terminal EventState.
 	Err string `json:"error,omitempty"`
+	// Iterations, Residual, Precond, and WarmStart surface the global-stage
+	// solver outcome of a successful iterative EventScenario: how many
+	// PCG/GMRES iterations the scenario took, its final relative residual,
+	// the resolved preconditioner, and whether the solve was seeded from a
+	// previous solution on the same lattice. Zero/empty for state events,
+	// failed scenarios, and direct solves.
+	Iterations int     `json:"iterations,omitempty"`
+	Residual   float64 `json:"residual,omitempty"`
+	Precond    string  `json:"precond,omitempty"`
+	WarmStart  bool    `json:"warmStart,omitempty"`
 }
 
 // SolveFunc solves one scenario. The context is the job's: it is cancelled
@@ -577,6 +587,11 @@ func (q *Queue) run(j *job) {
 		if res.Err != nil {
 			j.failed++
 			ev.Err = res.Err.Error()
+		} else if res.Result != nil && res.Result.Iterative() {
+			ev.Iterations = res.Result.Stats.Iterations
+			ev.Residual = res.Result.Stats.Residual
+			ev.Precond = res.Result.Stats.Precond.String()
+			ev.WarmStart = res.Result.Stats.Warm
 		}
 		j.publish(ev)
 		j.mu.Unlock()

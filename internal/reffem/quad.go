@@ -69,7 +69,8 @@ func solveQuadratic(p *Problem, grid *mesh.Grid, model *fem.Model) (*Result, err
 	if opt.Workers == 0 {
 		opt.Workers = p.Workers
 	}
-	xf, stats, err := solver.PCG(red.Aff, rhs, nil, p.Precond, opt)
+	opt = referencePrecond(opt, p.Precond, red.NFree())
+	xf, stats, err := solver.PCG(red.Aff, rhs, nil, opt)
 	if err != nil {
 		return nil, fmt.Errorf("reffem: quadratic solve failed: %w", err)
 	}

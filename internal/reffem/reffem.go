@@ -53,8 +53,9 @@ type Problem struct {
 	// BoundaryDisp supplies prescribed boundary displacements for
 	// PrescribedBoundary (global µm coordinates).
 	BoundaryDisp func(p mesh.Vec3) [3]float64
-	// Precond selects the CG preconditioner (default Jacobi; BlockJacobi3
-	// and IC0 available as ablations).
+	// Precond selects the CG preconditioner (default PrecondAuto, which
+	// resolves by system size; the concrete kinds remain available as
+	// ablations). Opt.Precond, when set, wins over this field.
 	Precond solver.PrecondKind
 	// Quadratic switches the discretization to 20-node serendipity
 	// hexahedra (the ANSYS SOLID186 element class) for a higher-fidelity
@@ -120,6 +121,21 @@ func (p *Problem) blockOf(x, y float64) (bx, by int) {
 		by = p.By - 1
 	}
 	return bx, by
+}
+
+// referencePrecond resolves the preconditioner for a reference solve: the
+// legacy Problem.Precond field folds into Opt (which wins when set), and a
+// still-unresolved Auto picks solver.JacobiFamily — see that helper for why
+// the size-based auto rule does not apply to the full-resolution baselines.
+// Shared by the trilinear and quadratic paths.
+func referencePrecond(opt solver.Options, legacy solver.PrecondKind, nfree int) solver.Options {
+	if opt.Precond == solver.PrecondAuto {
+		opt.Precond = legacy
+	}
+	if opt.Precond == solver.PrecondAuto {
+		opt.Precond = solver.JacobiFamily(nfree)
+	}
+	return opt
 }
 
 // Solve assembles and solves the full fine-mesh array problem.
@@ -198,7 +214,8 @@ func Solve(p *Problem) (*Result, error) {
 	if opt.Workers == 0 {
 		opt.Workers = p.Workers
 	}
-	xf, stats, err := solver.PCG(red.Aff, rhs, nil, p.Precond, opt)
+	opt = referencePrecond(opt, p.Precond, red.NFree())
+	xf, stats, err := solver.PCG(red.Aff, rhs, nil, opt)
 	if err != nil {
 		return nil, fmt.Errorf("reffem: solve failed: %w", err)
 	}

@@ -97,3 +97,28 @@ func BenchmarkAblationFactorReuse(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkPCGPrecond compares the preconditioners on a 3-DoF-per-node
+// elasticity-like system — the data behind docs/SOLVER_TUNING.md. The
+// iterations metric is the converged iteration count.
+func BenchmarkPCGPrecond(b *testing.B) {
+	a := elasticity3(12, 12, 8)
+	rng := rand.New(rand.NewSource(42))
+	rhs := make([]float64, a.NRows)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	for _, kind := range []PrecondKind{PrecondNone, PrecondJacobi, PrecondBlockJacobi3, PrecondIC0} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var its int
+			for i := 0; i < b.N; i++ {
+				_, stats, err := PCG(a, rhs, nil, Options{Tol: 1e-8, Precond: kind})
+				if err != nil {
+					b.Fatal(err)
+				}
+				its = stats.Iterations
+			}
+			b.ReportMetric(float64(its), "iterations")
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -9,11 +10,23 @@ import (
 	"repro/internal/sparse"
 )
 
+// ErrStalled tags iterative failures that may be specific to the starting
+// point — non-convergence within MaxIter, or a non-finite residual from a
+// poisoned seed. Warm-start callers retry these from zero (errors.Is);
+// structural failures (dimension mismatches, SPD breakdowns, preconditioner
+// construction errors) are not tagged, as a different start cannot fix them.
+var ErrStalled = errors.New("iteration stalled")
+
 // Stats reports the outcome of an iterative solve.
 type Stats struct {
 	Iterations int
 	Residual   float64 // final relative residual ‖b−Ax‖/‖b‖
 	Converged  bool
+	// Precond is the concrete preconditioner the solve ran with (Auto
+	// resolved against the system size).
+	Precond PrecondKind
+	// Warm reports whether the solve was seeded with an initial guess.
+	Warm bool
 }
 
 // Options configures the iterative solvers.
@@ -28,6 +41,19 @@ type Options struct {
 	// (default GOMAXPROCS, matching the Workers convention of the array
 	// and root packages).
 	Workers int
+	// Precond selects the preconditioner (default PrecondAuto: block-
+	// Jacobi-3 below AutoIC0Threshold DoFs, IC0 at and above it).
+	Precond PrecondKind
+}
+
+// normWorkers applies the package-wide worker-count default (GOMAXPROCS) so
+// that every matrix-vector product — including the out-of-band true-residual
+// checks — agrees with Options.withDefaults.
+func normWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -40,9 +66,7 @@ func (o Options) withDefaults(n int) Options {
 	if o.Restart <= 0 {
 		o.Restart = 60
 	}
-	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
-	}
+	o.Workers = normWorkers(o.Workers)
 	return o
 }
 
@@ -62,74 +86,19 @@ func jacobi(a *sparse.CSR) []float64 {
 }
 
 // CG solves the symmetric positive-definite system a·x = b with a
-// Jacobi-preconditioned conjugate-gradient iteration. x0 may be nil.
+// preconditioned conjugate-gradient iteration; it is PCG under its
+// historical name (the preconditioner comes from Options.Precond, default
+// PrecondAuto). x0 may be nil.
 func CG(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error) {
-	n := a.NRows
-	if a.NCols != n || len(b) != n {
-		return nil, Stats{}, fmt.Errorf("solver: CG dimension mismatch: matrix %d×%d, b %d", a.NRows, a.NCols, len(b))
-	}
-	opt = opt.withDefaults(n)
-	minv := jacobi(a)
-
-	x := make([]float64, n)
-	if x0 != nil {
-		copy(x, x0)
-	}
-	r := make([]float64, n)
-	ax := make([]float64, n)
-	a.MulVecPar(ax, x, opt.Workers)
-	linalg.Sub(r, b, ax)
-
-	bnorm := linalg.Norm2(b)
-	if bnorm == 0 {
-		return x, Stats{Converged: true}, nil
-	}
-
-	z := make([]float64, n)
-	for i := range z {
-		z[i] = minv[i] * r[i]
-	}
-	p := linalg.Copy(z)
-	rz := linalg.Dot(r, z)
-	ap := make([]float64, n)
-
-	var it int
-	for it = 0; it < opt.MaxIter; it++ {
-		res := linalg.Norm2(r) / bnorm
-		if res <= opt.Tol {
-			return x, Stats{Iterations: it, Residual: res, Converged: true}, nil
-		}
-		a.MulVecPar(ap, p, opt.Workers)
-		pap := linalg.Dot(p, ap)
-		if pap <= 0 {
-			return x, Stats{Iterations: it, Residual: res}, fmt.Errorf("solver: CG breakdown, pᵀAp=%g (matrix not SPD?)", pap)
-		}
-		alpha := rz / pap
-		linalg.Axpy(alpha, p, x)
-		linalg.Axpy(-alpha, ap, r)
-		for i := range z {
-			z[i] = minv[i] * r[i]
-		}
-		rzNew := linalg.Dot(r, z)
-		beta := rzNew / rz
-		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
-	}
-	res := linalg.Norm2(r) / bnorm
-	return x, Stats{Iterations: it, Residual: res}, fmt.Errorf("solver: CG did not converge in %d iterations (residual %g)", it, res)
+	return PCG(a, b, x0, opt)
 }
 
-// GMRES solves a·x = b with Jacobi-preconditioned restarted GMRES(m) using
+// GMRES solves a·x = b with left-preconditioned restarted GMRES(m) using
 // modified Gram–Schmidt orthogonalization and Givens rotations. This is the
-// global-stage solver recommended by the paper (§4.3). x0 may be nil.
+// global-stage solver recommended by the paper (§4.3). The preconditioner
+// comes from Options.Precond (default PrecondAuto); x0 optionally seeds the
+// iteration and may be nil.
 func GMRES(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error) {
-	return GMRESP(a, b, x0, PrecondJacobi, opt)
-}
-
-// GMRESP is GMRES with a caller-selected left preconditioner.
-func GMRESP(a *sparse.CSR, b, x0 []float64, kind PrecondKind, opt Options) ([]float64, Stats, error) {
 	n := a.NRows
 	if a.NCols != n || len(b) != n {
 		return nil, Stats{}, fmt.Errorf("solver: GMRES dimension mismatch: matrix %d×%d, b %d", a.NRows, a.NCols, len(b))
@@ -139,9 +108,11 @@ func GMRESP(a *sparse.CSR, b, x0 []float64, kind PrecondKind, opt Options) ([]fl
 	if m > n {
 		m = n
 	}
+	kind := opt.Precond.Resolve(n)
+	st := Stats{Precond: kind, Warm: x0 != nil}
 	pre, err := NewPreconditioner(kind, a)
 	if err != nil {
-		return nil, Stats{}, err
+		return nil, st, err
 	}
 
 	x := make([]float64, n)
@@ -150,7 +121,8 @@ func GMRESP(a *sparse.CSR, b, x0 []float64, kind PrecondKind, opt Options) ([]fl
 	}
 	bnorm := linalg.Norm2(b)
 	if bnorm == 0 {
-		return x, Stats{Converged: true}, nil
+		st.Converged = true
+		return x, st, nil
 	}
 
 	// Krylov basis (m+1 vectors) and Hessenberg in Givens-reduced form.
@@ -178,10 +150,19 @@ func GMRESP(a *sparse.CSR, b, x0 []float64, kind PrecondKind, opt Options) ([]fl
 		// Convergence check on the true (unpreconditioned) residual.
 		trueRes := trueResidual(a, b, x, w, opt.Workers) / bnorm
 		if trueRes <= opt.Tol {
-			return x, Stats{Iterations: totalIt, Residual: trueRes, Converged: true}, nil
+			st.Iterations, st.Residual, st.Converged = totalIt, trueRes, true
+			return x, st, nil
+		}
+		// A non-finite residual (NaN/Inf seed or restart blow-up) can never
+		// converge; fail now instead of burning MaxIter iterations —
+		// warm-start callers fall back to a cold solve on this error.
+		if math.IsNaN(trueRes) || math.IsInf(trueRes, 0) {
+			st.Iterations = totalIt
+			return x, st, fmt.Errorf("solver: GMRES residual is non-finite at iteration %d: %w", totalIt, ErrStalled)
 		}
 		if beta == 0 {
-			return x, Stats{Iterations: totalIt, Residual: trueRes, Converged: trueRes <= opt.Tol}, nil
+			st.Iterations, st.Residual, st.Converged = totalIt, trueRes, trueRes <= opt.Tol
+			return x, st, nil
 		}
 		for i := range v[0] {
 			v[0][i] = r[i] / beta
@@ -243,15 +224,19 @@ func GMRESP(a *sparse.CSR, b, x0 []float64, kind PrecondKind, opt Options) ([]fl
 	a.MulVecPar(w, x, opt.Workers)
 	linalg.Sub(r, b, w)
 	res := linalg.Norm2(r) / bnorm
+	st.Iterations, st.Residual = totalIt, res
 	if res <= opt.Tol {
-		return x, Stats{Iterations: totalIt, Residual: res, Converged: true}, nil
+		st.Converged = true
+		return x, st, nil
 	}
-	return x, Stats{Iterations: totalIt, Residual: res}, fmt.Errorf("solver: GMRES did not converge in %d iterations (residual %g)", totalIt, res)
+	return x, st, fmt.Errorf("solver: GMRES did not converge in %d iterations (residual %g): %w", totalIt, res, ErrStalled)
 }
 
-// trueResidual computes ‖b − A·x‖ using w as scratch.
+// trueResidual computes ‖b − A·x‖ using w as scratch. The worker count goes
+// through the same normWorkers default as Options.withDefaults, so a caller
+// passing a raw (zero) count gets the same parallelism as the solver body.
 func trueResidual(a *sparse.CSR, b, x, w []float64, workers int) float64 {
-	a.MulVecPar(w, x, workers)
+	a.MulVecPar(w, x, normWorkers(workers))
 	var s float64
 	for i := range b {
 		d := b[i] - w[i]

@@ -18,8 +18,15 @@ type Preconditioner interface {
 type PrecondKind int
 
 const (
-	// PrecondJacobi is the inverse-diagonal preconditioner (default).
-	PrecondJacobi PrecondKind = iota
+	// PrecondAuto — the zero value, and therefore the default wherever an
+	// Options travels unset — picks a preconditioner from the system size:
+	// block-Jacobi-3 for small/well-conditioned systems (the natural choice
+	// for displacement problems with 3 DoFs per node), IC0 at and above
+	// AutoIC0Threshold DoFs where the iteration-count savings dominate, and
+	// scalar Jacobi when the dimension is not a multiple of 3.
+	PrecondAuto PrecondKind = iota
+	// PrecondJacobi is the inverse-diagonal preconditioner.
+	PrecondJacobi
 	// PrecondBlockJacobi3 inverts the 3×3 diagonal blocks — the natural
 	// choice for displacement problems with 3 DoFs per node, which couples
 	// the x/y/z components of each node.
@@ -31,9 +38,82 @@ const (
 	PrecondNone
 )
 
-// NewPreconditioner builds the requested preconditioner for the SPD matrix a.
+// AutoIC0Threshold is the system size (DoFs) at and above which PrecondAuto
+// switches from block-Jacobi-3 to IC0: below it the cheap, embarrassingly
+// parallel block inverse wins on wall time; above it IC0's iteration-count
+// reduction pays for its serial triangular solves.
+const AutoIC0Threshold = 20000
+
+// Resolve maps PrecondAuto to the concrete kind chosen for an n-DoF system;
+// concrete kinds resolve to themselves.
+func (k PrecondKind) Resolve(n int) PrecondKind {
+	if k != PrecondAuto {
+		return k
+	}
+	switch {
+	case n >= AutoIC0Threshold:
+		return PrecondIC0
+	case n%3 == 0:
+		return PrecondBlockJacobi3
+	default:
+		return PrecondJacobi
+	}
+}
+
+// String returns the flag/JSON spelling of the kind (see ParsePrecond).
+func (k PrecondKind) String() string {
+	switch k {
+	case PrecondAuto:
+		return "auto"
+	case PrecondJacobi:
+		return "jacobi"
+	case PrecondBlockJacobi3:
+		return "block-jacobi3"
+	case PrecondIC0:
+		return "ic0"
+	case PrecondNone:
+		return "none"
+	}
+	return fmt.Sprintf("precond(%d)", int(k))
+}
+
+// ParsePrecond maps the String spellings (plus "" and the "bj3" shorthand)
+// back to a kind; the serve flags and request fields go through here.
+func ParsePrecond(s string) (PrecondKind, error) {
+	switch s {
+	case "", "auto":
+		return PrecondAuto, nil
+	case "jacobi":
+		return PrecondJacobi, nil
+	case "block-jacobi3", "bj3":
+		return PrecondBlockJacobi3, nil
+	case "ic0":
+		return PrecondIC0, nil
+	case "none":
+		return PrecondNone, nil
+	}
+	return PrecondAuto, fmt.Errorf("solver: unknown preconditioner %q (want auto, jacobi, block-jacobi3, ic0, or none)", s)
+}
+
+// JacobiFamily picks the parallel Jacobi-family preconditioner for an n-DoF
+// system: block-Jacobi-3 when the dimension is node-blocked, scalar Jacobi
+// otherwise. The full-resolution FEM baselines (reffem, chiplet) use this
+// instead of the size-based auto rule — their systems are far larger and
+// sparser than the reduced global matrices the IC0 threshold was tuned on,
+// and serial IC0 does not pay off there.
+func JacobiFamily(n int) PrecondKind {
+	if n%3 == 0 {
+		return PrecondBlockJacobi3
+	}
+	return PrecondJacobi
+}
+
+// NewPreconditioner builds the requested preconditioner for the SPD matrix a,
+// resolving PrecondAuto against the matrix size first. Every construction in
+// the package funnels through here so no solver path hardwires its own
+// preconditioner.
 func NewPreconditioner(kind PrecondKind, a *sparse.CSR) (Preconditioner, error) {
-	switch kind {
+	switch kind.Resolve(a.NRows) {
 	case PrecondJacobi:
 		return jacobiPrecond{inv: jacobi(a)}, nil
 	case PrecondBlockJacobi3:
@@ -239,17 +319,22 @@ func (p *ic0) Apply(dst, r []float64) {
 	}
 }
 
-// PCG is the preconditioned conjugate gradient with a caller-selected
-// preconditioner; CG delegates here with Jacobi.
-func PCG(a *sparse.CSR, b, x0 []float64, kind PrecondKind, opt Options) ([]float64, Stats, error) {
+// PCG is the preconditioned conjugate gradient for symmetric positive-
+// definite systems. The preconditioner comes from Options.Precond (default
+// PrecondAuto, resolved against the system size); x0 optionally seeds the
+// iteration (warm start) and may be nil. The returned Stats record the
+// resolved preconditioner kind and whether the solve was warm-started.
+func PCG(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error) {
 	n := a.NRows
 	if a.NCols != n || len(b) != n {
-		return nil, Stats{}, fmt.Errorf("solver: PCG dimension mismatch")
+		return nil, Stats{}, fmt.Errorf("solver: PCG dimension mismatch: matrix %d×%d, b %d", a.NRows, a.NCols, len(b))
 	}
 	opt = opt.withDefaults(n)
+	kind := opt.Precond.Resolve(n)
+	st := Stats{Precond: kind, Warm: x0 != nil}
 	m, err := NewPreconditioner(kind, a)
 	if err != nil {
-		return nil, Stats{}, err
+		return nil, st, err
 	}
 
 	x := make([]float64, n)
@@ -262,7 +347,8 @@ func PCG(a *sparse.CSR, b, x0 []float64, kind PrecondKind, opt Options) ([]float
 	linalg.Sub(r, b, ax)
 	bnorm := linalg.Norm2(b)
 	if bnorm == 0 {
-		return x, Stats{Converged: true}, nil
+		st.Converged = true
+		return x, st, nil
 	}
 	z := make([]float64, n)
 	m.Apply(z, r)
@@ -274,12 +360,21 @@ func PCG(a *sparse.CSR, b, x0 []float64, kind PrecondKind, opt Options) ([]float
 	for it = 0; it < opt.MaxIter; it++ {
 		res := linalg.Norm2(r) / bnorm
 		if res <= opt.Tol {
-			return x, Stats{Iterations: it, Residual: res, Converged: true}, nil
+			st.Iterations, st.Residual, st.Converged = it, res, true
+			return x, st, nil
+		}
+		// A non-finite residual (NaN/Inf seed or mid-iteration blow-up) can
+		// never converge; fail now instead of burning MaxIter iterations —
+		// warm-start callers fall back to a cold solve on this error.
+		if math.IsNaN(res) || math.IsInf(res, 0) {
+			st.Iterations = it
+			return x, st, fmt.Errorf("solver: PCG residual is non-finite at iteration %d: %w", it, ErrStalled)
 		}
 		a.MulVecPar(ap, p, opt.Workers)
 		pap := linalg.Dot(p, ap)
 		if pap <= 0 {
-			return x, Stats{Iterations: it, Residual: res}, fmt.Errorf("solver: PCG breakdown, pᵀAp=%g", pap)
+			st.Iterations, st.Residual = it, res
+			return x, st, fmt.Errorf("solver: PCG breakdown, pᵀAp=%g (matrix not SPD?)", pap)
 		}
 		alpha := rz / pap
 		linalg.Axpy(alpha, p, x)
@@ -293,5 +388,6 @@ func PCG(a *sparse.CSR, b, x0 []float64, kind PrecondKind, opt Options) ([]float
 		}
 	}
 	res := linalg.Norm2(r) / bnorm
-	return x, Stats{Iterations: it, Residual: res}, fmt.Errorf("solver: PCG did not converge in %d iterations (residual %g)", it, res)
+	st.Iterations, st.Residual = it, res
+	return x, st, fmt.Errorf("solver: PCG did not converge in %d iterations (residual %g): %w", it, res, ErrStalled)
 }

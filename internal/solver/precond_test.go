@@ -66,13 +66,16 @@ func TestPreconditionersSolveSameSystem(t *testing.T) {
 	b := make([]float64, a.NRows)
 	a.MulVec(b, want)
 
-	for _, kind := range []PrecondKind{PrecondNone, PrecondJacobi, PrecondBlockJacobi3, PrecondIC0} {
-		x, stats, err := PCG(a, b, nil, kind, Options{Tol: 1e-10})
+	for _, kind := range []PrecondKind{PrecondAuto, PrecondNone, PrecondJacobi, PrecondBlockJacobi3, PrecondIC0} {
+		x, stats, err := PCG(a, b, nil, Options{Tol: 1e-10, Precond: kind})
 		if err != nil {
-			t.Fatalf("kind %d: %v", kind, err)
+			t.Fatalf("kind %v: %v", kind, err)
 		}
 		if !stats.Converged {
-			t.Fatalf("kind %d did not converge", kind)
+			t.Fatalf("kind %v did not converge", kind)
+		}
+		if stats.Precond != kind.Resolve(a.NRows) {
+			t.Fatalf("kind %v: stats report %v, want %v", kind, stats.Precond, kind.Resolve(a.NRows))
 		}
 		for i := range x {
 			if math.Abs(x[i]-want[i]) > 1e-7*(1+math.Abs(want[i])) {
@@ -86,11 +89,11 @@ func TestIC0ReducesIterations(t *testing.T) {
 	a := elasticity3(8, 8, 6)
 	rng := rand.New(rand.NewSource(12))
 	b := randVec(rng, a.NRows)
-	_, sJac, err := PCG(a, b, nil, PrecondJacobi, Options{Tol: 1e-9})
+	_, sJac, err := PCG(a, b, nil, Options{Tol: 1e-9, Precond: PrecondJacobi})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, sIC, err := PCG(a, b, nil, PrecondIC0, Options{Tol: 1e-9})
+	_, sIC, err := PCG(a, b, nil, Options{Tol: 1e-9, Precond: PrecondIC0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,11 +107,11 @@ func TestBlockJacobiBeatsJacobiOnCoupledSystem(t *testing.T) {
 	a := elasticity3(8, 8, 4)
 	rng := rand.New(rand.NewSource(13))
 	b := randVec(rng, a.NRows)
-	_, sJac, err := PCG(a, b, nil, PrecondJacobi, Options{Tol: 1e-9})
+	_, sJac, err := PCG(a, b, nil, Options{Tol: 1e-9, Precond: PrecondJacobi})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, sBlk, err := PCG(a, b, nil, PrecondBlockJacobi3, Options{Tol: 1e-9})
+	_, sBlk, err := PCG(a, b, nil, Options{Tol: 1e-9, Precond: PrecondBlockJacobi3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +146,7 @@ func TestBlockJacobiHandlesIdentityRows(t *testing.T) {
 	tr.Add(4, 3, 1)
 	a := tr.ToCSR()
 	b := []float64{1, 2, 3, 4, 5, 6}
-	x, stats, err := PCG(a, b, nil, PrecondBlockJacobi3, Options{Tol: 1e-12})
+	x, stats, err := PCG(a, b, nil, Options{Tol: 1e-12, Precond: PrecondBlockJacobi3})
 	if err != nil || !stats.Converged {
 		t.Fatalf("solve failed: %v %v", stats, err)
 	}
@@ -160,7 +163,7 @@ func TestIC0ExactOnDiagonal(t *testing.T) {
 	}
 	a := tr.ToCSR()
 	b := []float64{1, 1, 1, 1, 1}
-	_, stats, err := PCG(a, b, nil, PrecondIC0, Options{Tol: 1e-12})
+	_, stats, err := PCG(a, b, nil, Options{Tol: 1e-12, Precond: PrecondIC0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,11 +187,99 @@ func TestIC0MatchesFullCholeskyOnTridiagonal(t *testing.T) {
 	a := tr.ToCSR()
 	rng := rand.New(rand.NewSource(14))
 	b := randVec(rng, n)
-	_, stats, err := PCG(a, b, nil, PrecondIC0, Options{Tol: 1e-10})
+	_, stats, err := PCG(a, b, nil, Options{Tol: 1e-10, Precond: PrecondIC0})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.Iterations > 2 {
 		t.Errorf("IC0 on tridiagonal took %d iterations, want <= 2", stats.Iterations)
+	}
+}
+
+func TestPrecondAutoResolution(t *testing.T) {
+	cases := []struct {
+		kind PrecondKind
+		n    int
+		want PrecondKind
+	}{
+		{PrecondAuto, 300, PrecondBlockJacobi3},
+		{PrecondAuto, AutoIC0Threshold, PrecondIC0},
+		{PrecondAuto, AutoIC0Threshold + 3, PrecondIC0},
+		{PrecondAuto, 301, PrecondJacobi}, // not divisible by 3
+		{PrecondJacobi, 1 << 20, PrecondJacobi},
+		{PrecondNone, 3, PrecondNone},
+	}
+	for _, c := range cases {
+		if got := c.kind.Resolve(c.n); got != c.want {
+			t.Errorf("Resolve(%v, n=%d) = %v, want %v", c.kind, c.n, got, c.want)
+		}
+	}
+}
+
+func TestParsePrecondRoundTrip(t *testing.T) {
+	for _, kind := range []PrecondKind{PrecondAuto, PrecondJacobi, PrecondBlockJacobi3, PrecondIC0, PrecondNone} {
+		got, err := ParsePrecond(kind.String())
+		if err != nil || got != kind {
+			t.Errorf("ParsePrecond(%q) = %v, %v", kind.String(), got, err)
+		}
+	}
+	if k, err := ParsePrecond(""); err != nil || k != PrecondAuto {
+		t.Errorf("empty spelling should parse as auto, got %v, %v", k, err)
+	}
+	if k, err := ParsePrecond("bj3"); err != nil || k != PrecondBlockJacobi3 {
+		t.Errorf("bj3 shorthand: got %v, %v", k, err)
+	}
+	if _, err := ParsePrecond("cholesky"); err == nil {
+		t.Error("expected error for unknown preconditioner name")
+	}
+}
+
+// TestWarmStartStatsAndIterations checks the warm-start contract of the
+// iterative solvers: seeding with the exact solution converges without
+// iterating, the Stats record Warm, and a nearby seed (the previous point of
+// a ΔT-style sweep) takes no more iterations than a cold start.
+func TestWarmStartStatsAndIterations(t *testing.T) {
+	a := elasticity3(6, 6, 4)
+	rng := rand.New(rand.NewSource(21))
+	want := randVec(rng, a.NRows)
+	b := make([]float64, a.NRows)
+	a.MulVec(b, want)
+
+	for _, solve := range []struct {
+		name string
+		fn   func(x0 []float64) ([]float64, Stats, error)
+	}{
+		{"PCG", func(x0 []float64) ([]float64, Stats, error) { return PCG(a, b, x0, Options{Tol: 1e-10}) }},
+		{"GMRES", func(x0 []float64) ([]float64, Stats, error) { return GMRES(a, b, x0, Options{Tol: 1e-10}) }},
+	} {
+		t.Run(solve.name, func(t *testing.T) {
+			_, cold, err := solve.fn(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cold.Warm {
+				t.Error("cold solve reported Warm")
+			}
+			_, exact, err := solve.fn(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !exact.Warm || exact.Iterations != 0 {
+				t.Errorf("exact seed: warm=%v iterations=%d, want warm in 0 iterations", exact.Warm, exact.Iterations)
+			}
+			// A scaled solution — what a ΔT sweep's previous point looks
+			// like — must not be slower than a zero start.
+			near := make([]float64, len(want))
+			for i := range near {
+				near[i] = 0.9 * want[i]
+			}
+			_, warm, err := solve.fn(near)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm.Iterations > cold.Iterations {
+				t.Errorf("near seed took %d iterations vs %d cold", warm.Iterations, cold.Iterations)
+			}
+		})
 	}
 }

@@ -27,10 +27,14 @@ type (
 	Material = material.Material
 	// Field is a 2-D scalar sample grid (e.g. mid-plane von Mises stress).
 	Field = field.Grid2D
-	// SolverOptions tunes the iterative solvers.
+	// SolverOptions tunes the iterative solvers (including the
+	// preconditioner via Precond).
 	SolverOptions = solver.Options
-	// SolverStats reports an iterative solve.
+	// SolverStats reports an iterative solve, including the resolved
+	// preconditioner kind and whether the solve was warm-started.
 	SolverStats = solver.Stats
+	// Precond selects the preconditioner of the iterative global solvers.
+	Precond = solver.PrecondKind
 	// Vec3 is a 3-D point (µm).
 	Vec3 = mesh.Vec3
 	// Structure selects the fine structure inside the unit block.
@@ -47,6 +51,25 @@ const (
 	// StructureAnnular is a hollow via-material ring (annular TSV).
 	StructureAnnular = mesh.KindAnnular
 )
+
+// Preconditioner choices for SolverOptions.Precond.
+const (
+	// PrecondAuto (the default) picks by system size: block-Jacobi-3 for
+	// small lattices, IC0 at and above solver.AutoIC0Threshold DoFs.
+	PrecondAuto = solver.PrecondAuto
+	// PrecondJacobi is the inverse-diagonal preconditioner.
+	PrecondJacobi = solver.PrecondJacobi
+	// PrecondBlockJacobi3 inverts the per-node 3×3 diagonal blocks.
+	PrecondBlockJacobi3 = solver.PrecondBlockJacobi3
+	// PrecondIC0 is zero-fill incomplete Cholesky.
+	PrecondIC0 = solver.PrecondIC0
+	// PrecondNone applies the identity.
+	PrecondNone = solver.PrecondNone
+)
+
+// ParsePrecond maps the flag/JSON spellings ("auto", "jacobi",
+// "block-jacobi3"/"bj3", "ic0", "none") to a Precond.
+func ParsePrecond(s string) (Precond, error) { return solver.ParsePrecond(s) }
 
 // PaperGeometry returns the geometry used throughout the paper's
 // experiments: h = 50 µm, d = 5 µm, t = 0.5 µm at the given pitch.
@@ -249,6 +272,15 @@ type ArrayResult struct {
 	GlobalDoFs int
 }
 
+// Iterative reports whether the result came from an iterative global solve
+// (GMRES/PCG) — whose Stats carry iteration count, residual, preconditioner,
+// and warm-start provenance — rather than a direct factorization or the
+// degenerate all-constrained case (where no solver runs and the Stats are
+// blank apart from Converged).
+func (r *ArrayResult) Iterative() bool {
+	return r.Solution != nil && r.Solution.Prob.Solver != array.Direct && len(r.Solution.QFree) > 0
+}
+
 // SolveArray runs the global stage for a standalone clamped array.
 func (m *Model) SolveArray(spec ArraySpec) (*ArrayResult, error) {
 	kind := array.GMRES
@@ -272,7 +304,7 @@ func globalProblem(r *rom.ROM, rows, cols int, deltaT float64, dtMap func(row, c
 		ROM: r, Bx: cols, By: rows,
 		DeltaT:    deltaT,
 		DeltaTFor: dtFor,
-		BC:        array.ClampedTopBottom,
+		BC:        engineBC,
 		Solver:    kind,
 		Opt:       opt,
 		Workers:   workers,
