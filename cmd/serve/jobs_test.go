@@ -200,6 +200,11 @@ func TestJobsEndToEnd(t *testing.T) {
 			if wantWarm := scenarios > 1; ev.WarmStart != wantWarm {
 				t.Errorf("scenario %d warmStart = %v, want %v", ev.Scenario, ev.WarmStart, wantWarm)
 			}
+			// The preconditioner is built by the lattice's first solve and
+			// cached on its assembly for the rest of the sweep.
+			if wantCached := scenarios > 1; ev.PrecondCached != wantCached {
+				t.Errorf("scenario %d precondCached = %v, want %v", ev.Scenario, ev.PrecondCached, wantCached)
+			}
 		}
 		if ev.JobID != sub.ID {
 			t.Errorf("event for job %q, want %q", ev.JobID, sub.ID)

@@ -155,15 +155,18 @@ type jobResponse struct {
 	Residual   float64 `json:"residual"`
 	// Precond is the resolved preconditioner of an iterative solve;
 	// WarmStart reports whether it was seeded from a previous solution on
-	// the same lattice. Empty/false for direct solves.
-	Precond     string         `json:"precond,omitempty"`
-	WarmStart   bool           `json:"warmStart,omitempty"`
-	GlobalDoFs  int            `json:"globalDoFs"`
-	MaxVonMises float64        `json:"maxVonMises,omitempty"`
-	CacheHit    bool           `json:"cacheHit"`
-	LocalWaitMS float64        `json:"localWaitMs"`
-	TotalMS     float64        `json:"totalMs"`
-	Field       *fieldResponse `json:"field,omitempty"`
+	// the same lattice, and PrecondCached whether the preconditioner came
+	// from the lattice assembly's cache instead of being built by this
+	// solve. Empty/false for direct solves.
+	Precond       string         `json:"precond,omitempty"`
+	WarmStart     bool           `json:"warmStart,omitempty"`
+	PrecondCached bool           `json:"precondCached,omitempty"`
+	GlobalDoFs    int            `json:"globalDoFs"`
+	MaxVonMises   float64        `json:"maxVonMises,omitempty"`
+	CacheHit      bool           `json:"cacheHit"`
+	LocalWaitMS   float64        `json:"localWaitMs"`
+	TotalMS       float64        `json:"totalMs"`
+	Field         *fieldResponse `json:"field,omitempty"`
 }
 
 func toResponse(res *morestress.JobResult, includeField bool) jobResponse {
@@ -183,6 +186,7 @@ func toResponse(res *morestress.JobResult, includeField bool) jobResponse {
 	if r.Iterative() {
 		out.Precond = r.Stats.Precond.String()
 		out.WarmStart = r.Stats.Warm
+		out.PrecondCached = r.Solution.PrecondShared
 	}
 	out.GlobalDoFs = r.GlobalDoFs
 	if r.VM != nil {
@@ -306,6 +310,11 @@ type statsResponse struct {
 		WarmStarts      int64 `json:"warmStarts"`
 		WarmFallbacks   int64 `json:"warmFallbacks"`
 		Iterations      int64 `json:"iterations"`
+		// PrecondBuilds/PrecondHits report the assembly-cached
+		// preconditioners: built at most once per (lattice, kind), shared
+		// by every scenario after that.
+		PrecondBuilds int64 `json:"precondBuilds"`
+		PrecondHits   int64 `json:"precondHits"`
 		// WarmStartRate is WarmStarts / IterativeSolves (0 when none ran).
 		WarmStartRate float64 `json:"warmStartRate"`
 	} `json:"solver"`
@@ -356,6 +365,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out.Solver.WarmStarts = es.WarmStarts
 	out.Solver.WarmFallbacks = es.WarmFallbacks
 	out.Solver.Iterations = es.Iterations
+	out.Solver.PrecondBuilds = es.PrecondBuilds
+	out.Solver.PrecondHits = es.PrecondHits
 	if es.IterativeSolves > 0 {
 		out.Solver.WarmStartRate = float64(es.WarmStarts) / float64(es.IterativeSolves)
 	}

@@ -292,4 +292,8 @@ func TestStatsSolverSection(t *testing.T) {
 	if s.Iterations <= 0 {
 		t.Errorf("iterations = %d, want > 0", s.Iterations)
 	}
+	if s.PrecondBuilds != 1 || s.PrecondHits != 1 {
+		t.Errorf("precondBuilds/precondHits = %d/%d, want 1/1 (built once per lattice, then shared)",
+			s.PrecondBuilds, s.PrecondHits)
+	}
 }

@@ -159,14 +159,21 @@ type EngineStats struct {
 	IterativeSolves, WarmStarts, WarmFallbacks int64
 	// Iterations sums the iteration counts of the iterative solves.
 	Iterations int64
+	// PrecondBuilds counts preconditioner constructions for iterative
+	// solves; PrecondHits counts solves that reused one cached on the
+	// lattice's Assembly. A preconditioner is built at most once per
+	// (lattice, PrecondKind), so warm-cache scenarios are all hits.
+	PrecondBuilds, PrecondHits int64
 }
 
 // Engine is a concurrent batch-solve front end over the ROM machinery: it
 // schedules scenario jobs on a bounded worker pool, shares cached ROMs so
 // each distinct unit cell pays the one-shot local stage once (even under
 // concurrent submission, via singleflight), assembles the reduced global
-// matrix once per lattice (shared by every solver kind), shares sparse
-// Cholesky factorizations across repeated Direct solves, and warm-starts
+// matrix once per lattice (shared by every solver kind, with the
+// preconditioners of iterative solves cached on the same snapshot — built
+// at most once per lattice and kind), shares sparse Cholesky
+// factorizations across repeated Direct solves, and warm-starts
 // iterative solves from the latest solution on the same lattice. The
 // Workers bound holds across every entry point: concurrent Solve calls and
 // overlapping BatchSolve calls together never run more than Workers jobs at
@@ -184,6 +191,7 @@ type Engine struct {
 	jobsDone, jobsFailed                       atomic.Int64
 	iterativeSolves, warmStarts, warmFallbacks atomic.Int64
 	iterations                                 atomic.Int64
+	precondBuilds, precondHits                 atomic.Int64
 }
 
 // NewEngine creates an engine. A zero EngineOptions is valid.
@@ -232,6 +240,8 @@ func (e *Engine) Stats() EngineStats {
 		WarmStarts:      e.warmStarts.Load(),
 		WarmFallbacks:   e.warmFallbacks.Load(),
 		Iterations:      e.iterations.Load(),
+		PrecondBuilds:   e.precondBuilds.Load(),
+		PrecondHits:     e.precondHits.Load(),
 	}
 }
 
@@ -441,6 +451,11 @@ func (e *Engine) solveKeyed(job Job, index, workers int, key string) *JobResult 
 		if sol.WarmFallback {
 			e.warmFallbacks.Add(1)
 		}
+		if sol.PrecondShared {
+			e.precondHits.Add(1)
+		} else {
+			e.precondBuilds.Add(1)
+		}
 	}
 	if key != "" && !e.opt.DisableWarmStart && job.DeltaTMap == nil && len(sol.QFree) > 0 {
 		e.seeds.put(key, job.DeltaT, sol.QFree)
@@ -507,11 +522,14 @@ func (c *memo[T]) insert(key string, v T) {
 	if c.m == nil {
 		c.m = make(map[string]T)
 	}
-	if old, ok := c.m[key]; ok {
-		c.bytes -= c.size(old)
-	}
 	c.m[key] = v
-	c.bytes += c.size(v)
+	// Re-sum the byte footprint from scratch: cached values can grow after
+	// insertion (an Assembly lazily caches preconditioners), so incremental
+	// accounting would drift. Entry counts are small (c.max, default 16).
+	c.bytes = 0
+	for _, e := range c.m {
+		c.bytes += c.size(e)
+	}
 	// Drop arbitrary other entries until both budgets hold; the entry just
 	// inserted always stays (it is about to be used).
 	for k, old := range c.m {

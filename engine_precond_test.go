@@ -1,0 +1,108 @@
+package morestress
+
+import (
+	"testing"
+
+	"repro/internal/solver"
+)
+
+// TestEnginePrecondCacheSharedAcrossScenarios: a ΔT sweep on one lattice
+// builds the preconditioner exactly once; every other scenario hits the
+// assembly's cache, and the engine counters expose the split.
+func TestEnginePrecondCacheSharedAcrossScenarios(t *testing.T) {
+	cfg := testConfig(15)
+	// Disable warm starts so every scenario runs a full iterative solve
+	// (warm-started solves still consult the preconditioner, but the cold
+	// chain makes the assertion obvious).
+	e := NewEngine(EngineOptions{Workers: 2, DisableWarmStart: true})
+	jobs := make([]Job, 5)
+	for i := range jobs {
+		jobs[i] = Job{Config: cfg, Rows: 2, Cols: 2, DeltaT: -50 * float64(i+1), Solver: SolveCG}
+	}
+	br := e.BatchSolve(jobs)
+	if br.Stats.Errors != 0 {
+		t.Fatalf("batch errors: %+v", br.Stats)
+	}
+	s := e.Stats()
+	if s.PrecondBuilds != 1 {
+		t.Errorf("precond builds = %d, want 1 (one lattice, one kind)", s.PrecondBuilds)
+	}
+	if s.PrecondHits != int64(len(jobs)-1) {
+		t.Errorf("precond hits = %d, want %d", s.PrecondHits, len(jobs)-1)
+	}
+	shared := 0
+	for _, r := range br.Results {
+		if r.Result.Solution.PrecondShared {
+			shared++
+		}
+	}
+	if shared != len(jobs)-1 {
+		t.Errorf("%d scenarios report a shared preconditioner, want %d", shared, len(jobs)-1)
+	}
+}
+
+// TestEnginePrecondCacheDistinctPerKind: scenarios with different
+// preconditioner kinds on one lattice each build once, then hit.
+func TestEnginePrecondCacheDistinctPerKind(t *testing.T) {
+	cfg := testConfig(15)
+	e := NewEngine(EngineOptions{Workers: 1, DisableWarmStart: true})
+	kinds := []Precond{solver.PrecondJacobi, solver.PrecondBlockJacobi3}
+	var jobs []Job
+	for round := 0; round < 2; round++ {
+		for _, k := range kinds {
+			jobs = append(jobs, Job{
+				Config: cfg, Rows: 2, Cols: 2, DeltaT: -100,
+				Solver: SolveCG, Options: SolverOptions{Precond: k},
+			})
+		}
+	}
+	br := e.BatchSolve(jobs)
+	if br.Stats.Errors != 0 {
+		t.Fatalf("batch errors: %+v", br.Stats)
+	}
+	s := e.Stats()
+	if s.PrecondBuilds != int64(len(kinds)) {
+		t.Errorf("precond builds = %d, want %d (one per kind)", s.PrecondBuilds, len(kinds))
+	}
+	if s.PrecondHits != int64(len(jobs)-len(kinds)) {
+		t.Errorf("precond hits = %d, want %d", s.PrecondHits, len(jobs)-len(kinds))
+	}
+}
+
+// TestEnginePrecondCacheInvalidatedWithAssembly: the preconditioner lives on
+// the Assembly, so evicting the assembly (MaxAssemblies exceeded) drops it
+// and the next scenario on that lattice rebuilds both.
+func TestEnginePrecondCacheInvalidatedWithAssembly(t *testing.T) {
+	cfg := testConfig(15)
+	e := NewEngine(EngineOptions{Workers: 1, MaxAssemblies: 1, DisableWarmStart: true})
+	lattices := [][2]int{{2, 2}, {2, 3}}
+	// Alternate lattices: with room for one assembly, every solve evicts the
+	// other lattice's assembly (and its cached preconditioner).
+	for round := 0; round < 2; round++ {
+		for _, dims := range lattices {
+			if _, err := e.Solve(Job{Config: cfg, Rows: dims[0], Cols: dims[1], DeltaT: -100, Solver: SolveCG}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s := e.Stats()
+	if s.PrecondHits != 0 {
+		t.Errorf("precond hits = %d, want 0 (every assembly was evicted between uses)", s.PrecondHits)
+	}
+	if s.PrecondBuilds != 4 {
+		t.Errorf("precond builds = %d, want 4", s.PrecondBuilds)
+	}
+	// Same layout with room for both lattices: second round is all hits.
+	e = NewEngine(EngineOptions{Workers: 1, MaxAssemblies: 4, DisableWarmStart: true})
+	for round := 0; round < 2; round++ {
+		for _, dims := range lattices {
+			if _, err := e.Solve(Job{Config: cfg, Rows: dims[0], Cols: dims[1], DeltaT: -100, Solver: SolveCG}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s = e.Stats()
+	if s.PrecondBuilds != 2 || s.PrecondHits != 2 {
+		t.Errorf("builds/hits = %d/%d, want 2/2", s.PrecondBuilds, s.PrecondHits)
+	}
+}

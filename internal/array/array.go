@@ -237,6 +237,12 @@ type Solution struct {
 	// AssemblyShared reports that the reduced system came from
 	// Problem.Assembly instead of being assembled by this Solve call.
 	AssemblyShared bool
+	// PrecondShared reports that an iterative solve's preconditioner came
+	// from the assembly's per-kind cache (built by an earlier solve on the
+	// same lattice) rather than being constructed by this call; the one
+	// solve that populates the cache records the cost in
+	// Stats.PrecondBuild.
+	PrecondShared bool
 	// WarmFallback reports that the warm-started solve diverged and the
 	// recorded Stats are from the cold retry.
 	WarmFallback bool
@@ -250,8 +256,13 @@ type Solution struct {
 // system: everything about the global stage that does not depend on the
 // thermal load. Solving a scenario against a prebuilt Assembly costs one
 // RHS build plus the linear solve; the matrix scatter, compaction, and
-// Dirichlet reduction are paid once per lattice. An Assembly is immutable
-// after NewAssembly and safe to share across concurrent Solve calls.
+// Dirichlet reduction are paid once per lattice — and so is each
+// preconditioner, built lazily on first use and cached on the Assembly per
+// concrete PrecondKind (the preconditioner depends only on the reduced
+// matrix, so every scenario, ΔT sweep, and async job on the lattice shares
+// it). The reduced system itself is immutable after NewAssembly; the
+// preconditioner cache is internally synchronized, so an Assembly is safe
+// to share across concurrent Solve calls.
 type Assembly struct {
 	// Lat is the global surface-node lattice.
 	Lat *Lattice
@@ -269,6 +280,77 @@ type Assembly struct {
 	NNZ int
 	// BuildTime is the one-shot cost of the matrix assembly + reduction.
 	BuildTime time.Duration
+
+	// pmu guards preconds, the lazily built per-kind preconditioner cache.
+	pmu      sync.Mutex
+	preconds map[solver.PrecondKind]*assemblyPrecond
+}
+
+// assemblyPrecond is one cached preconditioner: built once (the Once covers
+// concurrent first requests), then shared by every solve on the lattice.
+type assemblyPrecond struct {
+	once  sync.Once
+	m     solver.Preconditioner
+	err   error
+	build time.Duration
+	// ready is set under Assembly.pmu after the build completes, so
+	// MemoryBytes can read m without racing the builder.
+	ready bool
+}
+
+// AssemblyPrecond is the outcome of Assembly.Preconditioner.
+type AssemblyPrecond struct {
+	// M is the shared preconditioner.
+	M solver.Preconditioner
+	// Kind is the concrete preconditioner kind (Auto resolved against the
+	// reduced system size).
+	Kind solver.PrecondKind
+	// Hit reports that the preconditioner was already cached (or is being
+	// built by a concurrent caller this call waited on) rather than built
+	// by this call.
+	Hit bool
+	// Build is the construction cost paid by this call; zero on a hit.
+	Build time.Duration
+}
+
+// Preconditioner returns the lattice's shared preconditioner for the
+// requested kind, building and caching it on first use. Distinct kinds
+// cache independently; PrecondAuto resolves to a concrete kind first so an
+// explicit request for the resolved kind shares the same entry.
+func (a *Assembly) Preconditioner(kind solver.PrecondKind) (AssemblyPrecond, error) {
+	if a.Red == nil {
+		return AssemblyPrecond{}, fmt.Errorf("array: assembly has no free DoFs, nothing to precondition")
+	}
+	// Amortized resolution: the whole point of this cache is that the
+	// construction is paid once per lattice, so Auto switches to IC0 at the
+	// amortized threshold rather than the one-shot one.
+	resolved := kind.ResolveAmortized(a.Red.NFree())
+	a.pmu.Lock()
+	e, hit := a.preconds[resolved]
+	if e == nil {
+		if a.preconds == nil {
+			a.preconds = make(map[solver.PrecondKind]*assemblyPrecond)
+		}
+		e = &assemblyPrecond{}
+		a.preconds[resolved] = e
+	}
+	a.pmu.Unlock()
+	e.once.Do(func() {
+		t0 := time.Now()
+		e.m, e.err = solver.NewPreconditioner(resolved, a.Red.Aff)
+		e.build = time.Since(t0)
+	})
+	a.pmu.Lock()
+	e.ready = true
+	a.pmu.Unlock()
+	if e.err != nil {
+		return AssemblyPrecond{Kind: resolved}, e.err
+	}
+	out := AssemblyPrecond{M: e.m, Kind: resolved, Hit: hit}
+	if !hit {
+		out.Build = e.build
+	}
+	return out, nil
 }
 
 // NewAssembly runs the load-independent part of the global stage for the
@@ -332,13 +414,24 @@ func (a *Assembly) NumFree() int {
 }
 
 // MemoryBytes estimates the snapshot's storage footprint, for byte-budgeted
-// caches.
+// caches. Lazily cached preconditioners count too, so the assembly cache's
+// byte budget sees them (it re-sums entry sizes on every insert because of
+// exactly this growth).
 func (a *Assembly) MemoryBytes() int64 {
 	b := int64(4*len(a.Lat.Index)) + int64(24*len(a.Lat.Nodes)) + int64(4*len(a.BCNodes))
 	if a.Red != nil {
 		b += a.Red.Aff.MemoryBytes() + a.Red.Afb.MemoryBytes()
 		b += int64(8*len(a.Red.Bf)) + int64(4*(len(a.Red.FreeIdx)+len(a.Red.BCIdx)))
 	}
+	a.pmu.Lock()
+	for _, e := range a.preconds {
+		if e.ready && e.err == nil {
+			if s, ok := e.m.(solver.Sized); ok {
+				b += s.MemoryBytes()
+			}
+		}
+	}
+	a.pmu.Unlock()
 	return b
 }
 
@@ -484,6 +577,30 @@ func Solve(p *Problem) (*Solution, error) {
 	if opt.Workers == 0 {
 		opt.Workers = workers
 	}
+	// Iterative solves draw their preconditioner from the assembly's
+	// per-kind cache: built on the lattice's first solve, shared by every
+	// scenario after it (including the cold retry of a failed warm start).
+	// A caller-supplied Opt.M wins over the cache.
+	precondShared := false
+	var precondBuild time.Duration
+	if p.Solver != Direct && opt.M == nil {
+		kind := opt.Precond
+		if !shared {
+			// One-shot solve: the assembly (and so the cache) dies with this
+			// call, nothing amortizes the build — resolve Auto with the
+			// one-shot rule so mid-size standalone solves keep the cheap
+			// Jacobi family instead of paying an unamortized IC0 factor.
+			kind = kind.Resolve(asm.NumFree())
+		}
+		ap, err := asm.Preconditioner(kind)
+		if err != nil {
+			return nil, fmt.Errorf("array: global preconditioner: %w", err)
+		}
+		opt.M = ap.M
+		opt.Precond = ap.Kind
+		precondShared = ap.Hit
+		precondBuild = ap.Build
+	}
 	x0 := p.X0
 	if len(x0) != len(rhs) {
 		x0 = nil
@@ -521,6 +638,17 @@ func Solve(p *Problem) (*Solution, error) {
 	if err != nil {
 		return nil, fmt.Errorf("array: global solve failed: %w", err)
 	}
+	if opt.Work != nil {
+		// A workspace-backed solve returns a vector owned by the workspace,
+		// valid only until its next solve; QFree is retained (seed caches,
+		// post-processing), so detach it.
+		qf = append([]float64(nil), qf...)
+	}
+	if p.Solver != Direct {
+		// The solver saw a prebuilt M, so its own PrecondBuild is zero;
+		// surface the cache's build cost on the solve that paid it.
+		stats.PrecondBuild = precondBuild
+	}
 	q := red.Expand(qf, ubc)
 	solveTime := time.Since(tSolve)
 
@@ -528,7 +656,8 @@ func Solve(p *Problem) (*Solution, error) {
 		Prob: snap, Lattice: lat, Q: q, QFree: qf, Stats: stats,
 		AssembleTime: asmTime, SolveTime: solveTime,
 		AssemblyShared: shared, WarmFallback: fellBack,
-		GlobalDoFs: ndof, MatrixNNZ: asm.NNZ,
+		PrecondShared: precondShared,
+		GlobalDoFs:    ndof, MatrixNNZ: asm.NNZ,
 	}, nil
 }
 

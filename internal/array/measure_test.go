@@ -1,0 +1,79 @@
+package array
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/mesh"
+	"repro/internal/rom"
+	"repro/internal/solver"
+)
+
+// TestMeasureReducedGlobalPrecond regenerates the iterations/ms table of
+// docs/SOLVER_TUNING.md and the reduced_global_precond section of
+// BENCH_global.json: PCG on the reduced global matrix at coarse resolution,
+// (5,5,5) nodes, Tol 1e-8, for each lattice size and preconditioner. It
+// reports the cold solve (first solve on the lattice: preconditioner build
+// + iterate) and the warm solve (assembly-cached preconditioner, the
+// serving path's per-scenario cost). Gated behind MEASURE=1 because the
+// large lattices take minutes.
+func TestMeasureReducedGlobalPrecond(t *testing.T) {
+	if os.Getenv("MEASURE") == "" {
+		t.Skip("set MEASURE=1 to run the measurement harness")
+	}
+	spec := rom.PaperSpec(15, mesh.CoarseResolution())
+	spec.Nodes = [3]int{5, 5, 5}
+	r, err := rom.Build(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{6, 12, 18} {
+		base := &Problem{ROM: r, Bx: size, By: size, DeltaT: -250, BC: ClampedTopBottom, Solver: CG}
+		asm, err := NewAssembly(base, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%dx%d: free DoFs %d, nnz(Aff) %d, assembly build %v",
+			size, size, asm.NumFree(), asm.Red.Aff.NNZ(), asm.BuildTime)
+		for _, kind := range []solver.PrecondKind{solver.PrecondJacobi, solver.PrecondBlockJacobi3, solver.PrecondIC0} {
+			solveOnce := func(a *Assembly) (*Solution, time.Duration) {
+				p := *base
+				p.Assembly = a
+				p.Opt = solver.Options{Tol: 1e-8, Precond: kind}
+				t0 := time.Now()
+				sol, err := Solve(&p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sol, time.Since(t0)
+			}
+			// Cold: fresh assembly copy → preconditioner built in-solve.
+			coldAsm, err := NewAssembly(base, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coldSol, cold := solveOnce(coldAsm)
+			// Warm: shared assembly whose preconditioner cache is populated.
+			if _, err := asm.Preconditioner(kind); err != nil {
+				t.Fatal(err)
+			}
+			best := time.Duration(1 << 62)
+			var warmSol *Solution
+			for i := 0; i < 3; i++ {
+				sol, d := solveOnce(asm)
+				if d < best {
+					best = d
+				}
+				warmSol = sol
+			}
+			fmt.Printf("MEASURE %dx%d %-14s it=%3d cold=%7.0fms warm=%7.0fms build=%7.0fms apply=%6.0fms shared=%v\n",
+				size, size, kind, warmSol.Stats.Iterations,
+				float64(cold)/1e6, float64(best)/1e6,
+				float64(coldSol.Stats.PrecondBuild)/1e6,
+				float64(warmSol.Stats.PrecondApply)/1e6,
+				warmSol.PrecondShared)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package array
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/solver"
+)
+
+// precondProblem is a small CG problem for the cache tests.
+func precondProblem(t *testing.T) *Problem {
+	t.Helper()
+	return &Problem{
+		ROM: buildROM(t, 4, true), Bx: 2, By: 2, DeltaT: -250,
+		BC: ClampedTopBottom, Solver: CG,
+		Opt: solver.Options{Tol: 1e-9},
+	}
+}
+
+// TestAssemblyPrecondSharedAcrossSolves: the first iterative solve on an
+// assembly builds the preconditioner (and records the cost); every later
+// solve on the same assembly — any ΔT — reuses it.
+func TestAssemblyPrecondSharedAcrossSolves(t *testing.T) {
+	p := precondProblem(t)
+	asm, err := NewAssembly(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Assembly = asm
+	first, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.PrecondShared {
+		t.Error("first solve claims a cached preconditioner")
+	}
+	if first.Stats.PrecondBuild <= 0 {
+		t.Error("first solve did not record the preconditioner build cost")
+	}
+	for _, dt := range []float64{-100, -250, 40} {
+		q := *p
+		q.DeltaT = dt
+		sol, err := Solve(&q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sol.PrecondShared {
+			t.Errorf("ΔT=%g: preconditioner was rebuilt", dt)
+		}
+		if sol.Stats.PrecondBuild != 0 {
+			t.Errorf("ΔT=%g: PrecondBuild = %v on a cache hit, want 0", dt, sol.Stats.PrecondBuild)
+		}
+		if sol.Stats.PrecondApply <= 0 {
+			t.Errorf("ΔT=%g: PrecondApply not recorded", dt)
+		}
+	}
+}
+
+// TestAssemblyPrecondDistinctPerKind: each concrete kind caches its own
+// entry, and PrecondAuto shares the entry of the kind it resolves to.
+func TestAssemblyPrecondDistinctPerKind(t *testing.T) {
+	p := precondProblem(t)
+	asm, err := NewAssembly(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jac, err := asm.Preconditioner(solver.PrecondJacobi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jac.Hit || jac.Build <= 0 {
+		t.Errorf("first jacobi request: hit=%v build=%v", jac.Hit, jac.Build)
+	}
+	ic, err := asm.Preconditioner(solver.PrecondIC0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ic.Hit {
+		t.Error("ic0 hit the jacobi entry")
+	}
+	if ic.M == jac.M {
+		t.Error("distinct kinds share one preconditioner")
+	}
+	again, err := asm.Preconditioner(solver.PrecondIC0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Hit || again.M != ic.M || again.Build != 0 {
+		t.Errorf("repeat ic0 request: hit=%v same=%v build=%v", again.Hit, again.M == ic.M, again.Build)
+	}
+	// Auto resolves against the reduced size (amortized rule — the cache is
+	// what amortizes it) and must share the resolved kind's entry rather
+	// than cache a duplicate under PrecondAuto.
+	resolved := solver.PrecondKind(solver.PrecondAuto).ResolveAmortized(asm.NumFree())
+	want, err := asm.Preconditioner(resolved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := asm.Preconditioner(solver.PrecondAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.M != want.M || !auto.Hit {
+		t.Errorf("auto did not share the %v entry (hit=%v)", resolved, auto.Hit)
+	}
+}
+
+// TestAssemblyPrecondConcurrentFirstUse: concurrent first requests build the
+// preconditioner exactly once (everyone gets the same instance; exactly one
+// caller reports a miss).
+func TestAssemblyPrecondConcurrentFirstUse(t *testing.T) {
+	p := precondProblem(t)
+	asm, err := NewAssembly(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 8
+	results := make([]AssemblyPrecond, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := asm.Preconditioner(solver.PrecondBlockJacobi3)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	misses := 0
+	for i, r := range results {
+		if r.M != results[0].M {
+			t.Fatalf("caller %d got a different preconditioner", i)
+		}
+		if !r.Hit {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Errorf("%d callers reported a miss, want exactly 1", misses)
+	}
+}
+
+// TestAssemblyMemoryBytesCountsPreconds: the snapshot's footprint must grow
+// as preconditioners are cached, so byte-budgeted assembly caches see them.
+func TestAssemblyMemoryBytesCountsPreconds(t *testing.T) {
+	p := precondProblem(t)
+	asm, err := NewAssembly(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := asm.MemoryBytes()
+	if _, err := asm.Preconditioner(solver.PrecondIC0); err != nil {
+		t.Fatal(err)
+	}
+	afterIC := asm.MemoryBytes()
+	if afterIC <= before {
+		t.Errorf("MemoryBytes %d → %d did not grow after caching IC0", before, afterIC)
+	}
+	if _, err := asm.Preconditioner(solver.PrecondJacobi); err != nil {
+		t.Fatal(err)
+	}
+	if after := asm.MemoryBytes(); after <= afterIC {
+		t.Errorf("MemoryBytes %d → %d did not grow after caching jacobi", afterIC, after)
+	}
+}
+
+// TestAssemblyPrecondRequiresFreeDoFs: the degenerate all-constrained
+// assembly has nothing to precondition.
+func TestAssemblyPrecondRequiresFreeDoFs(t *testing.T) {
+	p := precondProblem(t)
+	p.ROM = buildROM(t, 2, true) // (2,2,2) nodes: every DoF constrained
+	asm, err := NewAssembly(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !asm.AllBC {
+		t.Fatal("expected the all-constrained degenerate case")
+	}
+	if _, err := asm.Preconditioner(solver.PrecondAuto); err == nil {
+		t.Error("Preconditioner on an all-BC assembly should error")
+	}
+}

@@ -84,10 +84,13 @@ type Event struct {
 	// the resolved preconditioner, and whether the solve was seeded from a
 	// previous solution on the same lattice. Zero/empty for state events,
 	// failed scenarios, and direct solves.
-	Iterations int     `json:"iterations,omitempty"`
-	Residual   float64 `json:"residual,omitempty"`
-	Precond    string  `json:"precond,omitempty"`
-	WarmStart  bool    `json:"warmStart,omitempty"`
+	Iterations int `json:"iterations,omitempty"`
+	// PrecondCached reports that the scenario's preconditioner came from
+	// the lattice assembly's cache instead of being built by the solve.
+	PrecondCached bool    `json:"precondCached,omitempty"`
+	Residual      float64 `json:"residual,omitempty"`
+	Precond       string  `json:"precond,omitempty"`
+	WarmStart     bool    `json:"warmStart,omitempty"`
 }
 
 // SolveFunc solves one scenario. The context is the job's: it is cancelled
@@ -592,6 +595,7 @@ func (q *Queue) run(j *job) {
 			ev.Residual = res.Result.Stats.Residual
 			ev.Precond = res.Result.Stats.Precond.String()
 			ev.WarmStart = res.Result.Stats.Warm
+			ev.PrecondCached = res.Result.Solution.PrecondShared
 		}
 		j.publish(ev)
 		j.mu.Unlock()

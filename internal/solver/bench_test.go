@@ -2,6 +2,7 @@ package solver
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/sparse"
@@ -96,6 +97,158 @@ func BenchmarkAblationFactorReuse(b *testing.B) {
 			}
 		}
 	})
+}
+
+// latticeLike builds an SPD matrix with the row density of the reduced
+// global matrices (dense per-node blocks over a 2D 9-point grid). Like the
+// real reduced matrices in natural lattice order, its IC0 factor has a deep,
+// narrow dependency DAG (intra-block chains × stencil wavefronts), so this
+// is the serial-fallback exemplar: the level schedule must add no overhead.
+func latticeLike(nx, ny, bs int) *sparse.CSR {
+	rng := rand.New(rand.NewSource(8))
+	nodes := nx * ny
+	n := nodes * bs
+	t := sparse.NewTriplet(n, n, nodes*9*bs*bs)
+	rowSum := make([]float64, n)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			node := y*nx + x
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					xx, yy := x+dx, y+dy
+					if xx < 0 || xx >= nx || yy < 0 || yy >= ny {
+						continue
+					}
+					other := yy*nx + xx
+					if other < node {
+						continue // add each block pair once, symmetrically
+					}
+					for i := 0; i < bs; i++ {
+						for j := 0; j < bs; j++ {
+							if other == node && j < i {
+								continue
+							}
+							v := rng.NormFloat64()
+							r, c := node*bs+i, other*bs+j
+							if r == c {
+								continue
+							}
+							t.Add(r, c, v)
+							t.Add(c, r, v)
+							rowSum[r] += abs(v)
+							rowSum[c] += abs(v)
+						}
+					}
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		t.Add(i, i, rowSum[i]+1)
+	}
+	return t.ToCSR()
+}
+
+// blockIndependent builds an SPD matrix of many independent dense blocks —
+// a wide dependency DAG (levels as wide as the block count), the shape on
+// which level scheduling actually fans out.
+func blockIndependent(blocks, bs int) *sparse.CSR {
+	rng := rand.New(rand.NewSource(12))
+	n := blocks * bs
+	t := sparse.NewTriplet(n, n, blocks*bs*bs)
+	for blk := 0; blk < blocks; blk++ {
+		base := blk * bs
+		for i := 0; i < bs; i++ {
+			rowSum := 0.0
+			for j := 0; j < i; j++ {
+				v := rng.NormFloat64()
+				t.Add(base+i, base+j, v)
+				t.Add(base+j, base+i, v)
+				rowSum += abs(v)
+			}
+			t.Add(base+i, base+i, float64(bs)+rowSum)
+		}
+	}
+	return t.ToCSR()
+}
+
+// BenchmarkIC0Apply compares the serial reference application of the IC0
+// preconditioner against the level-scheduled parallel one (spawn and
+// resident-pool dispatch) in both dependency regimes. The narrowDAG system
+// mimics the reduced global matrices (dense block rows in natural lattice
+// order): its levels are deep and narrow, the serial fallback engages, and
+// levelsched must track serial with no overhead. The wideDAG system
+// (independent dense blocks) has levels as wide as the block count and is
+// where the schedule fans out — run with -cpu 1,4 to see it.
+func BenchmarkIC0Apply(b *testing.B) {
+	systems := []struct {
+		name string
+		a    *sparse.CSR
+	}{
+		{"narrowDAG", latticeLike(28, 28, 15)}, // 11760 DoFs, ~250 nnz/row
+		{"wideDAG", blockIndependent(600, 24)}, // 14400 DoFs, 24 levels × 600 rows
+	}
+	rng := rand.New(rand.NewSource(3))
+	workers := runtime.GOMAXPROCS(0)
+	for _, sys := range systems {
+		p, err := newIC0(sys.a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := make([]float64, sys.a.NRows)
+		for i := range r {
+			r[i] = rng.NormFloat64()
+		}
+		dst := make([]float64, sys.a.NRows)
+		b.Run(sys.name+"/serial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.applyPar(dst, r, 1, nil)
+			}
+		})
+		b.Run(sys.name+"/levelsched-spawn", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.applyPar(dst, r, workers, nil)
+			}
+		})
+		b.Run(sys.name+"/levelsched-pool", func(b *testing.B) {
+			ws := NewWorkspace(workers)
+			defer ws.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.applyPar(dst, r, workers, ws)
+			}
+		})
+	}
+}
+
+// BenchmarkPCGNoAlloc measures the allocation-free steady-state PCG loop:
+// reusable Workspace (resident gang), prebuilt IC0 preconditioner, pooled
+// work vectors. Must report 0 allocs/op after the warmup solve
+// (TestPCGZeroAllocs asserts the same contract).
+func BenchmarkPCGNoAlloc(b *testing.B) {
+	a := elasticity3(12, 12, 8)
+	rng := rand.New(rand.NewSource(4))
+	rhs := make([]float64, a.NRows)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	m, err := NewPreconditioner(PrecondIC0, a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := NewWorkspace(runtime.GOMAXPROCS(0))
+	defer ws.Close()
+	opt := Options{Tol: 1e-8, Precond: PrecondIC0, M: m, Work: ws}
+	if _, _, err := PCG(a, rhs, nil, opt); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := PCG(a, rhs, nil, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkPCGPrecond compares the preconditioners on a 3-DoF-per-node

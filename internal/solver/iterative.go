@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"time"
 
 	"repro/internal/linalg"
 	"repro/internal/sparse"
@@ -27,6 +28,14 @@ type Stats struct {
 	Precond PrecondKind
 	// Warm reports whether the solve was seeded with an initial guess.
 	Warm bool
+	// PrecondBuild is the preconditioner construction cost paid by this
+	// solve: zero when Options.M supplied a prebuilt (e.g. assembly-cached)
+	// preconditioner. The array layer overwrites it with the cache's build
+	// time on the solve that populated the cache.
+	PrecondBuild time.Duration
+	// PrecondApply accumulates the preconditioner application time across
+	// the solve's iterations.
+	PrecondApply time.Duration
 }
 
 // Options configures the iterative solvers.
@@ -44,6 +53,17 @@ type Options struct {
 	// Precond selects the preconditioner (default PrecondAuto: block-
 	// Jacobi-3 below AutoIC0Threshold DoFs, IC0 at and above it).
 	Precond PrecondKind
+	// M optionally supplies a prebuilt preconditioner — e.g. one cached on
+	// an array.Assembly — and skips construction (Stats.PrecondBuild stays
+	// zero). Precond should name the concrete kind M was built as; it is
+	// resolved and recorded in Stats either way. Runtime-only: never
+	// serialized.
+	M Preconditioner
+	// Work optionally supplies a reusable Workspace (pooled work vectors,
+	// resident parallel gang). The returned solution vector is then owned
+	// by the workspace and valid only until its next solve — copy it to
+	// retain it. nil allocates per call. Runtime-only: never serialized.
+	Work *Workspace
 }
 
 // normWorkers applies the package-wide worker-count default (GOMAXPROCS) so
@@ -96,8 +116,12 @@ func CG(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error) {
 // GMRES solves a·x = b with left-preconditioned restarted GMRES(m) using
 // modified Gram–Schmidt orthogonalization and Givens rotations. This is the
 // global-stage solver recommended by the paper (§4.3). The preconditioner
-// comes from Options.Precond (default PrecondAuto); x0 optionally seeds the
-// iteration and may be nil.
+// comes from Options.M when prebuilt or is constructed from Options.Precond
+// (default PrecondAuto); x0 optionally seeds the iteration and may be nil.
+// Like PCG, GMRES draws its work vectors, Krylov basis, and Hessenberg from
+// Options.Work when supplied (the returned solution then aliases workspace
+// memory) and drives level-scheduled preconditioners through the
+// workspace's resident gang.
 func GMRES(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error) {
 	n := a.NRows
 	if a.NCols != n || len(b) != n {
@@ -110,14 +134,38 @@ func GMRES(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error
 	}
 	kind := opt.Precond.Resolve(n)
 	st := Stats{Precond: kind, Warm: x0 != nil}
-	pre, err := NewPreconditioner(kind, a)
-	if err != nil {
-		return nil, st, err
+	pre := opt.M
+	if pre == nil {
+		tBuild := time.Now()
+		var err error
+		pre, err = NewPreconditioner(kind, a)
+		if err != nil {
+			return nil, st, err
+		}
+		st.PrecondBuild = time.Since(tBuild)
+	}
+	ws := opt.Work
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	ws.reset()
+	ws.prepMatVec(a, opt.Workers)
+	wa, _ := pre.(parApplier)
+	apply := func(dst, src []float64) {
+		t0 := time.Now()
+		if wa != nil {
+			wa.applyPar(dst, src, opt.Workers, ws)
+		} else {
+			pre.Apply(dst, src)
+		}
+		st.PrecondApply += time.Since(t0)
 	}
 
-	x := make([]float64, n)
+	x := ws.vec(n)
 	if x0 != nil {
 		copy(x, x0)
+	} else {
+		linalg.Zero(x)
 	}
 	bnorm := linalg.Norm2(b)
 	if bnorm == 0 {
@@ -128,27 +176,33 @@ func GMRES(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error
 	// Krylov basis (m+1 vectors) and Hessenberg in Givens-reduced form.
 	v := make([][]float64, m+1)
 	for i := range v {
-		v[i] = make([]float64, n)
+		v[i] = ws.vec(n)
 	}
-	h := linalg.NewDense(m+1, m)
-	cs := make([]float64, m)
-	sn := make([]float64, m)
-	g := make([]float64, m+1)
-	w := make([]float64, n)
-	pw := make([]float64, n)
-	r := make([]float64, n)
-	pr := make([]float64, n)
+	h := ws.hessenberg(m+1, m)
+	cs := ws.vec(m)
+	sn := ws.vec(m)
+	g := ws.vec(m + 1)
+	w := ws.vec(n)
+	pw := ws.vec(n)
+	r := ws.vec(n)
+	pr := ws.vec(n)
+	yBuf := ws.vec(m)
 
 	totalIt := 0
 	for totalIt < opt.MaxIter {
-		// r = M⁻¹(b − A·x)
-		a.MulVecPar(w, x, opt.Workers)
+		// r = M⁻¹(b − A·x); the true (unpreconditioned) residual for the
+		// convergence check falls out of the same mat-vec.
+		ws.matvec(a, w, x, opt.Workers)
+		var ss float64
+		for i := range b {
+			d := b[i] - w[i]
+			ss += d * d
+		}
+		trueRes := math.Sqrt(ss) / bnorm
 		linalg.Sub(r, b, w)
-		pre.Apply(pr, r)
+		apply(pr, r)
 		copy(r, pr)
 		beta := linalg.Norm2(r)
-		// Convergence check on the true (unpreconditioned) residual.
-		trueRes := trueResidual(a, b, x, w, opt.Workers) / bnorm
 		if trueRes <= opt.Tol {
 			st.Iterations, st.Residual, st.Converged = totalIt, trueRes, true
 			return x, st, nil
@@ -174,8 +228,8 @@ func GMRES(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error
 		for k = 0; k < m && totalIt < opt.MaxIter; k++ {
 			totalIt++
 			// w = M⁻¹·A·v[k]
-			a.MulVecPar(pw, v[k], opt.Workers)
-			pre.Apply(w, pw)
+			ws.matvec(a, pw, v[k], opt.Workers)
+			apply(w, pw)
 			// Modified Gram–Schmidt.
 			for j := 0; j <= k; j++ {
 				hjk := linalg.Dot(w, v[j])
@@ -209,7 +263,7 @@ func GMRES(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error
 			}
 		}
 		// Solve the k×k triangular system and update x.
-		y := make([]float64, k)
+		y := yBuf[:k]
 		for i := k - 1; i >= 0; i-- {
 			s := g[i]
 			for j := i + 1; j < k; j++ {
@@ -221,7 +275,7 @@ func GMRES(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error
 			linalg.Axpy(y[j], v[j], x)
 		}
 	}
-	a.MulVecPar(w, x, opt.Workers)
+	ws.matvec(a, w, x, opt.Workers)
 	linalg.Sub(r, b, w)
 	res := linalg.Norm2(r) / bnorm
 	st.Iterations, st.Residual = totalIt, res
@@ -230,19 +284,6 @@ func GMRES(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error
 		return x, st, nil
 	}
 	return x, st, fmt.Errorf("solver: GMRES did not converge in %d iterations (residual %g): %w", totalIt, res, ErrStalled)
-}
-
-// trueResidual computes ‖b − A·x‖ using w as scratch. The worker count goes
-// through the same normWorkers default as Options.withDefaults, so a caller
-// passing a raw (zero) count gets the same parallelism as the solver body.
-func trueResidual(a *sparse.CSR, b, x, w []float64, workers int) float64 {
-	a.MulVecPar(w, x, normWorkers(workers))
-	var s float64
-	for i := range b {
-		d := b[i] - w[i]
-		s += d * d
-	}
-	return math.Sqrt(s)
 }
 
 // givens returns the rotation (c, s) with c·a + s·b = r, −s·a + c·b = 0.

@@ -3,6 +3,7 @@ package solver
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/linalg"
 	"repro/internal/sparse"
@@ -19,11 +20,15 @@ type PrecondKind int
 
 const (
 	// PrecondAuto — the zero value, and therefore the default wherever an
-	// Options travels unset — picks a preconditioner from the system size:
-	// block-Jacobi-3 for small/well-conditioned systems (the natural choice
-	// for displacement problems with 3 DoFs per node), IC0 at and above
-	// AutoIC0Threshold DoFs where the iteration-count savings dominate, and
-	// scalar Jacobi when the dimension is not a multiple of 3.
+	// Options travels unset — picks a preconditioner from the system size
+	// and whether the construction amortizes: block-Jacobi-3 for small
+	// systems (the natural choice for displacement problems with 3 DoFs
+	// per node), IC0 where its ~6× iteration-count savings dominate — at
+	// and above AutoIC0Threshold DoFs on the assembly-cached path that
+	// builds the factor once per lattice (ResolveAmortized), at and above
+	// AutoIC0OneShotThreshold for bare solves that pay the build every
+	// call (Resolve) — and scalar Jacobi when the dimension is not a
+	// multiple of 3.
 	PrecondAuto PrecondKind = iota
 	// PrecondJacobi is the inverse-diagonal preconditioner.
 	PrecondJacobi
@@ -31,27 +36,52 @@ const (
 	// choice for displacement problems with 3 DoFs per node, which couples
 	// the x/y/z components of each node.
 	PrecondBlockJacobi3
-	// PrecondIC0 is zero-fill incomplete Cholesky — far fewer iterations at
-	// the cost of serial triangular solves per application.
+	// PrecondIC0 is zero-fill incomplete Cholesky — far fewer iterations,
+	// with the triangular solves level-scheduled so each application runs
+	// across cores (sparse.LowerTri).
 	PrecondIC0
 	// PrecondNone applies the identity.
 	PrecondNone
 )
 
 // AutoIC0Threshold is the system size (DoFs) at and above which PrecondAuto
-// switches from block-Jacobi-3 to IC0: below it the cheap, embarrassingly
-// parallel block inverse wins on wall time; above it IC0's iteration-count
-// reduction pays for its serial triangular solves.
-const AutoIC0Threshold = 20000
+// resolves to IC0 *when the construction amortizes* — the assembly-cached
+// path (array.Assembly.Preconditioner), where the factor is built at most
+// once per lattice. Re-measured for this release with the cached build and
+// the level-scheduled apply: once the build amortizes, IC0's ~6×
+// iteration-count reduction wins wall time at every measured lattice (28 vs
+// 45 ms at 2 709 DoFs, 482 vs 1 364 ms at 21 717 —
+// docs/SOLVER_TUNING.md has the table), so the threshold sits just below
+// the smallest measured crossover.
+const AutoIC0Threshold = 2500
 
-// Resolve maps PrecondAuto to the concrete kind chosen for an n-DoF system;
-// concrete kinds resolve to themselves.
+// AutoIC0OneShotThreshold is the crossover for solves that pay the IC0
+// construction every time (bare PCG/GMRES calls with no prebuilt Options.M,
+// which build their preconditioner per call): the ~60–600 ms factorization
+// only reaches wall-time parity with the Jacobi family around 20k DoFs.
+const AutoIC0OneShotThreshold = 20000
+
+// Resolve maps PrecondAuto to the concrete kind chosen for an n-DoF system
+// using the one-shot rule (the preconditioner is built for this solve
+// alone); concrete kinds resolve to themselves. Callers that amortize the
+// construction across solves use ResolveAmortized instead.
 func (k PrecondKind) Resolve(n int) PrecondKind {
+	return k.resolve(n, AutoIC0OneShotThreshold)
+}
+
+// ResolveAmortized maps PrecondAuto to the concrete kind chosen when the
+// preconditioner's construction is shared across many solves (the
+// assembly-cache path), where IC0 pays off at much smaller systems.
+func (k PrecondKind) ResolveAmortized(n int) PrecondKind {
+	return k.resolve(n, AutoIC0Threshold)
+}
+
+func (k PrecondKind) resolve(n, ic0At int) PrecondKind {
 	if k != PrecondAuto {
 		return k
 	}
 	switch {
-	case n >= AutoIC0Threshold:
+	case n >= ic0At:
 		return PrecondIC0
 	case n%3 == 0:
 		return PrecondBlockJacobi3
@@ -126,9 +156,24 @@ func NewPreconditioner(kind PrecondKind, a *sparse.CSR) (Preconditioner, error) 
 	return nil, fmt.Errorf("solver: unknown preconditioner kind %d", kind)
 }
 
+// parApplier is implemented by preconditioners whose application
+// parallelizes: the solvers drive it with their worker count and workspace
+// (resident pool + scratch) instead of plain Apply.
+type parApplier interface {
+	applyPar(dst, r []float64, workers int, ws *Workspace)
+}
+
+// Sized is implemented by preconditioners whose memory footprint matters to
+// byte-budgeted caches (the assembly cache counts them).
+type Sized interface {
+	MemoryBytes() int64
+}
+
 type identityPrecond struct{}
 
 func (identityPrecond) Apply(dst, r []float64) { copy(dst, r) }
+
+func (identityPrecond) MemoryBytes() int64 { return 0 }
 
 type jacobiPrecond struct{ inv []float64 }
 
@@ -137,6 +182,8 @@ func (p jacobiPrecond) Apply(dst, r []float64) {
 		dst[i] = p.inv[i] * v
 	}
 }
+
+func (p jacobiPrecond) MemoryBytes() int64 { return int64(8 * len(p.inv)) }
 
 // blockJacobi3 stores the inverse of each 3×3 diagonal block.
 type blockJacobi3 struct {
@@ -214,10 +261,17 @@ func (p *blockJacobi3) Apply(dst, r []float64) {
 	}
 }
 
+func (p *blockJacobi3) MemoryBytes() int64 { return int64(8 * len(p.inv)) }
+
 // ic0 is a zero-fill incomplete Cholesky factorization: L has the sparsity
-// of the lower triangle of A and A ≈ L·Lᵀ.
+// of the lower triangle of A and A ≈ L·Lᵀ. The factor is held as a
+// sparse.LowerTri, whose dependency-level schedules let each application's
+// forward/backward solves run rows in parallel — and, because each row is a
+// gather computed by one shared kernel, the parallel application is bitwise
+// identical to the serial one for every worker count. An ic0 is immutable
+// after construction and safe to share across concurrent solves.
 type ic0 struct {
-	l *sparse.CSC
+	t *sparse.LowerTri
 }
 
 func newIC0(a *sparse.CSR) (*ic0, error) {
@@ -292,38 +346,48 @@ func newIC0(a *sparse.CSR) (*ic0, error) {
 		}
 		pushCol(int32(j))
 	}
-	return &ic0{l: l}, nil
+	t, err := sparse.NewLowerTriFromCSC(l)
+	if err != nil {
+		return nil, fmt.Errorf("solver: IC0: %w", err)
+	}
+	return &ic0{t: t}, nil
 }
 
-func (p *ic0) Apply(dst, r []float64) {
-	l := p.l
-	n := l.NCols
-	copy(dst, r)
-	// Forward solve L·y = r.
-	for j := 0; j < n; j++ {
-		pj := l.ColPtr[j]
-		yj := dst[j] / l.Vals[pj]
-		dst[j] = yj
-		for q := pj + 1; q < l.ColPtr[j+1]; q++ {
-			dst[l.RowIdx[q]] -= l.Vals[q] * yj
-		}
+// Apply computes dst = (L·Lᵀ)⁻¹·r via the level-scheduled forward/backward
+// solves at GOMAXPROCS parallelism (spawning goroutines per level; the
+// workspace-backed applyPar path dispatches through a resident gang
+// instead). Falls back to the serial loops when the schedule has no level
+// wide enough to pay for fan-out.
+func (p *ic0) Apply(dst, r []float64) { p.applyPar(dst, r, normWorkers(0), nil) }
+
+func (p *ic0) applyPar(dst, r []float64, workers int, ws *Workspace) {
+	var pool *sparse.Pool
+	var sc *sparse.TriScratch
+	if ws != nil {
+		pool, sc = ws.pool, &ws.tri
 	}
-	// Backward solve Lᵀ·z = y.
-	for j := n - 1; j >= 0; j-- {
-		pj := l.ColPtr[j]
-		s := dst[j]
-		for q := pj + 1; q < l.ColPtr[j+1]; q++ {
-			s -= l.Vals[q] * dst[l.RowIdx[q]]
-		}
-		dst[j] = s / l.Vals[pj]
-	}
+	p.t.SolveLowerPar(dst, r, workers, pool, sc)
+	p.t.SolveUpperPar(dst, dst, workers, pool, sc)
 }
+
+// MemoryBytes reports the factor's footprint (both triangles + schedules).
+func (p *ic0) MemoryBytes() int64 { return p.t.MemoryBytes() }
 
 // PCG is the preconditioned conjugate gradient for symmetric positive-
-// definite systems. The preconditioner comes from Options.Precond (default
+// definite systems. The preconditioner comes from Options.M when prebuilt
+// (e.g. assembly-cached) or is constructed from Options.Precond (default
 // PrecondAuto, resolved against the system size); x0 optionally seeds the
 // iteration (warm start) and may be nil. The returned Stats record the
-// resolved preconditioner kind and whether the solve was warm-started.
+// resolved preconditioner kind, whether the solve was warm-started, and the
+// preconditioner build/apply timings.
+//
+// The iteration loop is allocation-free: the work vectors come from
+// Options.Work (or a per-call workspace when unset), the mat-vec runs
+// through a once-per-solve nnz-balanced partition, and a level-scheduled
+// preconditioner dispatches through the workspace's resident gang. With
+// Options.Work and Options.M both set, the entire steady-state solve
+// performs zero allocations (BenchmarkPCGNoAlloc); the returned solution
+// then aliases workspace memory — see Workspace.
 func PCG(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error) {
 	n := a.NRows
 	if a.NCols != n || len(b) != n {
@@ -332,29 +396,51 @@ func PCG(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error) 
 	opt = opt.withDefaults(n)
 	kind := opt.Precond.Resolve(n)
 	st := Stats{Precond: kind, Warm: x0 != nil}
-	m, err := NewPreconditioner(kind, a)
-	if err != nil {
-		return nil, st, err
+	m := opt.M
+	if m == nil {
+		tBuild := time.Now()
+		var err error
+		m, err = NewPreconditioner(kind, a)
+		if err != nil {
+			return nil, st, err
+		}
+		st.PrecondBuild = time.Since(tBuild)
 	}
+	ws := opt.Work
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	ws.reset()
+	ws.prepMatVec(a, opt.Workers)
+	wa, _ := m.(parApplier)
 
-	x := make([]float64, n)
+	x := ws.vec(n)
 	if x0 != nil {
 		copy(x, x0)
+	} else {
+		linalg.Zero(x)
 	}
-	r := make([]float64, n)
-	ax := make([]float64, n)
-	a.MulVecPar(ax, x, opt.Workers)
-	linalg.Sub(r, b, ax)
+	r := ws.vec(n)
+	z := ws.vec(n)
+	p := ws.vec(n)
+	ap := ws.vec(n)
+
+	ws.matvec(a, r, x, opt.Workers)
+	linalg.Sub(r, b, r)
 	bnorm := linalg.Norm2(b)
 	if bnorm == 0 {
 		st.Converged = true
 		return x, st, nil
 	}
-	z := make([]float64, n)
-	m.Apply(z, r)
-	p := linalg.Copy(z)
+	tApply := time.Now()
+	if wa != nil {
+		wa.applyPar(z, r, opt.Workers, ws)
+	} else {
+		m.Apply(z, r)
+	}
+	st.PrecondApply += time.Since(tApply)
+	copy(p, z)
 	rz := linalg.Dot(r, z)
-	ap := make([]float64, n)
 
 	var it int
 	for it = 0; it < opt.MaxIter; it++ {
@@ -370,7 +456,7 @@ func PCG(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error) 
 			st.Iterations = it
 			return x, st, fmt.Errorf("solver: PCG residual is non-finite at iteration %d: %w", it, ErrStalled)
 		}
-		a.MulVecPar(ap, p, opt.Workers)
+		ws.matvec(a, ap, p, opt.Workers)
 		pap := linalg.Dot(p, ap)
 		if pap <= 0 {
 			st.Iterations, st.Residual = it, res
@@ -379,7 +465,13 @@ func PCG(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error) 
 		alpha := rz / pap
 		linalg.Axpy(alpha, p, x)
 		linalg.Axpy(-alpha, ap, r)
-		m.Apply(z, r)
+		tApply = time.Now()
+		if wa != nil {
+			wa.applyPar(z, r, opt.Workers, ws)
+		} else {
+			m.Apply(z, r)
+		}
+		st.PrecondApply += time.Since(tApply)
 		rzNew := linalg.Dot(r, z)
 		beta := rzNew / rz
 		rz = rzNew

@@ -197,14 +197,16 @@ func TestIC0MatchesFullCholeskyOnTridiagonal(t *testing.T) {
 }
 
 func TestPrecondAutoResolution(t *testing.T) {
+	// One-shot rule (bare solver calls build the preconditioner per solve).
 	cases := []struct {
 		kind PrecondKind
 		n    int
 		want PrecondKind
 	}{
 		{PrecondAuto, 300, PrecondBlockJacobi3},
-		{PrecondAuto, AutoIC0Threshold, PrecondIC0},
-		{PrecondAuto, AutoIC0Threshold + 3, PrecondIC0},
+		{PrecondAuto, AutoIC0Threshold + 2, PrecondBlockJacobi3}, // amortized crossover is not the one-shot one (2502 % 3 == 0)
+		{PrecondAuto, AutoIC0OneShotThreshold, PrecondIC0},
+		{PrecondAuto, AutoIC0OneShotThreshold + 3, PrecondIC0},
 		{PrecondAuto, 301, PrecondJacobi}, // not divisible by 3
 		{PrecondJacobi, 1 << 20, PrecondJacobi},
 		{PrecondNone, 3, PrecondNone},
@@ -212,6 +214,20 @@ func TestPrecondAutoResolution(t *testing.T) {
 	for _, c := range cases {
 		if got := c.kind.Resolve(c.n); got != c.want {
 			t.Errorf("Resolve(%v, n=%d) = %v, want %v", c.kind, c.n, got, c.want)
+		}
+	}
+	// Amortized rule (assembly-cached path): IC0 from the lower threshold.
+	amortized := []struct {
+		n    int
+		want PrecondKind
+	}{
+		{300, PrecondBlockJacobi3},
+		{AutoIC0Threshold, PrecondIC0},
+		{AutoIC0OneShotThreshold, PrecondIC0},
+	}
+	for _, c := range amortized {
+		if got := PrecondAuto.ResolveAmortized(c.n); got != c.want {
+			t.Errorf("ResolveAmortized(auto, n=%d) = %v, want %v", c.n, got, c.want)
 		}
 	}
 }

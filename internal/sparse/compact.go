@@ -3,9 +3,9 @@ package sparse
 import "sort"
 
 // CompactRows sorts the column indices within each row and sums duplicate
-// entries, returning the compacted matrix. Rows are processed in parallel;
-// this is the finishing step of scatter-style assemblies that append
-// unordered duplicated entries row by row.
+// entries, returning the compacted matrix. Rows are processed in parallel
+// over nnz-balanced chunks; this is the finishing step of scatter-style
+// assemblies that append unordered duplicated entries row by row.
 func (m *CSR) CompactRows(workers int) *CSR {
 	n := m.NRows
 	newLen := make([]int32, n)
@@ -13,7 +13,8 @@ func (m *CSR) CompactRows(workers int) *CSR {
 		c int32
 		v float64
 	}
-	parallelRows(n, workers, func(lo, hi int) {
+	bounds := PartitionByWork(m.RowPtr, 0, n, workers)
+	parallelChunks(bounds, workers, funcRunner(func(lo, hi int) {
 		var buf []pair
 		for r := lo; r < hi; r++ {
 			start, end := m.RowPtr[r], m.RowPtr[r+1]
@@ -36,7 +37,7 @@ func (m *CSR) CompactRows(workers int) *CSR {
 			}
 			newLen[r] = w - start
 		}
-	})
+	}))
 	// Compact the row segments into fresh arrays.
 	outPtr := make([]int32, n+1)
 	for r := 0; r < n; r++ {
@@ -45,7 +46,7 @@ func (m *CSR) CompactRows(workers int) *CSR {
 	nnz := int(outPtr[n])
 	outCol := make([]int32, nnz)
 	outVal := make([]float64, nnz)
-	parallelRows(n, workers, func(lo, hi int) {
+	parallelChunks(bounds, workers, funcRunner(func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			src := m.RowPtr[r]
 			dst := outPtr[r]
@@ -53,6 +54,6 @@ func (m *CSR) CompactRows(workers int) *CSR {
 			copy(outCol[dst:dst+ln], m.ColIdx[src:src+ln])
 			copy(outVal[dst:dst+ln], m.Vals[src:src+ln])
 		}
-	})
+	}))
 	return &CSR{NRows: m.NRows, NCols: m.NCols, RowPtr: outPtr, ColIdx: outCol, Vals: outVal}
 }

@@ -135,14 +135,17 @@ func (m *CSR) MulVec(dst, x []float64) {
 	}
 }
 
-// MulVecPar computes dst = m·x using nworkers goroutines over row blocks.
-// It falls back to the serial kernel for small matrices.
+// MulVecPar computes dst = m·x using at most nworkers goroutines over
+// contiguous row chunks balanced by nnz (structured FEM matrices have heavy
+// boundary rows, so equal-count chunks leave workers idle). It falls back to
+// the serial kernel for small matrices.
 func (m *CSR) MulVecPar(dst, x []float64, nworkers int) {
-	if nworkers <= 1 || m.NRows < 4096 {
+	if nworkers <= 1 || m.NRows < MinParRows {
 		m.MulVec(dst, x)
 		return
 	}
-	parallelRows(m.NRows, nworkers, func(lo, hi int) {
+	bounds := PartitionByWork(m.RowPtr, 0, m.NRows, nworkers)
+	parallelChunks(bounds, nworkers, funcRunner(func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			var s float64
 			for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
@@ -150,7 +153,7 @@ func (m *CSR) MulVecPar(dst, x []float64, nworkers int) {
 			}
 			dst[r] = s
 		}
-	})
+	}))
 }
 
 // At returns element (r, c), 0 if not stored. O(log nnz(row)).
