@@ -1,0 +1,166 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const goodBaseline = `{
+  "schema": "bench-global/v1",
+  "pr": 5,
+  "benchmarks": {
+    "BenchmarkBatchEngine": { "unit": "ns/op", "value": 1000000, "what": "warm batch" },
+    "BenchmarkPCGNoAlloc": { "unit": "ns/op", "value": 2000000, "allocs_per_op": 0 },
+    "BenchmarkIC0Apply": { "unit": "ns/op", "values": { "narrowDAG/serial": 2400000, "wideDAG/levelsched-pool": 1200000 } },
+    "BenchmarkPCGPrecond": { "unit": "iterations", "values": { "ic0": 27 } }
+  }
+}`
+
+func TestParseBaselineSchema(t *testing.T) {
+	if _, err := parseBaseline([]byte(goodBaseline)); err != nil {
+		t.Fatalf("good baseline rejected: %v", err)
+	}
+	bad := map[string]string{
+		"not json":        `{`,
+		"wrong schema":    `{"schema":"bench/v0","pr":5,"benchmarks":{"B":{"unit":"ns/op","value":1}}}`,
+		"missing pr":      `{"schema":"bench-global/v1","benchmarks":{"B":{"unit":"ns/op","value":1}}}`,
+		"no benchmarks":   `{"schema":"bench-global/v1","pr":5}`,
+		"empty bench map": `{"schema":"bench-global/v1","pr":5,"benchmarks":{}}`,
+		"missing unit":    `{"schema":"bench-global/v1","pr":5,"benchmarks":{"B":{"value":1}}}`,
+		"value+values":    `{"schema":"bench-global/v1","pr":5,"benchmarks":{"B":{"unit":"ns/op","value":1,"values":{"a":1}}}}`,
+		"neither value":   `{"schema":"bench-global/v1","pr":5,"benchmarks":{"B":{"unit":"ns/op"}}}`,
+		"string value":    `{"schema":"bench-global/v1","pr":5,"benchmarks":{"B":{"unit":"ns/op","value":"fast"}}}`,
+		"negative allocs": `{"schema":"bench-global/v1","pr":5,"benchmarks":{"B":{"unit":"ns/op","value":1,"allocs_per_op":-1}}}`,
+	}
+	for name, raw := range bad {
+		if _, err := parseBaseline([]byte(raw)); err == nil {
+			t.Errorf("%s: invalid baseline accepted", name)
+		}
+	}
+}
+
+// TestParseBaselineReal validates the repository's actual snapshot, so a
+// malformed BENCH_global.json edit fails here before it reaches CI.
+func TestParseBaselineReal(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_global.json")
+	if err != nil {
+		t.Skipf("snapshot not found: %v", err)
+	}
+	b, err := parseBaseline(raw)
+	if err != nil {
+		t.Fatalf("BENCH_global.json failed schema validation: %v", err)
+	}
+	for _, name := range []string{"BenchmarkBatchEngine", "BenchmarkIC0Apply", "BenchmarkPCGNoAlloc"} {
+		if b.Benchmarks[name] == nil {
+			t.Errorf("snapshot lost the %s entry the CI gate pins", name)
+		}
+	}
+}
+
+const benchOutput = `
+goos: linux
+goarch: amd64
+BenchmarkBatchEngine-4   	     682	   900000 ns/op	         1.000 hit-rate
+BenchmarkPCGNoAlloc     	     463	  2100000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPCGNoAlloc-4   	     463	  1900000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkIC0Apply/narrowDAG/serial-4         	     492	   2500000 ns/op
+BenchmarkIC0Apply/wideDAG/levelsched-pool-4  	     924	   1100000 ns/op
+PASS
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	ms := parseBenchOutput(benchOutput)
+	if len(ms) != 4 {
+		t.Fatalf("parsed %d measurements, want 4: %v", len(ms), ms)
+	}
+	pcg := ms["BenchmarkPCGNoAlloc"]
+	if pcg == nil || pcg.MinNs != 1900000 {
+		t.Errorf("PCGNoAlloc min ns/op not folded across -cpu runs: %+v", pcg)
+	}
+	if !pcg.HasAllocs || pcg.MaxAllocs != 0 {
+		t.Errorf("PCGNoAlloc allocs: %+v", pcg)
+	}
+	if be := ms["BenchmarkBatchEngine"]; be == nil || be.HasAllocs {
+		t.Errorf("BatchEngine measurement: %+v", be)
+	}
+	if sub := ms["BenchmarkIC0Apply/narrowDAG/serial"]; sub == nil || sub.MinNs != 2500000 {
+		t.Errorf("sub-benchmark name not preserved: %+v", ms)
+	}
+}
+
+func TestCheckPassesWithinTolerance(t *testing.T) {
+	base, err := parseBaseline([]byte(goodBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	required := []string{"BenchmarkBatchEngine", "BenchmarkPCGNoAlloc", "BenchmarkIC0Apply"}
+	failures, report := check(base, parseBenchOutput(benchOutput), 3.0, required)
+	if failures != 0 {
+		t.Fatalf("clean run reported %d failures:\n%s", failures, report)
+	}
+}
+
+func TestCheckFailsOnInjectedRegressions(t *testing.T) {
+	base, err := parseBaseline([]byte(goodBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]struct {
+		output string
+		want   string
+	}{
+		"ns/op regression": {
+			output: strings.Replace(benchOutput, "682	   900000 ns/op", "682	   3100000 ns/op", 1),
+			want:   "BenchmarkBatchEngine: 3100000 ns/op exceeds",
+		},
+		"sub-benchmark regression": {
+			output: strings.Replace(benchOutput, "492	   2500000 ns/op", "492	   9500000 ns/op", 1),
+			want:   "BenchmarkIC0Apply/narrowDAG/serial: 9500000 ns/op exceeds",
+		},
+		"allocs floor broken at one cpu count": {
+			output: strings.Replace(benchOutput, "463	  2100000 ns/op	       0 B/op	       0 allocs/op",
+				"463	  2100000 ns/op	      64 B/op	       2 allocs/op", 1),
+			want: "2.0 allocs/op exceeds the pinned floor",
+		},
+		"allocs not reported": {
+			output: strings.ReplaceAll(benchOutput, "	       0 B/op	       0 allocs/op", ""),
+			want:   "did not report allocs",
+		},
+		"required benchmark missing": {
+			output: strings.ReplaceAll(benchOutput, "BenchmarkPCGNoAlloc", "BenchmarkPCGRenamed"),
+			want:   "required benchmark BenchmarkPCGNoAlloc was not measured",
+		},
+		"required sub-benchmark dropped": {
+			output: strings.ReplaceAll(benchOutput, "BenchmarkIC0Apply/narrowDAG/serial", "BenchmarkIC0Apply/renamedDAG/serial"),
+			want:   "required benchmark BenchmarkIC0Apply was not measured against its BenchmarkIC0Apply/narrowDAG/serial baseline",
+		},
+	}
+	required := []string{"BenchmarkBatchEngine", "BenchmarkPCGNoAlloc", "BenchmarkIC0Apply"}
+	for name, tc := range cases {
+		failures, report := check(base, parseBenchOutput(tc.output), 3.0, required)
+		if failures == 0 {
+			t.Errorf("%s: gate did not fail", name)
+			continue
+		}
+		if !strings.Contains(report, tc.want) {
+			t.Errorf("%s: report lacks %q:\n%s", name, tc.want, report)
+		}
+	}
+}
+
+// TestCheckToleranceBoundary: the limit is tolerance × baseline, inclusive.
+func TestCheckToleranceBoundary(t *testing.T) {
+	base, err := parseBaseline([]byte(`{"schema":"bench-global/v1","pr":5,"benchmarks":{"BenchmarkX":{"unit":"ns/op","value":1000}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := parseBenchOutput("BenchmarkX-4 	 10 	 3000 ns/op")
+	if failures, report := check(base, at, 3.0, nil); failures != 0 {
+		t.Errorf("exactly at the limit should pass:\n%s", report)
+	}
+	over := parseBenchOutput("BenchmarkX-4 	 10 	 3001 ns/op")
+	if failures, _ := check(base, over, 3.0, nil); failures != 1 {
+		t.Error("just over the limit should fail")
+	}
+}

@@ -30,7 +30,7 @@ func FuzzJobRequestJSON(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		check := func(req jobRequest) {
-			job, err := req.toJob(morestress.PrecondAuto)
+			job, err := req.toJob(morestress.PrecondAuto, morestress.OrderingAuto)
 			if err != nil {
 				return // rejected; only panics are bugs
 			}

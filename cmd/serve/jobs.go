@@ -214,7 +214,7 @@ func (s *server) decodeBatch(w http.ResponseWriter, r *http.Request) ([]morestre
 	include := make([]bool, len(req.Jobs))
 	var batchSamples int64
 	for i := range req.Jobs {
-		job, err := req.Jobs[i].toJob(s.precond)
+		job, err := req.Jobs[i].toJob(s.precond, s.ordering)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err))
 			return nil, nil, 0, false

@@ -124,6 +124,8 @@ func main() {
 		"aggregate field samples across tracked async jobs, 429 beyond it (0 = unlimited)")
 	precondFlag := flag.String("precond", "auto",
 		"default iterative preconditioner: auto, jacobi, block-jacobi3, ic0, or none (per-request \"precond\" overrides)")
+	orderingFlag := flag.String("ordering", "auto",
+		"default IC0 factor ordering: auto, natural, rcm, or multicolor (per-request \"ordering\" overrides)")
 	warmStart := flag.Bool("warm-start", true,
 		"seed iterative solves with the latest solution on the same lattice")
 	assemblyBytes := flag.Int64("assembly-bytes", 1<<30,
@@ -131,6 +133,10 @@ func main() {
 	flag.Parse()
 
 	precond, err := morestress.ParsePrecond(*precondFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ordering, err := morestress.ParseOrdering(*orderingFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -148,6 +154,7 @@ func main() {
 	}
 	srv := newServer(engine, queue)
 	srv.precond = precond
+	srv.ordering = ordering
 	log.Printf("serve: listening on %s (cache %d MiB budget, spill %q, queue depth %d, job ttl %v)",
 		*addr, *cacheBytes>>20, *cacheDir, *queueDepth, *jobTTL)
 

@@ -60,13 +60,18 @@ type jobRequest struct {
 	// size-resolved), "jacobi", "block-jacobi3"/"bj3", "ic0", or "none".
 	// Empty falls back to the server's -precond flag.
 	Precond string `json:"precond"`
+	// Ordering selects the IC0 factor ordering: "auto" (default, picks
+	// multicolor when the natural dependency levels are too narrow to fan
+	// out), "natural", "rcm", or "multicolor". Empty falls back to the
+	// server's -ordering flag.
+	Ordering string `json:"ordering"`
 
 	// IncludeField returns the sampled von Mises field in the response
 	// (requires gridSamples > 0).
 	IncludeField bool `json:"includeField"`
 }
 
-func (r *jobRequest) toJob(defaultPrecond morestress.Precond) (morestress.Job, error) {
+func (r *jobRequest) toJob(defaultPrecond morestress.Precond, defaultOrdering morestress.Ordering) (morestress.Job, error) {
 	var job morestress.Job
 	pitch := r.Pitch
 	if pitch == 0 {
@@ -136,7 +141,14 @@ func (r *jobRequest) toJob(defaultPrecond morestress.Precond) (morestress.Job, e
 			return job, err
 		}
 	}
-	job.Options = morestress.SolverOptions{Tol: r.Tol, MaxIter: r.MaxIter, Precond: precond}
+	ordering := defaultOrdering
+	if r.Ordering != "" {
+		var err error
+		if ordering, err = morestress.ParseOrdering(r.Ordering); err != nil {
+			return job, err
+		}
+	}
+	job.Options = morestress.SolverOptions{Tol: r.Tol, MaxIter: r.MaxIter, Precond: precond, Ordering: ordering}
 	return job, nil
 }
 
@@ -153,12 +165,14 @@ type jobResponse struct {
 	Converged  bool    `json:"converged"`
 	Iterations int     `json:"iterations"`
 	Residual   float64 `json:"residual"`
-	// Precond is the resolved preconditioner of an iterative solve;
-	// WarmStart reports whether it was seeded from a previous solution on
-	// the same lattice, and PrecondCached whether the preconditioner came
-	// from the lattice assembly's cache instead of being built by this
-	// solve. Empty/false for direct solves.
+	// Precond is the resolved preconditioner of an iterative solve and
+	// Ordering the symmetric ordering its factor was built under;
+	// WarmStart reports whether the solve was seeded from a previous
+	// solution on the same lattice, and PrecondCached whether the
+	// preconditioner came from the lattice assembly's cache instead of
+	// being built by this solve. Empty/false for direct solves.
 	Precond       string         `json:"precond,omitempty"`
+	Ordering      string         `json:"ordering,omitempty"`
 	WarmStart     bool           `json:"warmStart,omitempty"`
 	PrecondCached bool           `json:"precondCached,omitempty"`
 	GlobalDoFs    int            `json:"globalDoFs"`
@@ -185,6 +199,7 @@ func toResponse(res *morestress.JobResult, includeField bool) jobResponse {
 	out.Residual = r.Stats.Residual
 	if r.Iterative() {
 		out.Precond = r.Stats.Precond.String()
+		out.Ordering = r.Solution.Ordering.String()
 		out.WarmStart = r.Stats.Warm
 		out.PrecondCached = r.Solution.PrecondShared
 	}
@@ -203,9 +218,10 @@ func toResponse(res *morestress.JobResult, includeField bool) jobResponse {
 type server struct {
 	engine *morestress.Engine
 	queue  *jobqueue.Queue
-	// precond is the server-wide default preconditioner (-precond flag),
-	// applied to requests that do not name one.
+	// precond and ordering are the server-wide defaults (-precond and
+	// -ordering flags), applied to requests that do not name one.
 	precond  morestress.Precond
+	ordering morestress.Ordering
 	start    time.Time
 	requests atomic.Int64
 }
@@ -237,7 +253,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	job, err := req.toJob(s.precond)
+	job, err := req.toJob(s.precond, s.ordering)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -311,10 +327,14 @@ type statsResponse struct {
 		WarmFallbacks   int64 `json:"warmFallbacks"`
 		Iterations      int64 `json:"iterations"`
 		// PrecondBuilds/PrecondHits report the assembly-cached
-		// preconditioners: built at most once per (lattice, kind), shared
-		// by every scenario after that.
+		// preconditioners: built at most once per (lattice, kind,
+		// ordering), shared by every scenario after that.
 		PrecondBuilds int64 `json:"precondBuilds"`
 		PrecondHits   int64 `json:"precondHits"`
+		// OrderingCounts tallies iterative solves by the symmetric
+		// ordering their preconditioner factored under ("natural", "rcm",
+		// "multicolor"); orderings that never ran are omitted.
+		OrderingCounts map[string]int64 `json:"orderingCounts"`
 		// WarmStartRate is WarmStarts / IterativeSolves (0 when none ran).
 		WarmStartRate float64 `json:"warmStartRate"`
 	} `json:"solver"`
@@ -367,6 +387,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out.Solver.Iterations = es.Iterations
 	out.Solver.PrecondBuilds = es.PrecondBuilds
 	out.Solver.PrecondHits = es.PrecondHits
+	out.Solver.OrderingCounts = es.OrderingCounts
 	if es.IterativeSolves > 0 {
 		out.Solver.WarmStartRate = float64(es.WarmStarts) / float64(es.IterativeSolves)
 	}

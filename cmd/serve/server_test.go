@@ -251,6 +251,74 @@ func TestSolvePrecondField(t *testing.T) {
 	}
 }
 
+// TestSolveOrderingField: the per-request "ordering" field selects the IC0
+// factor ordering, the response names the concrete ordering the solve ran
+// under, and /stats tallies solves per ordering.
+func TestSolveOrderingField(t *testing.T) {
+	ts := testServer(t)
+
+	post := func(body string) (*http.Response, jobResponse) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out jobResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp, out
+	}
+
+	resp, out := post(`{"resolution":"coarse","nodes":3,"rows":1,"cols":2,"deltaT":-100,"solver":"cg","precond":"ic0","ordering":"multicolor"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Precond != "ic0" || out.Ordering != "multicolor" {
+		t.Errorf("precond/ordering = %q/%q, want ic0/multicolor", out.Precond, out.Ordering)
+	}
+
+	// An iterative solve always names a concrete ordering, never "auto".
+	resp, out = post(cheapJob)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Ordering == "" || out.Ordering == "auto" {
+		t.Errorf("iterative response should name the concrete ordering, got %q", out.Ordering)
+	}
+
+	resp, _ = post(`{"rows":1,"cols":1,"ordering":"bogus"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown ordering: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for ord, n := range stats.Solver.OrderingCounts {
+		if ord == "auto" {
+			t.Errorf("orderingCounts contains the unresolved %q key", ord)
+		}
+		total += n
+	}
+	if stats.Solver.OrderingCounts["multicolor"] < 1 {
+		t.Errorf("orderingCounts = %v, want at least one multicolor solve", stats.Solver.OrderingCounts)
+	}
+	if total != stats.Solver.IterativeSolves {
+		t.Errorf("orderingCounts sum %d != iterativeSolves %d", total, stats.Solver.IterativeSolves)
+	}
+}
+
 // TestStatsSolverSection checks /stats surfaces the global-stage scaling
 // counters: after a two-point sweep on one lattice the server must report
 // one assembly, a reuse, and a warm-started iterative solve.

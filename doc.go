@@ -45,18 +45,21 @@
 //
 //   - The global stage itself scales across scenarios: the engine assembles
 //     each lattice's reduced global system once (array.Assembly, shared by
-//     every solver kind) and each preconditioner at most once per lattice
-//     and kind (cached on the assembly — the IC0 factor is no longer
-//     rebuilt per solve), the iterative solvers default to auto-selected
-//     preconditioning (block-Jacobi-3 for small lattices, amortized IC0
-//     above solver.AutoIC0Threshold DoFs; SolverOptions.Precond overrides)
-//     with level-scheduled IC0 triangular solves and an allocation-free
-//     PCG hot loop, and uniform-ΔT sweeps are chained in ΔT order so each
-//     solve warm-starts from its neighbor's solution, falling back to a
-//     cold solve on divergence. EngineStats and Solution/SolverStats
-//     surface assemblies and preconditioners reused, warm-start hit rate,
-//     and iteration counts. See docs/SOLVER_TUNING.md for guidance and
-//     measurements.
+//     every solver kind) and each preconditioner at most once per lattice,
+//     kind, and factor ordering (cached on the assembly — the IC0 factor
+//     is no longer rebuilt per solve), the iterative solvers default to
+//     auto-selected preconditioning (block-Jacobi-3 for small lattices,
+//     amortized IC0 above solver.AutoIC0Threshold DoFs;
+//     SolverOptions.Precond overrides) with level-scheduled IC0 triangular
+//     solves, an auto-selected symmetric factor ordering
+//     (SolverOptions.Ordering: multicolor when the natural-order
+//     dependency levels are too narrow to fan out, natural otherwise) and
+//     an allocation-free PCG hot loop, and uniform-ΔT sweeps are chained
+//     in ΔT order so each solve warm-starts from its neighbor's solution,
+//     falling back to a cold solve on divergence. EngineStats and
+//     Solution/SolverStats surface assemblies and preconditioners reused,
+//     solves per ordering, warm-start hit rate, and iteration counts. See
+//     docs/SOLVER_TUNING.md for guidance and measurements.
 //
 //   - An asynchronous job queue (internal/jobqueue) turns the engine into a
 //     submit-and-poll service: a job of many scenarios gets an ID

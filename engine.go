@@ -162,8 +162,14 @@ type EngineStats struct {
 	// PrecondBuilds counts preconditioner constructions for iterative
 	// solves; PrecondHits counts solves that reused one cached on the
 	// lattice's Assembly. A preconditioner is built at most once per
-	// (lattice, PrecondKind), so warm-cache scenarios are all hits.
+	// (lattice, PrecondKind, Ordering), so warm-cache scenarios are all
+	// hits.
 	PrecondBuilds, PrecondHits int64
+	// OrderingCounts tallies iterative solves by the symmetric ordering
+	// their preconditioner factored under (keys are the
+	// solver.OrderingKind spellings: "natural", "rcm", "multicolor").
+	// Orderings that never ran are omitted.
+	OrderingCounts map[string]int64
 }
 
 // Engine is a concurrent batch-solve front end over the ROM machinery: it
@@ -192,6 +198,7 @@ type Engine struct {
 	iterativeSolves, warmStarts, warmFallbacks atomic.Int64
 	iterations                                 atomic.Int64
 	precondBuilds, precondHits                 atomic.Int64
+	orderingCounts                             [solver.NumOrderings]atomic.Int64
 }
 
 // NewEngine creates an engine. A zero EngineOptions is valid.
@@ -228,7 +235,14 @@ func NewEngine(opt EngineOptions) *Engine {
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() EngineStats {
+	orderings := make(map[string]int64)
+	for k := range e.orderingCounts {
+		if n := e.orderingCounts[k].Load(); n > 0 {
+			orderings[solver.OrderingKind(k).String()] = n
+		}
+	}
 	return EngineStats{
+		OrderingCounts:  orderings,
 		Cache:           e.cache.Stats(),
 		JobsDone:        e.jobsDone.Load(),
 		JobsFailed:      e.jobsFailed.Load(),
@@ -455,6 +469,9 @@ func (e *Engine) solveKeyed(job Job, index, workers int, key string) *JobResult 
 			e.precondHits.Add(1)
 		} else {
 			e.precondBuilds.Add(1)
+		}
+		if o := sol.Ordering; o >= 0 && int(o) < len(e.orderingCounts) {
+			e.orderingCounts[o].Add(1)
 		}
 	}
 	if key != "" && !e.opt.DisableWarmStart && job.DeltaTMap == nil && len(sol.QFree) > 0 {

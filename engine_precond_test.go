@@ -69,6 +69,54 @@ func TestEnginePrecondCacheDistinctPerKind(t *testing.T) {
 	}
 }
 
+// TestEngineOrderingCounts: iterative solves tally under the concrete
+// ordering their preconditioner factored under, distinct orderings of the
+// factorizing kind cache separately, and the counts sum to the iterative
+// solve count.
+func TestEngineOrderingCounts(t *testing.T) {
+	cfg := testConfig(15)
+	e := NewEngine(EngineOptions{Workers: 1, DisableWarmStart: true})
+	jobs := []Job{
+		{Config: cfg, Rows: 2, Cols: 2, DeltaT: -100, Solver: SolveCG,
+			Options: SolverOptions{Precond: solver.PrecondIC0, Ordering: solver.OrderingMulticolor}},
+		{Config: cfg, Rows: 2, Cols: 2, DeltaT: -150, Solver: SolveCG,
+			Options: SolverOptions{Precond: solver.PrecondIC0, Ordering: solver.OrderingMulticolor}},
+		{Config: cfg, Rows: 2, Cols: 2, DeltaT: -200, Solver: SolveCG,
+			Options: SolverOptions{Precond: solver.PrecondIC0, Ordering: solver.OrderingNatural}},
+	}
+	br := e.BatchSolve(jobs)
+	if br.Stats.Errors != 0 {
+		t.Fatalf("batch errors: %+v", br.Stats)
+	}
+	s := e.Stats()
+	if got := s.OrderingCounts["multicolor"]; got != 2 {
+		t.Errorf("multicolor count = %d, want 2 (counts: %v)", got, s.OrderingCounts)
+	}
+	if got := s.OrderingCounts["natural"]; got != 1 {
+		t.Errorf("natural count = %d, want 1 (counts: %v)", got, s.OrderingCounts)
+	}
+	var total int64
+	for _, n := range s.OrderingCounts {
+		total += n
+	}
+	if total != s.IterativeSolves {
+		t.Errorf("ordering counts sum %d != iterative solves %d", total, s.IterativeSolves)
+	}
+	// Two orderings of IC0 on one lattice are two distinct cache entries.
+	if s.PrecondBuilds != 2 || s.PrecondHits != 1 {
+		t.Errorf("builds/hits = %d/%d, want 2/1 (one factor per ordering)", s.PrecondBuilds, s.PrecondHits)
+	}
+	for _, r := range br.Results {
+		res := r.Result
+		if !res.Iterative() {
+			t.Fatal("expected iterative results")
+		}
+		if res.Solution.Ordering != res.Solution.Stats.Ordering {
+			t.Errorf("Solution.Ordering %v != Stats.Ordering %v", res.Solution.Ordering, res.Solution.Stats.Ordering)
+		}
+	}
+}
+
 // TestEnginePrecondCacheInvalidatedWithAssembly: the preconditioner lives on
 // the Assembly, so evicting the assembly (MaxAssemblies exceeded) drops it
 // and the next scenario on that lattice rebuilds both.

@@ -229,6 +229,10 @@ type Solution struct {
 	// Stats reports the iterative solve, including the resolved
 	// preconditioner kind and whether the solve was warm-started.
 	Stats solver.Stats
+	// Ordering is the symmetric ordering the solve's preconditioner
+	// factored under (mirrors Stats.Ordering; OrderingNatural for direct
+	// solves, the Jacobi family, and the degenerate all-constrained case).
+	Ordering solver.OrderingKind
 	// Timings of the two global-stage phases. When AssemblyShared is true,
 	// AssembleTime covers only the per-scenario RHS build; the matrix
 	// assembly was paid once by the shared Assembly (its cost is in
@@ -281,9 +285,25 @@ type Assembly struct {
 	// BuildTime is the one-shot cost of the matrix assembly + reduction.
 	BuildTime time.Duration
 
-	// pmu guards preconds, the lazily built per-kind preconditioner cache.
+	// pmu guards preconds, the lazily built per-(kind, ordering)
+	// preconditioner cache, and the memoized level-width probe.
 	pmu      sync.Mutex
-	preconds map[solver.PrecondKind]*assemblyPrecond
+	preconds map[precondKey]*assemblyPrecond
+	// widthKnown/naturalWidth memoize solver.NaturalLevelWidth of the
+	// reduced matrix — the O(nnz) part of the OrderingAuto rule — paid once
+	// per lattice. The decision itself is re-derived per solve because it
+	// also depends on the solve's worker count.
+	widthKnown   bool
+	naturalWidth int
+}
+
+// precondKey identifies one cached preconditioner: the concrete kind plus,
+// for the factorizing kinds, the concrete symmetric ordering the factor was
+// built under (the ordering-invariant kinds always cache under
+// OrderingNatural so spellings share one entry).
+type precondKey struct {
+	kind solver.PrecondKind
+	ord  solver.OrderingKind
 }
 
 // assemblyPrecond is one cached preconditioner: built once (the Once covers
@@ -305,6 +325,10 @@ type AssemblyPrecond struct {
 	// Kind is the concrete preconditioner kind (Auto resolved against the
 	// reduced system size).
 	Kind solver.PrecondKind
+	// Ordering is the concrete symmetric ordering the preconditioner was
+	// built under (Auto resolved against the reduced matrix's level
+	// structure; OrderingNatural for the ordering-invariant kinds).
+	Ordering solver.OrderingKind
 	// Hit reports that the preconditioner was already cached (or is being
 	// built by a concurrent caller this call waited on) rather than built
 	// by this call.
@@ -313,11 +337,50 @@ type AssemblyPrecond struct {
 	Build time.Duration
 }
 
+// resolveOrdering resolves OrderingAuto for the reduced matrix at the given
+// worker count (0 = GOMAXPROCS), memoizing the O(nnz) level-width probe;
+// concrete kinds pass through untouched. Worker-awareness matters: the
+// batch engine splits the machine across concurrent chains, and a solve
+// handed one worker must keep the natural factor — multicolor's extra
+// iterations buy nothing without fan-out.
+func (a *Assembly) resolveOrdering(ord solver.OrderingKind, workers int) solver.OrderingKind {
+	if ord != solver.OrderingAuto {
+		return ord
+	}
+	// Cheap guards first, mirroring solver.ResolveOrderingFor: when they
+	// already decide, the O(nnz) probe is never paid at all.
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || a.Red.Aff.NRows < solver.AutoMulticolorMinDoFs {
+		return solver.OrderingNatural
+	}
+	a.pmu.Lock()
+	known, width := a.widthKnown, a.naturalWidth
+	a.pmu.Unlock()
+	if !known {
+		// Probe outside the lock so a multi-second first lookup does not
+		// block concurrent Preconditioner requests for other kinds; the
+		// sweep is idempotent, so a concurrent double-compute is benign.
+		width = solver.NaturalLevelWidth(a.Red.Aff)
+		a.pmu.Lock()
+		a.widthKnown, a.naturalWidth = true, width
+		a.pmu.Unlock()
+	}
+	return solver.OrderingFromWidth(ord, a.Red.Aff.NRows, width, workers)
+}
+
 // Preconditioner returns the lattice's shared preconditioner for the
-// requested kind, building and caching it on first use. Distinct kinds
-// cache independently; PrecondAuto resolves to a concrete kind first so an
-// explicit request for the resolved kind shares the same entry.
-func (a *Assembly) Preconditioner(kind solver.PrecondKind) (AssemblyPrecond, error) {
+// requested kind and ordering, building and caching it on first use; workers
+// is the requesting solve's parallelism (0 = GOMAXPROCS), consulted only by
+// the OrderingAuto resolution — a 1-worker solve keeps the natural factor.
+// Distinct (kind, ordering) pairs cache independently — the ordering
+// permutation lives inside the cached factor, so "the ordering + permuted
+// factor" is one entry; PrecondAuto and OrderingAuto resolve to concrete
+// values first so an explicit request for the resolved pair shares the same
+// entry. Only the factorizing kinds are ordering-sensitive; the Jacobi
+// family caches under OrderingNatural regardless of the requested ordering.
+func (a *Assembly) Preconditioner(kind solver.PrecondKind, ord solver.OrderingKind, workers int) (AssemblyPrecond, error) {
 	if a.Red == nil {
 		return AssemblyPrecond{}, fmt.Errorf("array: assembly has no free DoFs, nothing to precondition")
 	}
@@ -325,28 +388,34 @@ func (a *Assembly) Preconditioner(kind solver.PrecondKind) (AssemblyPrecond, err
 	// construction is paid once per lattice, so Auto switches to IC0 at the
 	// amortized threshold rather than the one-shot one.
 	resolved := kind.ResolveAmortized(a.Red.NFree())
+	if resolved == solver.PrecondIC0 {
+		ord = a.resolveOrdering(ord, workers)
+	} else {
+		ord = solver.OrderingNatural
+	}
+	key := precondKey{kind: resolved, ord: ord}
 	a.pmu.Lock()
-	e, hit := a.preconds[resolved]
+	e, hit := a.preconds[key]
 	if e == nil {
 		if a.preconds == nil {
-			a.preconds = make(map[solver.PrecondKind]*assemblyPrecond)
+			a.preconds = make(map[precondKey]*assemblyPrecond)
 		}
 		e = &assemblyPrecond{}
-		a.preconds[resolved] = e
+		a.preconds[key] = e
 	}
 	a.pmu.Unlock()
 	e.once.Do(func() {
 		t0 := time.Now()
-		e.m, e.err = solver.NewPreconditioner(resolved, a.Red.Aff)
+		e.m, e.err = solver.NewPreconditionerOrdered(resolved, ord, a.Red.Aff)
 		e.build = time.Since(t0)
 	})
 	a.pmu.Lock()
 	e.ready = true
 	a.pmu.Unlock()
 	if e.err != nil {
-		return AssemblyPrecond{Kind: resolved}, e.err
+		return AssemblyPrecond{Kind: resolved, Ordering: ord}, e.err
 	}
-	out := AssemblyPrecond{M: e.m, Kind: resolved, Hit: hit}
+	out := AssemblyPrecond{M: e.m, Kind: resolved, Ordering: ord, Hit: hit}
 	if !hit {
 		out.Build = e.build
 	}
@@ -544,7 +613,8 @@ func Solve(p *Problem) (*Solution, error) {
 		}
 		return &Solution{
 			Prob: snap, Lattice: lat, Q: q,
-			Stats:          solver.Stats{Converged: true},
+			Stats:          solver.Stats{Converged: true, Ordering: solver.OrderingNatural},
+			Ordering:       solver.OrderingNatural,
 			AssembleTime:   time.Since(tAsm),
 			AssemblyShared: shared,
 			GlobalDoFs:     ndof, MatrixNNZ: asm.NNZ,
@@ -592,12 +662,13 @@ func Solve(p *Problem) (*Solution, error) {
 			// Jacobi family instead of paying an unamortized IC0 factor.
 			kind = kind.Resolve(asm.NumFree())
 		}
-		ap, err := asm.Preconditioner(kind)
+		ap, err := asm.Preconditioner(kind, opt.Ordering, opt.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("array: global preconditioner: %w", err)
 		}
 		opt.M = ap.M
 		opt.Precond = ap.Kind
+		opt.Ordering = ap.Ordering
 		precondShared = ap.Hit
 		precondBuild = ap.Build
 	}
@@ -620,7 +691,7 @@ func Solve(p *Problem) (*Solution, error) {
 			if err != nil {
 				return nil, stats, err
 			}
-			return chol.Solve(rhs), solver.Stats{Converged: true}, nil
+			return chol.Solve(rhs), solver.Stats{Converged: true, Ordering: solver.OrderingNatural}, nil
 		default:
 			return solver.GMRES(red.Aff, rhs, seed, opt)
 		}
@@ -654,6 +725,7 @@ func Solve(p *Problem) (*Solution, error) {
 
 	return &Solution{
 		Prob: snap, Lattice: lat, Q: q, QFree: qf, Stats: stats,
+		Ordering:     stats.Ordering,
 		AssembleTime: asmTime, SolveTime: solveTime,
 		AssemblyShared: shared, WarmFallback: fellBack,
 		PrecondShared: precondShared,

@@ -3,6 +3,7 @@ package array
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -11,14 +12,18 @@ import (
 	"repro/internal/solver"
 )
 
-// TestMeasureReducedGlobalPrecond regenerates the iterations/ms table of
+// TestMeasureReducedGlobalPrecond regenerates the iterations/ms tables of
 // docs/SOLVER_TUNING.md and the reduced_global_precond section of
 // BENCH_global.json: PCG on the reduced global matrix at coarse resolution,
-// (5,5,5) nodes, Tol 1e-8, for each lattice size and preconditioner. It
-// reports the cold solve (first solve on the lattice: preconditioner build
-// + iterate) and the warm solve (assembly-cached preconditioner, the
-// serving path's per-scenario cost). Gated behind MEASURE=1 because the
-// large lattices take minutes.
+// (5,5,5) nodes, Tol 1e-8, for each lattice size, preconditioner, and — for
+// IC0 — symmetric ordering (natural, RCM, multicolor). It reports the cold
+// solve (first solve on the lattice: preconditioner build + iterate), the
+// warm solve (assembly-cached preconditioner, the serving path's
+// per-scenario cost), and the factor's dependency-level shape (levels ×
+// widest level), which is what the ordering changes. Run at -cpu 1 and
+// -cpu 4 to measure the serial-fallback and fan-out regimes; the
+// AutoMulticolorWidth / AutoIC0Threshold constants come from these tables.
+// Gated behind MEASURE=1 because the large lattices take minutes.
 func TestMeasureReducedGlobalPrecond(t *testing.T) {
 	if os.Getenv("MEASURE") == "" {
 		t.Skip("set MEASURE=1 to run the measurement harness")
@@ -29,19 +34,31 @@ func TestMeasureReducedGlobalPrecond(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	type variant struct {
+		kind solver.PrecondKind
+		ord  solver.OrderingKind
+	}
+	variants := []variant{
+		{solver.PrecondJacobi, solver.OrderingNatural},
+		{solver.PrecondBlockJacobi3, solver.OrderingNatural},
+		{solver.PrecondIC0, solver.OrderingNatural},
+		{solver.PrecondIC0, solver.OrderingRCM},
+		{solver.PrecondIC0, solver.OrderingMulticolor},
+	}
 	for _, size := range []int{6, 12, 18} {
 		base := &Problem{ROM: r, Bx: size, By: size, DeltaT: -250, BC: ClampedTopBottom, Solver: CG}
 		asm, err := NewAssembly(base, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("%dx%d: free DoFs %d, nnz(Aff) %d, assembly build %v",
-			size, size, asm.NumFree(), asm.Red.Aff.NNZ(), asm.BuildTime)
-		for _, kind := range []solver.PrecondKind{solver.PrecondJacobi, solver.PrecondBlockJacobi3, solver.PrecondIC0} {
+		fmt.Printf("MEASURE %dx%d gomaxprocs=%d free_dofs=%d nnz=%d natural_width=%d assembly_build=%v\n",
+			size, size, runtime.GOMAXPROCS(0), asm.NumFree(), asm.Red.Aff.NNZ(),
+			solver.NaturalLevelWidth(asm.Red.Aff), asm.BuildTime)
+		for _, v := range variants {
 			solveOnce := func(a *Assembly) (*Solution, time.Duration) {
 				p := *base
 				p.Assembly = a
-				p.Opt = solver.Options{Tol: 1e-8, Precond: kind}
+				p.Opt = solver.Options{Tol: 1e-8, Precond: v.kind, Ordering: v.ord}
 				t0 := time.Now()
 				sol, err := Solve(&p)
 				if err != nil {
@@ -56,8 +73,13 @@ func TestMeasureReducedGlobalPrecond(t *testing.T) {
 			}
 			coldSol, cold := solveOnce(coldAsm)
 			// Warm: shared assembly whose preconditioner cache is populated.
-			if _, err := asm.Preconditioner(kind); err != nil {
+			ap, err := asm.Preconditioner(v.kind, v.ord, 0)
+			if err != nil {
 				t.Fatal(err)
+			}
+			levels, width := -1, -1
+			if fl, ok := ap.M.(solver.FactorLevels); ok {
+				levels, width = fl.Levels()
 			}
 			best := time.Duration(1 << 62)
 			var warmSol *Solution
@@ -68,11 +90,12 @@ func TestMeasureReducedGlobalPrecond(t *testing.T) {
 				}
 				warmSol = sol
 			}
-			fmt.Printf("MEASURE %dx%d %-14s it=%3d cold=%7.0fms warm=%7.0fms build=%7.0fms apply=%6.0fms shared=%v\n",
-				size, size, kind, warmSol.Stats.Iterations,
+			fmt.Printf("MEASURE %dx%d %-14s %-10s it=%3d cold=%7.0fms warm=%7.0fms build=%7.0fms apply=%6.0fms levels=%5d width=%5d shared=%v\n",
+				size, size, v.kind, v.ord, warmSol.Stats.Iterations,
 				float64(cold)/1e6, float64(best)/1e6,
 				float64(coldSol.Stats.PrecondBuild)/1e6,
 				float64(warmSol.Stats.PrecondApply)/1e6,
+				levels, width,
 				warmSol.PrecondShared)
 		}
 	}

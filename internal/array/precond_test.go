@@ -64,14 +64,14 @@ func TestAssemblyPrecondDistinctPerKind(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	jac, err := asm.Preconditioner(solver.PrecondJacobi)
+	jac, err := asm.Preconditioner(solver.PrecondJacobi, solver.OrderingAuto, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if jac.Hit || jac.Build <= 0 {
 		t.Errorf("first jacobi request: hit=%v build=%v", jac.Hit, jac.Build)
 	}
-	ic, err := asm.Preconditioner(solver.PrecondIC0)
+	ic, err := asm.Preconditioner(solver.PrecondIC0, solver.OrderingAuto, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestAssemblyPrecondDistinctPerKind(t *testing.T) {
 	if ic.M == jac.M {
 		t.Error("distinct kinds share one preconditioner")
 	}
-	again, err := asm.Preconditioner(solver.PrecondIC0)
+	again, err := asm.Preconditioner(solver.PrecondIC0, solver.OrderingAuto, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,16 +92,124 @@ func TestAssemblyPrecondDistinctPerKind(t *testing.T) {
 	// what amortizes it) and must share the resolved kind's entry rather
 	// than cache a duplicate under PrecondAuto.
 	resolved := solver.PrecondKind(solver.PrecondAuto).ResolveAmortized(asm.NumFree())
-	want, err := asm.Preconditioner(resolved)
+	want, err := asm.Preconditioner(resolved, solver.OrderingAuto, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	auto, err := asm.Preconditioner(solver.PrecondAuto)
+	auto, err := asm.Preconditioner(solver.PrecondAuto, solver.OrderingAuto, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if auto.M != want.M || !auto.Hit {
 		t.Errorf("auto did not share the %v entry (hit=%v)", resolved, auto.Hit)
+	}
+}
+
+// TestAssemblyPrecondDistinctPerOrdering: the factorizing kind caches one
+// entry per concrete ordering (the ordering permutation lives inside the
+// factor), OrderingAuto shares the entry of the ordering it resolves to, and
+// the ordering-invariant kinds collapse every ordering onto one entry.
+func TestAssemblyPrecondDistinctPerOrdering(t *testing.T) {
+	p := precondProblem(t)
+	asm, err := NewAssembly(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, err := asm.Preconditioner(solver.PrecondIC0, solver.OrderingNatural, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := asm.Preconditioner(solver.PrecondIC0, solver.OrderingMulticolor, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Hit || mc.M == nat.M {
+		t.Errorf("multicolor ic0 shared the natural entry (hit=%v)", mc.Hit)
+	}
+	if nat.Ordering != solver.OrderingNatural || mc.Ordering != solver.OrderingMulticolor {
+		t.Errorf("orderings recorded as %v, %v", nat.Ordering, mc.Ordering)
+	}
+	again, err := asm.Preconditioner(solver.PrecondIC0, solver.OrderingMulticolor, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Hit || again.M != mc.M {
+		t.Errorf("repeat multicolor request: hit=%v same=%v", again.Hit, again.M == mc.M)
+	}
+	// Auto resolves to a concrete ordering (memoized per assembly) and must
+	// share that entry rather than cache a duplicate under OrderingAuto.
+	resolved := asm.resolveOrdering(solver.OrderingAuto, 0)
+	want, err := asm.Preconditioner(solver.PrecondIC0, resolved, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := asm.Preconditioner(solver.PrecondIC0, solver.OrderingAuto, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.M != want.M || !auto.Hit {
+		t.Errorf("auto did not share the %v entry (hit=%v)", resolved, auto.Hit)
+	}
+	// Ordering-invariant kinds ignore the ordering: one entry for all.
+	j1, err := asm.Preconditioner(solver.PrecondBlockJacobi3, solver.OrderingNatural, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := asm.Preconditioner(solver.PrecondBlockJacobi3, solver.OrderingMulticolor, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j2.Hit || j1.M != j2.M || j2.Ordering != solver.OrderingNatural {
+		t.Errorf("jacobi family did not collapse orderings: hit=%v same=%v ord=%v", j2.Hit, j1.M == j2.M, j2.Ordering)
+	}
+}
+
+// TestSolveSurfacesOrdering: the solve threads Options.Ordering through the
+// assembly cache and surfaces the concrete ordering on the Solution.
+func TestSolveSurfacesOrdering(t *testing.T) {
+	p := precondProblem(t)
+	p.Opt.Precond = solver.PrecondIC0
+	p.Opt.Ordering = solver.OrderingMulticolor
+	asm, err := NewAssembly(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Assembly = asm
+	first, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Ordering != solver.OrderingMulticolor || first.Stats.Ordering != solver.OrderingMulticolor {
+		t.Errorf("ordering surfaced as %v / %v, want multicolor", first.Ordering, first.Stats.Ordering)
+	}
+	if first.PrecondShared {
+		t.Error("first multicolor solve claims a cached preconditioner")
+	}
+	second, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.PrecondShared || second.Ordering != solver.OrderingMulticolor {
+		t.Errorf("second solve: shared=%v ordering=%v", second.PrecondShared, second.Ordering)
+	}
+	// The two orderings must agree on the physics.
+	q := *p
+	q.Opt.Ordering = solver.OrderingNatural
+	natSol, err := Solve(&q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxDiff float64
+	for i := range natSol.Q {
+		if d := natSol.Q[i] - second.Q[i]; d > maxDiff || -d > maxDiff {
+			if d < 0 {
+				d = -d
+			}
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-6 {
+		t.Errorf("orderings disagree by %g µm on Q", maxDiff)
 	}
 }
 
@@ -121,7 +229,7 @@ func TestAssemblyPrecondConcurrentFirstUse(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			r, err := asm.Preconditioner(solver.PrecondBlockJacobi3)
+			r, err := asm.Preconditioner(solver.PrecondBlockJacobi3, solver.OrderingAuto, 0)
 			if err != nil {
 				t.Error(err)
 				return
@@ -153,14 +261,14 @@ func TestAssemblyMemoryBytesCountsPreconds(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := asm.MemoryBytes()
-	if _, err := asm.Preconditioner(solver.PrecondIC0); err != nil {
+	if _, err := asm.Preconditioner(solver.PrecondIC0, solver.OrderingAuto, 0); err != nil {
 		t.Fatal(err)
 	}
 	afterIC := asm.MemoryBytes()
 	if afterIC <= before {
 		t.Errorf("MemoryBytes %d → %d did not grow after caching IC0", before, afterIC)
 	}
-	if _, err := asm.Preconditioner(solver.PrecondJacobi); err != nil {
+	if _, err := asm.Preconditioner(solver.PrecondJacobi, solver.OrderingAuto, 0); err != nil {
 		t.Fatal(err)
 	}
 	if after := asm.MemoryBytes(); after <= afterIC {
@@ -180,7 +288,7 @@ func TestAssemblyPrecondRequiresFreeDoFs(t *testing.T) {
 	if !asm.AllBC {
 		t.Fatal("expected the all-constrained degenerate case")
 	}
-	if _, err := asm.Preconditioner(solver.PrecondAuto); err == nil {
+	if _, err := asm.Preconditioner(solver.PrecondAuto, solver.OrderingAuto, 0); err == nil {
 		t.Error("Preconditioner on an all-BC assembly should error")
 	}
 }

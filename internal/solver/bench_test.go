@@ -181,17 +181,23 @@ func blockIndependent(blocks, bs int) *sparse.CSR {
 // (independent dense blocks) has levels as wide as the block count and is
 // where the schedule fans out — run with -cpu 1,4 to see it.
 func BenchmarkIC0Apply(b *testing.B) {
+	narrow := latticeLike(28, 28, 15) // 11760 DoFs, ~250 nnz/row
 	systems := []struct {
 		name string
 		a    *sparse.CSR
+		ord  OrderingKind
 	}{
-		{"narrowDAG", latticeLike(28, 28, 15)}, // 11760 DoFs, ~250 nnz/row
-		{"wideDAG", blockIndependent(600, 24)}, // 14400 DoFs, 24 levels × 600 rows
+		{"narrowDAG", narrow, OrderingNatural},
+		// The same narrow system under the multicolor ordering: the factor
+		// collapses to one wide level per color, so this is the regime the
+		// reduced global matrices run in after PR 5's OrderingAuto.
+		{"narrowDAG-multicolor", narrow, OrderingMulticolor},
+		{"wideDAG", blockIndependent(600, 24), OrderingNatural}, // 14400 DoFs, 24 levels × 600 rows
 	}
 	rng := rand.New(rand.NewSource(3))
 	workers := runtime.GOMAXPROCS(0)
 	for _, sys := range systems {
-		p, err := newIC0(sys.a)
+		p, err := newIC0Ordered(sys.a, sys.ord)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -26,6 +26,10 @@ type Stats struct {
 	// Precond is the concrete preconditioner the solve ran with (Auto
 	// resolved against the system size).
 	Precond PrecondKind
+	// Ordering is the symmetric ordering the preconditioner factored under
+	// (OrderingNatural for the ordering-invariant kinds; prebuilt Options.M
+	// preconditioners report their own).
+	Ordering OrderingKind
 	// Warm reports whether the solve was seeded with an initial guess.
 	Warm bool
 	// PrecondBuild is the preconditioner construction cost paid by this
@@ -53,6 +57,12 @@ type Options struct {
 	// Precond selects the preconditioner (default PrecondAuto: block-
 	// Jacobi-3 below AutoIC0Threshold DoFs, IC0 at and above it).
 	Precond PrecondKind
+	// Ordering selects the symmetric ordering the factorizing
+	// preconditioners (IC0) are built under (default OrderingAuto:
+	// multicolor when the natural-order dependency levels are too narrow to
+	// fan out, natural otherwise). Ignored when Options.M supplies a
+	// prebuilt preconditioner, which carries its own ordering.
+	Ordering OrderingKind
 	// M optionally supplies a prebuilt preconditioner — e.g. one cached on
 	// an array.Assembly — and skips construction (Stats.PrecondBuild stays
 	// zero). Precond should name the concrete kind M was built as; it is
@@ -138,12 +148,15 @@ func GMRES(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error
 	if pre == nil {
 		tBuild := time.Now()
 		var err error
-		pre, err = NewPreconditioner(kind, a)
+		// Worker-aware ordering resolution, matching PCG: see
+		// ResolveOrderingFor.
+		pre, err = NewPreconditionerOrdered(kind, ResolveOrderingFor(opt.Ordering, a, opt.Workers), a)
 		if err != nil {
 			return nil, st, err
 		}
 		st.PrecondBuild = time.Since(tBuild)
 	}
+	st.Ordering = orderingOf(pre)
 	ws := opt.Work
 	if ws == nil {
 		ws = &Workspace{}

@@ -1,0 +1,279 @@
+package solver
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+)
+
+// OrderingKind selects the symmetric row/column ordering the IC0
+// preconditioner factors under. The ordering changes the *shape* of the
+// factor's dependency DAG (and therefore how well the level-scheduled
+// triangular solves parallelize) and, mildly, the factor's quality (iteration
+// count); it never changes what the preconditioned solve converges to. The
+// Jacobi-family preconditioners are ordering-invariant and ignore it.
+type OrderingKind int
+
+const (
+	// OrderingAuto — the zero value, and therefore the default wherever an
+	// Options travels unset — keeps the natural ordering when its dependency
+	// levels are already wide enough to fan out, and switches to the greedy
+	// multicolor ordering when they are narrow (max level width of the
+	// lower-triangular pattern below AutoMulticolorWidth rows), the system
+	// is at least AutoMulticolorMinDoFs, and the resolving solve has more
+	// than one worker (ResolveOrderingFor; with one worker — a single core,
+	// or one chain of a saturated batch — wide levels buy nothing and the
+	// multicolor factor costs extra iterations).
+	OrderingAuto OrderingKind = iota
+	// OrderingNatural factors in the matrix's own row order. On the reduced
+	// global lattices this yields deep, narrow dependency DAGs (PR 4
+	// measured 18×18 at 1 445 levels ≤ 24 rows wide), so the level-scheduled
+	// solves fall back to their serial loops.
+	OrderingNatural
+	// OrderingRCM factors under the reverse Cuthill–McKee ordering (RCM).
+	// Bandwidth reduction makes the DAG even deeper; exposed for the
+	// measurement harness and ablations, not expected to win.
+	OrderingRCM
+	// OrderingMulticolor factors under the greedy multicolor ordering
+	// (Multicolor): rows of one color are mutually independent, so the
+	// factor's forward and backward schedules collapse to one level per
+	// color and every level is wide. Trades a few extra PCG iterations for
+	// parallel preconditioner application.
+	OrderingMulticolor
+
+	// NumOrderings bounds the kinds, for stats arrays indexed by ordering.
+	NumOrderings = 4
+)
+
+// AutoMulticolorWidth is the natural-order schedule width (rows in the
+// widest dependency level of the lower-triangular pattern) below which
+// OrderingAuto switches IC0 to the multicolor ordering. Measured on the
+// reduced global lattices and the bench systems (docs/SOLVER_TUNING.md): the
+// natural-order reduced factors top out at 9–24 rows per level — far below
+// any useful fan-out — while systems whose natural DAGs already parallelize
+// (wideDAG: 600-row levels) sit well above. A level only splits into
+// multiple chunks near ~64 rows at the reduced matrices' row density, so the
+// threshold sits at that knee.
+const AutoMulticolorWidth = 64
+
+// AutoMulticolorMinDoFs is the system size below which OrderingAuto keeps
+// the natural ordering even when the schedule is narrow. It equals
+// sparse.MinParRows: below it the mat-vec runs serially anyway, and the
+// measured small-lattice trade (6×6 reduced global, 2 709 DoFs: +5 PCG
+// iterations for levels that barely split into two chunks) never recovers
+// the coloring's weaker factor — docs/SOLVER_TUNING.md has the table.
+const AutoMulticolorMinDoFs = sparse.MinParRows
+
+// String returns the flag/JSON spelling of the kind (see ParseOrdering).
+func (k OrderingKind) String() string {
+	switch k {
+	case OrderingAuto:
+		return "auto"
+	case OrderingNatural:
+		return "natural"
+	case OrderingRCM:
+		return "rcm"
+	case OrderingMulticolor:
+		return "multicolor"
+	}
+	return fmt.Sprintf("ordering(%d)", int(k))
+}
+
+// ParseOrdering maps the String spellings (plus "") back to a kind; the
+// serve flags and request fields go through here.
+func ParseOrdering(s string) (OrderingKind, error) {
+	switch s {
+	case "", "auto":
+		return OrderingAuto, nil
+	case "natural":
+		return OrderingNatural, nil
+	case "rcm":
+		return OrderingRCM, nil
+	case "multicolor":
+		return OrderingMulticolor, nil
+	}
+	return OrderingAuto, fmt.Errorf("solver: unknown ordering %q (want auto, natural, rcm, or multicolor)", s)
+}
+
+// Multicolor computes a greedy multicolor (graph-coloring) ordering of the
+// symmetric sparsity pattern with n vertices, where rowsOf(r) lists the
+// columns adjacent to row r (the CSR row slice; the diagonal and
+// out-of-range entries are ignored). Vertices are colored in natural order,
+// each taking the smallest color absent from its already-colored neighbors,
+// then ordered color-major: colors ascending, natural vertex order within a
+// color. The returned perm maps perm[old] = new; colorPtr bounds each color
+// class in the new index space (len = colors+1), so class c is the new
+// indices [colorPtr[c], colorPtr[c+1]).
+//
+// No two adjacent vertices share a color, so under the returned permutation
+// every off-diagonal entry couples *different* colors — the lower-triangular
+// factor of the permuted matrix has one dependency level per color, each as
+// wide as its class. That is the property the level-scheduled triangular
+// solves need: ~#colors wide levels instead of the deep, narrow natural-order
+// DAGs (see LevelSchedule). The ordering is deterministic for a fixed
+// pattern.
+func Multicolor(n int, rowsOf func(r int) []int32) (perm []int32, colorPtr []int32) {
+	color := make([]int32, n)
+	for i := range color {
+		color[i] = -1
+	}
+	// mark[c] holds the most recent vertex whose neighborhood saw color c, so
+	// clearing between vertices is O(1).
+	var mark []int32
+	var ncolors int32
+	for v := 0; v < n; v++ {
+		for _, w := range rowsOf(v) {
+			if w < 0 || int(w) >= n || int(w) == v {
+				continue
+			}
+			if c := color[w]; c >= 0 {
+				mark[c] = int32(v)
+			}
+		}
+		c := int32(0)
+		for c < ncolors && mark[c] == int32(v) {
+			c++
+		}
+		if c == ncolors {
+			ncolors++
+			mark = append(mark, -1)
+		}
+		color[v] = c
+	}
+	// Counting sort by color: natural order within a class keeps the ordering
+	// (and everything downstream of it) deterministic.
+	colorPtr = make([]int32, ncolors+1)
+	for _, c := range color {
+		colorPtr[c+1]++
+	}
+	for c := int32(0); c < ncolors; c++ {
+		colorPtr[c+1] += colorPtr[c]
+	}
+	perm = make([]int32, n)
+	next := make([]int32, ncolors)
+	copy(next, colorPtr[:ncolors])
+	for v := 0; v < n; v++ {
+		c := color[v]
+		perm[v] = next[c]
+		next[c]++
+	}
+	return perm, colorPtr
+}
+
+// csrRows adapts a CSR pattern to Multicolor's rowsOf.
+func csrRows(m *sparse.CSR) func(r int) []int32 {
+	return func(r int) []int32 { return m.ColIdx[m.RowPtr[r]:m.RowPtr[r+1]] }
+}
+
+// NaturalLevelWidth returns the maximum dependency-level width (rows) of the
+// lower-triangular pattern of a in its natural order — the zero-fill IC0
+// factor pattern, computed without factoring (one O(nnz) sweep). This is the
+// number OrderingAuto compares against AutoMulticolorWidth, and the
+// measurement harness reports it next to the post-ordering schedule shape.
+func NaturalLevelWidth(a *sparse.CSR) int {
+	n := a.NRows
+	level := make([]int32, n)
+	width := make([]int32, 0, 64)
+	var max int32
+	for r := 0; r < n; r++ {
+		var lv int32
+		for p := a.RowPtr[r]; p < a.RowPtr[r+1]; p++ {
+			c := a.ColIdx[p]
+			if int(c) >= r {
+				continue
+			}
+			if d := level[c] + 1; d > lv {
+				lv = d
+			}
+		}
+		level[r] = lv
+		for int(lv) >= len(width) {
+			width = append(width, 0)
+		}
+		width[lv]++
+		if width[lv] > max {
+			max = width[lv]
+		}
+	}
+	return int(max)
+}
+
+// ResolveOrdering maps OrderingAuto to the concrete ordering chosen for the
+// matrix at GOMAXPROCS parallelism; see ResolveOrderingFor.
+func ResolveOrdering(k OrderingKind, a *sparse.CSR) OrderingKind {
+	return ResolveOrderingFor(k, a, 0)
+}
+
+// ResolveOrderingFor maps OrderingAuto to the concrete ordering chosen for
+// the matrix and the solve's worker count: multicolor when the system is
+// large enough for fan-out to matter (AutoMulticolorMinDoFs), the
+// natural-order schedule is too narrow to fan out (NaturalLevelWidth below
+// AutoMulticolorWidth), and the solve actually runs parallel kernels
+// (workers > 1; 0 defaults to GOMAXPROCS); natural otherwise. The worker
+// count matters: a batch engine that splits the machine across concurrent
+// chains hands each solve only a share of GOMAXPROCS, and a 1-worker solve
+// would pay the coloring's extra iterations with zero fan-out benefit.
+// Concrete kinds resolve to themselves. The probe costs one O(nnz) sweep —
+// callers that resolve per solve (the assembly cache) memoize it.
+func ResolveOrderingFor(k OrderingKind, a *sparse.CSR, workers int) OrderingKind {
+	if k != OrderingAuto {
+		return k
+	}
+	if normWorkers(workers) <= 1 || a.NRows < AutoMulticolorMinDoFs {
+		return OrderingNatural // skip the probe when the cheap guards decide
+	}
+	return OrderingFromWidth(k, a.NRows, NaturalLevelWidth(a), workers)
+}
+
+// OrderingFromWidth applies the OrderingAuto rule to a precomputed
+// natural-order level width (NaturalLevelWidth), for callers that memoize
+// the O(nnz) probe — the assembly cache resolves per solve but probes each
+// lattice once. Semantics match ResolveOrderingFor.
+func OrderingFromWidth(k OrderingKind, n, width, workers int) OrderingKind {
+	if k != OrderingAuto {
+		return k
+	}
+	if normWorkers(workers) <= 1 || n < AutoMulticolorMinDoFs {
+		return OrderingNatural
+	}
+	if width < AutoMulticolorWidth {
+		return OrderingMulticolor
+	}
+	return OrderingNatural
+}
+
+// orderingPerm materializes the permutation of a concrete ordering kind for
+// the pattern of a: nil for the natural ordering (identity).
+func orderingPerm(k OrderingKind, a *sparse.CSR) []int32 {
+	switch k {
+	case OrderingRCM:
+		return RCM(a)
+	case OrderingMulticolor:
+		perm, _ := Multicolor(a.NRows, csrRows(a))
+		return perm
+	}
+	return nil
+}
+
+// Ordered is implemented by preconditioners that factor under a symmetric
+// ordering; the solvers record it in Stats and the array layer surfaces it
+// per solution. Preconditioners without the method are ordering-invariant
+// (reported as OrderingNatural).
+type Ordered interface {
+	Ordering() OrderingKind
+}
+
+// orderingOf reports the ordering a preconditioner was built under.
+func orderingOf(m Preconditioner) OrderingKind {
+	if o, ok := m.(Ordered); ok {
+		return o.Ordering()
+	}
+	return OrderingNatural
+}
+
+// FactorLevels is implemented by preconditioners backed by a level-scheduled
+// triangular factor; it exposes the schedule's shape (dependency-level count
+// and widest level in rows) for the measurement harness and perf snapshots.
+type FactorLevels interface {
+	Levels() (count, maxWidth int)
+}

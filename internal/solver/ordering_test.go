@@ -1,0 +1,330 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// checkMulticolor asserts the two contracts of a multicolor ordering on the
+// pattern of m: perm is a valid permutation, and no two adjacent vertices
+// share a color class.
+func checkMulticolor(t *testing.T, m *sparse.CSR, perm, colorPtr []int32) {
+	t.Helper()
+	n := m.NRows
+	if len(perm) != n {
+		t.Fatalf("perm length %d, want %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || int(p) >= n || seen[p] {
+			t.Fatalf("perm is not a permutation at %d", p)
+		}
+		seen[p] = true
+	}
+	if len(colorPtr) < 1 || colorPtr[0] != 0 || colorPtr[len(colorPtr)-1] != int32(n) {
+		t.Fatalf("colorPtr %v does not cover [0, %d]", colorPtr, n)
+	}
+	// classOf[new index] = color class, from the class bounds.
+	classOf := make([]int32, n)
+	for c := 0; c+1 < len(colorPtr); c++ {
+		if colorPtr[c+1] <= colorPtr[c] {
+			t.Fatalf("empty color class %d: bounds %v", c, colorPtr)
+		}
+		for i := colorPtr[c]; i < colorPtr[c+1]; i++ {
+			classOf[i] = int32(c)
+		}
+	}
+	for r := 0; r < n; r++ {
+		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+			c := m.ColIdx[p]
+			if int(c) == r {
+				continue
+			}
+			if classOf[perm[r]] == classOf[perm[c]] {
+				t.Fatalf("adjacent vertices %d and %d share color %d", r, c, classOf[perm[r]])
+			}
+		}
+	}
+}
+
+func TestMulticolorValidColoring(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	systems := map[string]*sparse.CSR{
+		"laplacian":  laplacian3D(8, 7, 6),
+		"elasticity": elasticity3(6, 6, 5),
+		"random":     randSPDSparse(rng, 900, 5),
+		"diagonal":   diagonalCSR(40),
+		"dense-row":  arrowCSR(64),
+	}
+	for name, m := range systems {
+		perm, colorPtr := Multicolor(m.NRows, csrRows(m))
+		checkMulticolor(t, m, perm, colorPtr)
+		if name == "diagonal" && len(colorPtr) != 2 {
+			t.Errorf("diagonal matrix needs 1 color, got %d", len(colorPtr)-1)
+		}
+	}
+	// Degenerate sizes.
+	if perm, cp := Multicolor(0, func(int) []int32 { return nil }); len(perm) != 0 || len(cp) != 1 {
+		t.Errorf("n=0: perm %v colorPtr %v", perm, cp)
+	}
+	if perm, cp := Multicolor(1, func(int) []int32 { return nil }); len(perm) != 1 || len(cp) != 2 {
+		t.Errorf("n=1: perm %v colorPtr %v", perm, cp)
+	}
+}
+
+// TestMulticolorCollapsesLevels is the tentpole's shape contract: on a
+// lattice-like system whose natural-order IC0 DAG is deep and narrow, the
+// multicolor-ordered factor's schedule must collapse to one level per color
+// — orders of magnitude fewer, each wide.
+func TestMulticolorCollapsesLevels(t *testing.T) {
+	a := latticeLike(12, 12, 9) // narrow natural DAG by construction
+	natural, err := newIC0Ordered(a, OrderingNatural)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colored, err := newIC0Ordered(a, OrderingMulticolor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, colorPtr := Multicolor(a.NRows, csrRows(a))
+	colors := len(colorPtr) - 1
+	nLevels, nWidth := natural.Levels()
+	cLevels, cWidth := colored.Levels()
+	if cLevels != colors {
+		t.Errorf("multicolor factor has %d levels, want one per color (%d)", cLevels, colors)
+	}
+	if cLevels >= nLevels/4 {
+		t.Errorf("multicolor did not collapse the schedule: %d levels vs natural %d", cLevels, nLevels)
+	}
+	if cWidth <= nWidth {
+		t.Errorf("multicolor max level width %d not wider than natural %d", cWidth, nWidth)
+	}
+	if w := NaturalLevelWidth(a); w != nWidth {
+		t.Errorf("NaturalLevelWidth probe says %d, factored schedule says %d", w, nWidth)
+	}
+}
+
+// TestOrderingResolve pins the auto rule: concrete kinds resolve to
+// themselves; auto picks multicolor only for narrow natural schedules and
+// only when parallelism is available.
+func TestOrderingResolve(t *testing.T) {
+	narrow := latticeLike(24, 24, 9) // 5184 DoFs ≥ AutoMulticolorMinDoFs
+	small := latticeLike(10, 10, 9)  // 900 DoFs: too small for fan-out
+	wide := blockIndependent(600, 12)
+	for _, k := range []OrderingKind{OrderingNatural, OrderingRCM, OrderingMulticolor} {
+		if got := ResolveOrdering(k, narrow); got != k {
+			t.Errorf("concrete kind %v resolved to %v", k, got)
+		}
+	}
+	if w := NaturalLevelWidth(narrow); w >= AutoMulticolorWidth {
+		t.Fatalf("narrow test matrix has natural width %d, want < %d", w, AutoMulticolorWidth)
+	}
+	if w := NaturalLevelWidth(wide); w < AutoMulticolorWidth {
+		t.Fatalf("wide test matrix has natural width %d, want >= %d", w, AutoMulticolorWidth)
+	}
+	if runtime.GOMAXPROCS(0) > 1 {
+		if got := ResolveOrdering(OrderingAuto, narrow); got != OrderingMulticolor {
+			t.Errorf("auto on a narrow schedule resolved to %v, want multicolor", got)
+		}
+	} else if got := ResolveOrdering(OrderingAuto, narrow); got != OrderingNatural {
+		t.Errorf("auto on one core resolved to %v, want natural", got)
+	}
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	if got := ResolveOrdering(OrderingAuto, wide); got != OrderingNatural {
+		t.Errorf("auto on a wide schedule resolved to %v, want natural", got)
+	}
+	if got := ResolveOrdering(OrderingAuto, narrow); got != OrderingMulticolor {
+		t.Errorf("auto at GOMAXPROCS=4 on a narrow schedule resolved to %v, want multicolor", got)
+	}
+	if got := ResolveOrdering(OrderingAuto, small); got != OrderingNatural {
+		t.Errorf("auto below AutoMulticolorMinDoFs resolved to %v, want natural", got)
+	}
+	// Worker-aware resolution: a 1-worker solve keeps natural even on a
+	// parallel machine (a batch chain handed one worker must not pay the
+	// multicolor iteration penalty), and an explicit workers > 1 enables
+	// multicolor regardless of GOMAXPROCS.
+	if got := ResolveOrderingFor(OrderingAuto, narrow, 1); got != OrderingNatural {
+		t.Errorf("auto with 1 worker resolved to %v, want natural", got)
+	}
+	if got := ResolveOrderingFor(OrderingAuto, narrow, 4); got != OrderingMulticolor {
+		t.Errorf("auto with 4 workers resolved to %v, want multicolor", got)
+	}
+	if got := OrderingFromWidth(OrderingAuto, narrow.NRows, 24, 4); got != OrderingMulticolor {
+		t.Errorf("OrderingFromWidth(narrow) = %v, want multicolor", got)
+	}
+	if got := OrderingFromWidth(OrderingAuto, narrow.NRows, 600, 4); got != OrderingNatural {
+		t.Errorf("OrderingFromWidth(wide) = %v, want natural", got)
+	}
+}
+
+func TestParseOrderingRoundTrip(t *testing.T) {
+	for _, k := range []OrderingKind{OrderingAuto, OrderingNatural, OrderingRCM, OrderingMulticolor} {
+		got, err := ParseOrdering(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseOrdering(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if k, err := ParseOrdering(""); err != nil || k != OrderingAuto {
+		t.Errorf("empty spelling: %v, %v", k, err)
+	}
+	if _, err := ParseOrdering("rainbow"); err == nil {
+		t.Error("unknown spelling did not error")
+	}
+}
+
+// TestPCGOrderingsAgree is the property test of the issue: PCG under the
+// natural, RCM, and multicolor orderings must converge to the same solution
+// (the preconditioner changes the path, never the fixed point), and each
+// ordering must be bitwise identical across worker counts (the parallel
+// triangular solves and the permute scatter/gather are deterministic).
+func TestPCGOrderingsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	systems := map[string]*sparse.CSR{
+		"lattice":    latticeLike(8, 8, 6),
+		"elasticity": elasticity3(7, 6, 5),
+		"random":     randSPDSparse(rng, 1200, 6),
+	}
+	for name, a := range systems {
+		b := make([]float64, a.NRows)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		var ref []float64
+		for _, ord := range []OrderingKind{OrderingNatural, OrderingRCM, OrderingMulticolor} {
+			x1, st, err := PCG(a, b, nil, Options{Tol: 1e-10, Precond: PrecondIC0, Ordering: ord, Workers: 1})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, ord, err)
+			}
+			if st.Ordering != ord {
+				t.Errorf("%s/%v: stats recorded ordering %v", name, ord, st.Ordering)
+			}
+			// Worker counts must not change a single bit for a fixed ordering.
+			for _, w := range []int{2, 4, 8} {
+				m, err := NewPreconditionerOrdered(PrecondIC0, ord, a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ws := NewWorkspace(w)
+				xw, _, err := PCG(a, b, nil, Options{Tol: 1e-10, Precond: PrecondIC0, M: m, Work: ws, Workers: w})
+				if err != nil {
+					t.Fatalf("%s/%v workers=%d: %v", name, ord, w, err)
+				}
+				for i := range x1 {
+					if x1[i] != xw[i] {
+						t.Fatalf("%s/%v workers=%d: x[%d] = %x, serial %x (not bitwise equal)", name, ord, w, i, xw[i], x1[i])
+					}
+				}
+				ws.Close()
+			}
+			// Orderings agree on the fixed point to solver tolerance.
+			if ref == nil {
+				ref = x1
+				continue
+			}
+			var maxDiff, scale float64
+			for i := range ref {
+				if d := math.Abs(x1[i] - ref[i]); d > maxDiff {
+					maxDiff = d
+				}
+				if s := math.Abs(ref[i]); s > scale {
+					scale = s
+				}
+			}
+			if scale == 0 {
+				scale = 1
+			}
+			if maxDiff/scale > 1e-8 {
+				t.Errorf("%s/%v: solution differs from natural by %g (rel), want ≤ 1e-8", name, ord, maxDiff/scale)
+			}
+		}
+	}
+}
+
+// TestIC0PermutedBitwiseAcrossDispatch extends the PR 4 bitwise contract to
+// permuted factors: spawn and pool dispatch at every worker count must match
+// the serial application exactly, for RCM and multicolor orderings.
+func TestIC0PermutedBitwiseAcrossDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	systems := map[string]*sparse.CSR{
+		"lattice":   latticeLike(9, 9, 6),
+		"random":    randSPDSparse(rng, 1100, 5),
+		"diagonal":  diagonalCSR(500),
+		"dense-row": arrowCSR(400),
+	}
+	for name, a := range systems {
+		for _, ord := range []OrderingKind{OrderingRCM, OrderingMulticolor} {
+			p, err := newIC0Ordered(a, ord)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, ord, err)
+			}
+			if p.Ordering() != ord {
+				t.Fatalf("%s/%v: factor reports ordering %v", name, ord, p.Ordering())
+			}
+			n := a.NRows
+			r := make([]float64, n)
+			for i := range r {
+				r[i] = rng.NormFloat64()
+			}
+			want := make([]float64, n)
+			p.applyPar(want, r, 1, nil)
+			for _, w := range []int{2, 4, 8} {
+				got := make([]float64, n)
+				p.applyPar(got, r, w, nil)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s/%v spawn workers=%d: dst[%d] = %x, want %x", name, ord, w, i, got[i], want[i])
+					}
+				}
+				ws := NewWorkspace(w)
+				p.applyPar(got, r, w, ws)
+				ws.Close()
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s/%v pool workers=%d: dst[%d] = %x, want %x", name, ord, w, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPCGZeroAllocsMulticolor extends the zero-allocation contract to the
+// permuted preconditioner path: the permute scratch comes from the
+// workspace, so a steady-state solve with a multicolor IC0 allocates
+// nothing.
+func TestPCGZeroAllocsMulticolor(t *testing.T) {
+	a := elasticity3(10, 10, 8)
+	rng := rand.New(rand.NewSource(41))
+	b := make([]float64, a.NRows)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	for _, workers := range []int{1, 4} {
+		m, err := NewPreconditionerOrdered(PrecondIC0, OrderingMulticolor, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if orderingOf(m) != OrderingMulticolor {
+			t.Fatalf("preconditioner reports %v", orderingOf(m))
+		}
+		ws := NewWorkspace(workers)
+		opt := Options{Tol: 1e-8, Precond: PrecondIC0, M: m, Work: ws, Workers: workers}
+		if _, _, err := PCG(a, b, nil, opt); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(5, func() {
+			if _, _, err := PCG(a, b, nil, opt); err != nil {
+				t.Fatal(err)
+			}
+		})
+		ws.Close()
+		if allocs != 0 {
+			t.Errorf("workers=%d: %.1f allocs per steady-state multicolor PCG solve, want 0", workers, allocs)
+		}
+	}
+}

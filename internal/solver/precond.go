@@ -139,17 +139,27 @@ func JacobiFamily(n int) PrecondKind {
 }
 
 // NewPreconditioner builds the requested preconditioner for the SPD matrix a,
-// resolving PrecondAuto against the matrix size first. Every construction in
-// the package funnels through here so no solver path hardwires its own
+// resolving PrecondAuto against the matrix size first, with the default
+// (auto) ordering. Every construction in the package funnels through
+// NewPreconditionerOrdered so no solver path hardwires its own
 // preconditioner.
 func NewPreconditioner(kind PrecondKind, a *sparse.CSR) (Preconditioner, error) {
+	return NewPreconditionerOrdered(kind, OrderingAuto, a)
+}
+
+// NewPreconditionerOrdered is NewPreconditioner with an explicit symmetric
+// ordering for the factorizing kinds: IC0 factors the permuted matrix
+// P·A·Pᵀ and applies Pᵀ·(L·Lᵀ)⁻¹·P, so the ordering shapes the factor's
+// dependency DAG without changing the preconditioned operator's symmetry.
+// The Jacobi family and the identity are ordering-invariant and ignore ord.
+func NewPreconditionerOrdered(kind PrecondKind, ord OrderingKind, a *sparse.CSR) (Preconditioner, error) {
 	switch kind.Resolve(a.NRows) {
 	case PrecondJacobi:
 		return jacobiPrecond{inv: jacobi(a)}, nil
 	case PrecondBlockJacobi3:
 		return newBlockJacobi3(a)
 	case PrecondIC0:
-		return newIC0(a)
+		return newIC0Ordered(a, ord)
 	case PrecondNone:
 		return identityPrecond{}, nil
 	}
@@ -264,21 +274,41 @@ func (p *blockJacobi3) Apply(dst, r []float64) {
 func (p *blockJacobi3) MemoryBytes() int64 { return int64(8 * len(p.inv)) }
 
 // ic0 is a zero-fill incomplete Cholesky factorization: L has the sparsity
-// of the lower triangle of A and A ≈ L·Lᵀ. The factor is held as a
-// sparse.LowerTri, whose dependency-level schedules let each application's
-// forward/backward solves run rows in parallel — and, because each row is a
-// gather computed by one shared kernel, the parallel application is bitwise
-// identical to the serial one for every worker count. An ic0 is immutable
-// after construction and safe to share across concurrent solves.
+// of the lower triangle of (possibly symmetrically permuted) A and
+// P·A·Pᵀ ≈ L·Lᵀ. The factor is held as a sparse.LowerTri, whose
+// dependency-level schedules let each application's forward/backward solves
+// run rows in parallel — and, because each row is a gather computed by one
+// shared kernel, the parallel application is bitwise identical to the serial
+// one for every worker count. Under a non-natural ordering the application
+// is Pᵀ·(L·Lᵀ)⁻¹·P: scatter into permuted order, two triangular solves in
+// place, gather back — the permutes are deterministic, so the worker-count
+// bitwise contract holds for every ordering. An ic0 is immutable after
+// construction and safe to share across concurrent solves.
 type ic0 struct {
 	t *sparse.LowerTri
+	// perm maps original→permuted index (nil for the natural ordering).
+	perm []int32
+	ord  OrderingKind
 }
 
-func newIC0(a *sparse.CSR) (*ic0, error) {
+// newIC0 factors in natural order (the serial-reference construction the
+// tests pin down); production paths go through newIC0Ordered.
+func newIC0(a *sparse.CSR) (*ic0, error) { return newIC0Ordered(a, OrderingNatural) }
+
+func newIC0Ordered(a *sparse.CSR, ord OrderingKind) (*ic0, error) {
 	if a.NRows != a.NCols {
 		return nil, fmt.Errorf("solver: IC0 requires a square matrix")
 	}
-	l := a.ToCSC().LowerTriangle()
+	ord = ResolveOrdering(ord, a)
+	perm := orderingPerm(ord, a)
+	if perm == nil {
+		ord = OrderingNatural
+	}
+	csc := a.ToCSC()
+	if perm != nil {
+		csc = csc.Permute(perm)
+	}
+	l := csc.LowerTriangle()
 	n := l.NCols
 	// Column-oriented left-looking IC(0): for each column j, subtract the
 	// contributions of earlier columns restricted to the existing pattern.
@@ -350,14 +380,14 @@ func newIC0(a *sparse.CSR) (*ic0, error) {
 	if err != nil {
 		return nil, fmt.Errorf("solver: IC0: %w", err)
 	}
-	return &ic0{t: t}, nil
+	return &ic0{t: t, perm: perm, ord: ord}, nil
 }
 
-// Apply computes dst = (L·Lᵀ)⁻¹·r via the level-scheduled forward/backward
-// solves at GOMAXPROCS parallelism (spawning goroutines per level; the
-// workspace-backed applyPar path dispatches through a resident gang
-// instead). Falls back to the serial loops when the schedule has no level
-// wide enough to pay for fan-out.
+// Apply computes dst = Pᵀ·(L·Lᵀ)⁻¹·P·r via the level-scheduled
+// forward/backward solves at GOMAXPROCS parallelism (spawning goroutines per
+// level; the workspace-backed applyPar path dispatches through a resident
+// gang instead). Falls back to the serial loops when the schedule has no
+// level wide enough to pay for fan-out.
 func (p *ic0) Apply(dst, r []float64) { p.applyPar(dst, r, normWorkers(0), nil) }
 
 func (p *ic0) applyPar(dst, r []float64, workers int, ws *Workspace) {
@@ -366,12 +396,45 @@ func (p *ic0) applyPar(dst, r []float64, workers int, ws *Workspace) {
 	if ws != nil {
 		pool, sc = ws.pool, &ws.tri
 	}
-	p.t.SolveLowerPar(dst, r, workers, pool, sc)
-	p.t.SolveUpperPar(dst, dst, workers, pool, sc)
+	if p.perm == nil {
+		p.t.SolveLowerPar(dst, r, workers, pool, sc)
+		p.t.SolveUpperPar(dst, dst, workers, pool, sc)
+		return
+	}
+	// Permuted application: scatter r into factor order, solve both
+	// triangles in place, gather back. The scratch comes from the workspace
+	// so the steady-state hot loop stays allocation-free (ic0 itself is
+	// shared across concurrent solves and must hold no mutable state).
+	var buf []float64
+	if ws != nil {
+		buf = ws.permScratch(len(r))
+	} else {
+		buf = make([]float64, len(r))
+	}
+	for i, v := range r {
+		buf[p.perm[i]] = v
+	}
+	p.t.SolveLowerPar(buf, buf, workers, pool, sc)
+	p.t.SolveUpperPar(buf, buf, workers, pool, sc)
+	for i := range dst {
+		dst[i] = buf[p.perm[i]]
+	}
 }
 
-// MemoryBytes reports the factor's footprint (both triangles + schedules).
-func (p *ic0) MemoryBytes() int64 { return p.t.MemoryBytes() }
+// Ordering reports the symmetric ordering the factor was built under
+// (implements Ordered).
+func (p *ic0) Ordering() OrderingKind { return p.ord }
+
+// Levels reports the factor's forward-schedule shape: dependency-level count
+// and widest level in rows (implements FactorLevels; the measurement harness
+// and the BENCH snapshot read it).
+func (p *ic0) Levels() (count, maxWidth int) {
+	return p.t.Fwd.NumLevels(), p.t.Fwd.MaxWidth()
+}
+
+// MemoryBytes reports the factor's footprint (both triangles + schedules +
+// the ordering permutation, when present).
+func (p *ic0) MemoryBytes() int64 { return p.t.MemoryBytes() + int64(4*len(p.perm)) }
 
 // PCG is the preconditioned conjugate gradient for symmetric positive-
 // definite systems. The preconditioner comes from Options.M when prebuilt
@@ -400,12 +463,16 @@ func PCG(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error) 
 	if m == nil {
 		tBuild := time.Now()
 		var err error
-		m, err = NewPreconditioner(kind, a)
+		// The ordering resolves against this solve's worker count: a
+		// 1-worker solve keeps the natural factor even on a parallel
+		// machine (no fan-out to pay for the coloring's extra iterations).
+		m, err = NewPreconditionerOrdered(kind, ResolveOrderingFor(opt.Ordering, a, opt.Workers), a)
 		if err != nil {
 			return nil, st, err
 		}
 		st.PrecondBuild = time.Since(tBuild)
 	}
+	st.Ordering = orderingOf(m)
 	ws := opt.Work
 	if ws == nil {
 		ws = &Workspace{}

@@ -231,6 +231,20 @@ type LevelSchedule struct {
 // NumLevels returns the number of dependency levels.
 func (s *LevelSchedule) NumLevels() int { return len(s.LevelPtr) - 1 }
 
+// MaxWidth returns the row count of the widest level — the schedule's
+// available parallelism. Narrow schedules (every level under the chunking
+// cutoff) run serially no matter how many workers are offered; the solver's
+// auto ordering rule keys off this number. Zero for an empty schedule.
+func (s *LevelSchedule) MaxWidth() int {
+	var w int32
+	for l := 0; l < s.NumLevels(); l++ {
+		if d := s.LevelPtr[l+1] - s.LevelPtr[l]; d > w {
+			w = d
+		}
+	}
+	return int(w)
+}
+
 // levelBounds returns the chunk boundaries of level l.
 func (s *LevelSchedule) levelBounds(l int) []int32 {
 	return s.Chunks[s.LevelChunk[l] : s.LevelChunk[l+1]+1]
@@ -279,21 +293,42 @@ func (t *LowerTri) buildSchedules() {
 // newLevelSchedule counting-sorts the rows by level (preserving natural row
 // order within a level, which keeps the parallel gather deterministic) and
 // pre-splits each level into nnz-balanced chunks using rowPtr as the work
-// profile.
+// profile. Level ids need not be contiguous: empty levels are compacted away
+// here, so every emitted level — and therefore every chunk — holds at least
+// one row (the dependency propagation of buildSchedules never leaves gaps,
+// but schedules built from externally supplied level arrays, e.g. coloring
+// classes, may).
 func newLevelSchedule(level []int32, rowPtr []int32) *LevelSchedule {
 	n := len(level)
-	var nlevels int32
+	var maxLv int32 = -1
 	for _, lv := range level {
-		if lv+1 > nlevels {
-			nlevels = lv + 1
+		if lv > maxLv {
+			maxLv = lv
 		}
+	}
+	// Count rows per raw level, then remap the non-empty levels densely.
+	count := make([]int32, maxLv+1)
+	for _, lv := range level {
+		count[lv]++
+	}
+	remap := make([]int32, maxLv+1)
+	var nlevels int32
+	for lv, c := range count {
+		if c == 0 {
+			remap[lv] = -1
+			continue
+		}
+		remap[lv] = nlevels
+		nlevels++
 	}
 	s := &LevelSchedule{
 		Order:    make([]int32, n),
 		LevelPtr: make([]int32, nlevels+1),
 	}
-	for _, lv := range level {
-		s.LevelPtr[lv+1]++
+	for lv, c := range count {
+		if c > 0 {
+			s.LevelPtr[remap[lv]+1] = c
+		}
 	}
 	for l := int32(0); l < nlevels; l++ {
 		s.LevelPtr[l+1] += s.LevelPtr[l]
@@ -301,7 +336,7 @@ func newLevelSchedule(level []int32, rowPtr []int32) *LevelSchedule {
 	next := make([]int32, nlevels)
 	copy(next, s.LevelPtr[:nlevels])
 	for r := 0; r < n; r++ {
-		lv := level[r]
+		lv := remap[level[r]]
 		s.Order[next[lv]] = int32(r)
 		next[lv]++
 	}

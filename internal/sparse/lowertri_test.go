@@ -194,8 +194,12 @@ func lowerTris(t *testing.T) map[string]*LowerTri {
 // TestLowerTriSolvesInverse checks the serial reference solves against the
 // definition: L·(SolveLower(b)) must reproduce b, and likewise for Lᵀ.
 func TestLowerTriSolvesInverse(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
 	for name, tri := range lowerTris(t) {
+		// A fresh per-case rng: map iteration order is random, so drawing b
+		// from one shared stream made each case's data — and its rounding —
+		// depend on the order, which intermittently pushed the largest system
+		// just past tolerance.
+		rng := rand.New(rand.NewSource(5))
 		n := tri.N
 		b := make([]float64, n)
 		for i := range b {

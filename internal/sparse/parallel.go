@@ -16,7 +16,9 @@ const MinParRows = 4096
 // profile (pref[i+1]−pref[i] is the work of index i — CSR.RowPtr is exactly
 // such a profile with work = nnz per row). The returned boundaries are
 // strictly increasing, starting at lo and ending at hi; empty chunks are
-// never emitted, so the result may hold fewer than parts chunks. Structured
+// never emitted, so the result may hold fewer than parts chunks, and a
+// degenerate range (hi ≤ lo) yields no boundaries at all — zero chunks,
+// which every dispatcher in this package treats as a no-op. Structured
 // FEM matrices have heavy boundary rows, so equal-count row chunks can be
 // 2× imbalanced where equal-nnz chunks are not; every parallel row sweep in
 // this package (MulVecPar, the level-scheduled triangular solves) partitions
