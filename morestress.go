@@ -35,6 +35,9 @@ type (
 	SolverStats = solver.Stats
 	// Precond selects the preconditioner of the iterative global solvers.
 	Precond = solver.PrecondKind
+	// Ordering selects the symmetric ordering the factorizing
+	// preconditioners (IC0) are built under, via SolverOptions.Ordering.
+	Ordering = solver.OrderingKind
 	// Vec3 is a 3-D point (µm).
 	Vec3 = mesh.Vec3
 	// Structure selects the fine structure inside the unit block.
@@ -70,6 +73,26 @@ const (
 // ParsePrecond maps the flag/JSON spellings ("auto", "jacobi",
 // "block-jacobi3"/"bj3", "ic0", "none") to a Precond.
 func ParsePrecond(s string) (Precond, error) { return solver.ParsePrecond(s) }
+
+// Ordering choices for SolverOptions.Ordering.
+const (
+	// OrderingAuto (the default) keeps the natural ordering when its
+	// dependency levels already fan out and switches IC0 to multicolor when
+	// they are narrow (solver.AutoMulticolorWidth) and parallelism is
+	// available.
+	OrderingAuto = solver.OrderingAuto
+	// OrderingNatural factors in the matrix's own row order.
+	OrderingNatural = solver.OrderingNatural
+	// OrderingRCM factors under the reverse Cuthill–McKee ordering.
+	OrderingRCM = solver.OrderingRCM
+	// OrderingMulticolor factors under the greedy multicolor ordering: one
+	// wide dependency level per color, parallel preconditioner application.
+	OrderingMulticolor = solver.OrderingMulticolor
+)
+
+// ParseOrdering maps the flag/JSON spellings ("auto", "natural", "rcm",
+// "multicolor") to an Ordering.
+func ParseOrdering(s string) (Ordering, error) { return solver.ParseOrdering(s) }
 
 // PaperGeometry returns the geometry used throughout the paper's
 // experiments: h = 50 µm, d = 5 µm, t = 0.5 µm at the given pitch.
