@@ -6,7 +6,9 @@
 // above the pinned floor (the zero-allocation contracts are exact, no
 // tolerance). The gate turns the snapshot from a descriptive artifact into
 // an enforced contract: renaming or dropping a required benchmark fails the
-// run too (-require), so the guard cannot be weakened silently.
+// run too (-require), every required benchmark must pin an allocs_per_op
+// floor, and a baseline with duplicate JSON keys (which encoding/json would
+// silently collapse) is rejected, so the guard cannot be weakened silently.
 //
 // Usage:
 //
@@ -17,12 +19,14 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -101,6 +105,9 @@ type baseEntry struct {
 // (numbers). This replaces the old parse-only check — a snapshot that
 // decodes but lost its fields would silently disarm the gate.
 func parseBaseline(raw []byte) (*baseline, error) {
+	if err := checkDuplicateKeys(raw); err != nil {
+		return nil, err
+	}
 	var top map[string]json.RawMessage
 	if err := json.Unmarshal(raw, &top); err != nil {
 		return nil, err
@@ -152,6 +159,54 @@ func parseBaseline(raw []byte) (*baseline, error) {
 		out.Benchmarks[name] = e
 	}
 	return out, nil
+}
+
+// checkDuplicateKeys walks the raw JSON token stream and rejects any object
+// declaring the same key twice. encoding/json silently keeps the last
+// duplicate, which for the benchmarks (or a values) object would let one
+// pinned baseline shadow another without any visible failure.
+func checkDuplicateKeys(raw []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	var walk func(path string) error
+	walk = func(path string) error {
+		t, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		d, ok := t.(json.Delim)
+		if !ok {
+			return nil // scalar value
+		}
+		switch d {
+		case '{':
+			seen := make(map[string]bool)
+			for dec.More() {
+				kt, err := dec.Token()
+				if err != nil {
+					return err
+				}
+				key, _ := kt.(string)
+				if seen[key] {
+					return fmt.Errorf("duplicate key %q in object %s", key, path)
+				}
+				seen[key] = true
+				if err := walk(path + "." + key); err != nil {
+					return err
+				}
+			}
+		case '[':
+			i := 0
+			for dec.More() {
+				if err := walk(fmt.Sprintf("%s[%d]", path, i)); err != nil {
+					return err
+				}
+				i++
+			}
+		}
+		_, err = dec.Token() // consume the closing delimiter
+		return err
+	}
+	return walk("$")
 }
 
 // measurement aggregates the result lines of one benchmark name across -cpu
@@ -246,7 +301,10 @@ func check(base *baseline, measured map[string]*measurement, tolerance float64, 
 			}
 		}
 	}
-	for name, e := range base.Benchmarks {
+	// Sorted iteration keeps the report stable run to run, so CI log diffs
+	// show real changes rather than map-order shuffles.
+	for _, name := range sortedKeys(base.Benchmarks) {
+		e := base.Benchmarks[name]
 		if e.Unit != "ns/op" {
 			continue
 		}
@@ -254,8 +312,8 @@ func check(base *baseline, measured map[string]*measurement, tolerance float64, 
 			compare(name, name, e.Value, e)
 			continue
 		}
-		for sub, v := range e.Values {
-			compare(name, name+"/"+sub, v, e)
+		for _, sub := range sortedKeys(e.Values) {
+			compare(name, name+"/"+sub, e.Values[sub], e)
 		}
 	}
 	for _, name := range required {
@@ -268,9 +326,25 @@ func check(base *baseline, measured map[string]*measurement, tolerance float64, 
 			fail("required benchmark %s has no ns/op baseline entry to gate against", name)
 			continue
 		}
+		// A required benchmark must also pin its allocation behavior: a
+		// ns/op-only entry would let an allocation regression through the
+		// gate's most-watched benchmarks.
+		if !e.HasAllocs {
+			fail("required benchmark %s pins no allocs_per_op floor in the baseline", name)
+		}
 		for _, absent := range missing[name] {
 			fail("required benchmark %s was not measured against its %s baseline", name, absent)
 		}
 	}
 	return failures, b.String()
+}
+
+// sortedKeys returns m's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -10,9 +10,9 @@ const goodBaseline = `{
   "schema": "bench-global/v1",
   "pr": 5,
   "benchmarks": {
-    "BenchmarkBatchEngine": { "unit": "ns/op", "value": 1000000, "what": "warm batch" },
+    "BenchmarkBatchEngine": { "unit": "ns/op", "value": 1000000, "allocs_per_op": 2048, "what": "warm batch" },
     "BenchmarkPCGNoAlloc": { "unit": "ns/op", "value": 2000000, "allocs_per_op": 0 },
-    "BenchmarkIC0Apply": { "unit": "ns/op", "values": { "narrowDAG/serial": 2400000, "wideDAG/levelsched-pool": 1200000 } },
+    "BenchmarkIC0Apply": { "unit": "ns/op", "allocs_per_op": 1, "values": { "narrowDAG/serial": 2400000, "wideDAG/levelsched-pool": 1200000 } },
     "BenchmarkPCGPrecond": { "unit": "iterations", "values": { "ic0": 27 } }
   }
 }`
@@ -61,18 +61,19 @@ func TestParseBaselineReal(t *testing.T) {
 const benchOutput = `
 goos: linux
 goarch: amd64
-BenchmarkBatchEngine-4   	     682	   900000 ns/op	         1.000 hit-rate
+BenchmarkBatchEngine-4   	     682	   900000 ns/op	         1.000 hit-rate	 2101736 B/op	    1192 allocs/op
 BenchmarkPCGNoAlloc     	     463	  2100000 ns/op	       0 B/op	       0 allocs/op
 BenchmarkPCGNoAlloc-4   	     463	  1900000 ns/op	       0 B/op	       0 allocs/op
-BenchmarkIC0Apply/narrowDAG/serial-4         	     492	   2500000 ns/op
-BenchmarkIC0Apply/wideDAG/levelsched-pool-4  	     924	   1100000 ns/op
+BenchmarkIC0Apply/narrowDAG/serial-4         	     492	   2500000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkIC0Apply/wideDAG/levelsched-pool-4  	     924	   1100000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNoMem-4        	     100	   5000000 ns/op
 PASS
 `
 
 func TestParseBenchOutput(t *testing.T) {
 	ms := parseBenchOutput(benchOutput)
-	if len(ms) != 4 {
-		t.Fatalf("parsed %d measurements, want 4: %v", len(ms), ms)
+	if len(ms) != 5 {
+		t.Fatalf("parsed %d measurements, want 5: %v", len(ms), ms)
 	}
 	pcg := ms["BenchmarkPCGNoAlloc"]
 	if pcg == nil || pcg.MinNs != 1900000 {
@@ -81,8 +82,11 @@ func TestParseBenchOutput(t *testing.T) {
 	if !pcg.HasAllocs || pcg.MaxAllocs != 0 {
 		t.Errorf("PCGNoAlloc allocs: %+v", pcg)
 	}
-	if be := ms["BenchmarkBatchEngine"]; be == nil || be.HasAllocs {
+	if be := ms["BenchmarkBatchEngine"]; be == nil || !be.HasAllocs || be.MaxAllocs != 1192 {
 		t.Errorf("BatchEngine measurement: %+v", be)
+	}
+	if nm := ms["BenchmarkNoMem"]; nm == nil || nm.HasAllocs {
+		t.Errorf("line without -benchmem columns parsed allocs: %+v", nm)
 	}
 	if sub := ms["BenchmarkIC0Apply/narrowDAG/serial"]; sub == nil || sub.MinNs != 2500000 {
 		t.Errorf("sub-benchmark name not preserved: %+v", ms)
@@ -146,6 +150,80 @@ func TestCheckFailsOnInjectedRegressions(t *testing.T) {
 		if !strings.Contains(report, tc.want) {
 			t.Errorf("%s: report lacks %q:\n%s", name, tc.want, report)
 		}
+	}
+}
+
+// TestDuplicateKeysRejected: encoding/json keeps the last duplicate key, so
+// a snapshot with two entries of the same name would silently shadow one
+// baseline; the token-level scan must reject it at any nesting depth.
+func TestDuplicateKeysRejected(t *testing.T) {
+	cases := map[string]string{
+		"duplicate benchmark entry": `{"schema":"bench-global/v1","pr":5,"benchmarks":{
+			"BenchmarkX":{"unit":"ns/op","value":1000},
+			"BenchmarkX":{"unit":"ns/op","value":9999999}}}`,
+		"duplicate sub-benchmark value": `{"schema":"bench-global/v1","pr":5,"benchmarks":{
+			"BenchmarkX":{"unit":"ns/op","values":{"a":1000,"a":9999999}}}}`,
+		"duplicate entry field": `{"schema":"bench-global/v1","pr":5,"benchmarks":{
+			"BenchmarkX":{"unit":"ns/op","value":1000,"value":9999999}}}`,
+		"duplicate top-level key": `{"schema":"bench-global/v1","pr":5,"pr":6,"benchmarks":{
+			"BenchmarkX":{"unit":"ns/op","value":1000}}}`,
+	}
+	for name, raw := range cases {
+		if _, err := parseBaseline([]byte(raw)); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !strings.Contains(err.Error(), "duplicate key") {
+			t.Errorf("%s: wrong error: %v", name, err)
+		}
+	}
+}
+
+// TestRequiredNeedsAllocsFloor: a -require entry whose baseline pins no
+// allocs_per_op would gate ns/op but let allocation regressions through.
+func TestRequiredNeedsAllocsFloor(t *testing.T) {
+	base, err := parseBaseline([]byte(`{"schema":"bench-global/v1","pr":5,"benchmarks":{
+		"BenchmarkX":{"unit":"ns/op","value":1000000}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := parseBenchOutput("BenchmarkX-4 	 682 	 900000 ns/op 	 0 B/op 	 0 allocs/op")
+	failures, report := check(base, measured, 3.0, []string{"BenchmarkX"})
+	if failures == 0 || !strings.Contains(report, "pins no allocs_per_op floor") {
+		t.Fatalf("required entry without an allocs floor passed the gate:\n%s", report)
+	}
+	if failures, report := check(base, measured, 3.0, nil); failures != 0 {
+		t.Errorf("non-required entry without an allocs floor should pass:\n%s", report)
+	}
+}
+
+// TestReportOrderStable: two runs over the same inputs must produce
+// byte-identical reports (sorted iteration, not map order).
+func TestReportOrderStable(t *testing.T) {
+	base, err := parseBaseline([]byte(goodBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, first := check(base, parseBenchOutput(benchOutput), 3.0, nil)
+	for i := 0; i < 10; i++ {
+		if _, again := check(base, parseBenchOutput(benchOutput), 3.0, nil); again != first {
+			t.Fatalf("report order unstable:\n--- first\n%s\n--- run %d\n%s", first, i, again)
+		}
+	}
+	order := []string{
+		"BenchmarkBatchEngine:",
+		"BenchmarkIC0Apply/narrowDAG/serial:",
+		"BenchmarkIC0Apply/wideDAG/levelsched-pool:",
+		"BenchmarkPCGNoAlloc:",
+	}
+	last := -1
+	for _, name := range order {
+		at := strings.Index(first, name)
+		if at < 0 {
+			t.Fatalf("report lacks %s:\n%s", name, first)
+		}
+		if at < last {
+			t.Fatalf("report names out of sorted order (%s):\n%s", name, first)
+		}
+		last = at
 	}
 }
 

@@ -111,6 +111,7 @@ import (
 	"repro/internal/romcache"
 )
 
+//stressvet:gang -- one goroutine carries ListenAndServe so main can select on shutdown signals
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "concurrent engine jobs (0 = GOMAXPROCS)")

@@ -1,0 +1,100 @@
+// Command stressvet is the project's static-analysis multichecker: it runs
+// the internal/lint analyzer suite — noalloc, determinism, floatcmp,
+// lockcheck, workerbound — over the module's packages and exits non-zero on
+// any finding, turning the hot-path, determinism, and cache-discipline
+// invariants into build-time contracts. With -escape it additionally builds
+// the packages with -gcflags=-m and fails if the compiler proves a heap
+// allocation inside any //stressvet:noalloc function (the static form of
+// the runtime allocs/op assertions).
+//
+// Usage:
+//
+//	go run ./cmd/stressvet ./...                 # AST analyzers
+//	go run ./cmd/stressvet -escape ./...         # + compiler escape gate
+//	go run ./cmd/stressvet -disable floatcmp ./internal/solver/
+//	go run ./cmd/stressvet -list
+//
+// Annotation grammar and suppression rules: docs/STATIC_ANALYSIS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("stressvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	disable := fs.String("disable", "", "comma-separated analyzer names to skip")
+	escape := fs.Bool("escape", false, "also run the -gcflags=-m escape gate over //stressvet:noalloc functions")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	dir := fs.String("C", ".", "module directory to analyze from")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	all := lint.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	disabled := make(map[string]bool)
+	for _, name := range strings.Split(*disable, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			disabled[name] = true
+		}
+	}
+	known := make(map[string]bool)
+	var analyzers []*lint.Analyzer
+	for _, a := range all {
+		known[a.Name] = true
+		if !disabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+	for name := range disabled {
+		if !known[name] {
+			fmt.Fprintf(stderr, "stressvet: unknown analyzer %q in -disable (have: noalloc, determinism, floatcmp, lockcheck, workerbound)\n", name)
+			return 2
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.LoadPatterns(*dir, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "stressvet:", err)
+		return 2
+	}
+	findings := lint.RunPackages(pkgs, analyzers)
+	if *escape && !disabled["noalloc"] {
+		esc, err := lint.EscapeCheck(*dir, patterns)
+		if err != nil {
+			fmt.Fprintln(stderr, "stressvet:", err)
+			return 2
+		}
+		findings = append(findings, esc...)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if n := len(findings); n > 0 {
+		fmt.Fprintf(stderr, "stressvet: %d finding(s)\n", n)
+		return 1
+	}
+	fmt.Fprintf(stdout, "stressvet: %d package(s) clean (%d analyzers%s)\n",
+		len(pkgs), len(analyzers), map[bool]string{true: " + escape gate", false: ""}[*escape])
+	return 0
+}

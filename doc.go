@@ -86,7 +86,11 @@
 // The docs/ directory maps the system: docs/ARCHITECTURE.md is the layer
 // map (mesh → fem → rom → array → engine → jobqueue → serve) and cache
 // inventory; docs/SOLVER_TUNING.md covers global-stage solver selection,
-// preconditioner trade-offs, and warm-start behavior with measurements.
+// preconditioner trade-offs, and warm-start behavior with measurements;
+// docs/STATIC_ANALYSIS.md documents the cmd/stressvet analyzer suite
+// (internal/lint) that enforces the hot-path no-alloc, kernel-determinism,
+// and lock-discipline invariants at build time, and the //stressvet:
+// annotation grammar used throughout the source.
 //
 // All lengths are in µm, moduli in MPa, temperatures in °C; stresses come
 // out in MPa.

@@ -280,6 +280,8 @@ func (e *Engine) solve(job Job, index, workers int) *JobResult {
 // interleave), jobs on the same lattice share one reduced-global assembly,
 // and uniform-ΔT iterative jobs on the same lattice are chained in ΔT order
 // so each solve warm-starts from its neighbor's solution.
+//
+//stressvet:gang -- batch worker pool, capped at min(opt.Workers, number of chains)
 func (e *Engine) BatchSolve(jobs []Job) *BatchResult {
 	start := time.Now()
 	out := &BatchResult{Results: make([]JobResult, len(jobs))}
@@ -492,9 +494,10 @@ type memo[T any] struct {
 	maxBytes int64
 	size     func(T) int64
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	// guarded by mu
 	m     map[string]T
-	bytes int64
+	bytes int64 // guarded by mu
 
 	built, hits atomic.Int64
 }
@@ -582,7 +585,7 @@ type seedCache struct {
 	max int
 
 	mu sync.Mutex
-	m  map[string]seedEntry
+	m  map[string]seedEntry // guarded by mu
 }
 
 type seedEntry struct {
@@ -603,7 +606,7 @@ func (s *seedCache) get(key string, deltaT float64) []float64 {
 	if !ok || e.dt == 0 || len(e.qf) == 0 {
 		return nil
 	}
-	if deltaT == e.dt {
+	if deltaT == e.dt { //stressvet:allow floatcmp -- exact-match fast path; inexact ratios fall through to scaling
 		return e.qf
 	}
 	scale := deltaT / e.dt

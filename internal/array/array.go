@@ -405,7 +405,7 @@ func (a *Assembly) Preconditioner(kind solver.PrecondKind, ord solver.OrderingKi
 	}
 	a.pmu.Unlock()
 	e.once.Do(func() {
-		t0 := time.Now()
+		t0 := time.Now() //stressvet:allow determinism -- wall clock feeds Stats timing only, never numerics
 		e.m, e.err = solver.NewPreconditionerOrdered(resolved, ord, a.Red.Aff)
 		e.build = time.Since(t0)
 	})
@@ -434,7 +434,7 @@ func NewAssembly(p *Problem, workers int) (*Assembly, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	start := time.Now()
+	start := time.Now() //stressvet:allow determinism -- wall clock feeds Stats timing only, never numerics
 	lat := NewLattice(p.Bx, p.By, p.ROM.Spec.Nodes, p.ROM.Spec.Geom.Pitch, p.ROM.Spec.Geom.Height)
 	k, f := assembleGlobal(p, lat, workers)
 
@@ -545,7 +545,7 @@ func (p *Problem) Validate() error {
 		if p.DummyROM.Spec.Nodes != p.ROM.Spec.Nodes {
 			return fmt.Errorf("array: DummyROM nodes %v differ from ROM nodes %v", p.DummyROM.Spec.Nodes, p.ROM.Spec.Nodes)
 		}
-		if p.DummyROM.Spec.Geom.Pitch != p.ROM.Spec.Geom.Pitch || p.DummyROM.Spec.Geom.Height != p.ROM.Spec.Geom.Height {
+		if p.DummyROM.Spec.Geom.Pitch != p.ROM.Spec.Geom.Pitch || p.DummyROM.Spec.Geom.Height != p.ROM.Spec.Geom.Height { //stressvet:allow floatcmp -- spec fields must match verbatim (copied, not computed)
 			return fmt.Errorf("array: DummyROM block dimensions differ from ROM")
 		}
 	}
@@ -579,7 +579,7 @@ func Solve(p *Problem) (*Solution, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	tAsm := time.Now()
+	tAsm := time.Now() //stressvet:allow determinism -- wall clock feeds Stats timing only, never numerics
 	asm := p.Assembly
 	shared := asm != nil
 	if shared {
@@ -642,7 +642,7 @@ func Solve(p *Problem) (*Solution, error) {
 	}
 	asmTime := time.Since(tAsm)
 
-	tSolve := time.Now()
+	tSolve := time.Now() //stressvet:allow determinism -- wall clock feeds Stats timing only, never numerics
 	opt := p.Opt
 	if opt.Workers == 0 {
 		opt.Workers = workers
@@ -763,6 +763,8 @@ func (p *Problem) blockDeltaT(bx, by int) float64 {
 // VMField reconstructs each block's fine displacement field (Eq. 15) and
 // samples the von Mises stress on the mid-height cut plane with a gs×gs
 // grid per block, returning a (Bx·gs)×(By·gs) field. Parallel over blocks.
+//
+//stressvet:gang -- fixed pool of `workers` goroutines draining the block-job channel
 func (s *Solution) VMField(gs int, workers int) *field.Grid2D {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -19,6 +19,8 @@ import (
 // unordered duplicated entries are compacted in a parallel finishing pass —
 // no triplet intermediary, which matters at paper-scale arrays (50×50 blocks
 // × 294² dense entries).
+//
+//stressvet:gang -- `workers` scatter goroutines with per-worker load buffers
 func assembleGlobal(p *Problem, lat *Lattice, workers int) (*sparse.CSR, []float64) {
 	if workers < 1 {
 		workers = 1

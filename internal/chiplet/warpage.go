@@ -22,7 +22,7 @@ func (c *Coarse) Warpage() Warpage {
 	first := true
 	for n := 0; n < g.NumNodes(); n++ {
 		co := g.NodeCoord(n)
-		if co.Z != g.Zs[0] {
+		if co.Z != g.Zs[0] { //stressvet:allow floatcmp -- node Z is copied verbatim from g.Zs; identity match selects the bottom plane
 			continue
 		}
 		uz := c.U[3*n+2]

@@ -58,6 +58,8 @@ func quantize(v float64) int64 { return int64(math.Round(v * 1e9)) }
 // assembly is parallel over node slabs (each goroutine owns whole matrix
 // rows, so no synchronization on values is needed) and element matrices are
 // cached by (size, material), which makes structured-array assembly cheap.
+//
+//stressvet:gang -- `workers` goroutines over disjoint node chunks
 func (m *Model) Assemble(workers int) (*Assembled, error) {
 	g := m.Grid
 	for e, id := range g.MatID {

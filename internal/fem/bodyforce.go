@@ -11,6 +11,8 @@ import (
 // with the 2×2×2 Gauss rule per element. The paper's IC scenarios set
 // f ≡ 0 (gravity neglected, §3.2); this loading path exists to verify the
 // kernel against manufactured solutions and to support non-IC use cases.
+//
+//stressvet:gang -- `workers` goroutines over disjoint element chunks
 func (m *Model) BodyForceLoad(workers int, body func(p mesh.Vec3) [3]float64) []float64 {
 	g := m.Grid
 	f := make([]float64, 3*g.NumNodes())

@@ -10,6 +10,8 @@ import (
 // factor (typically the local ΔT), enabling nonuniform thermal fields that
 // are piecewise constant per element. Assemble's F equals
 // ThermalLoad(workers, nil) (unit scale).
+//
+//stressvet:gang -- `workers` goroutines over disjoint element chunks
 func (m *Model) ThermalLoad(workers int, scale func(e int) float64) []float64 {
 	g := m.Grid
 	f := make([]float64, 3*g.NumNodes())

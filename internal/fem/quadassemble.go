@@ -13,6 +13,8 @@ import (
 // The scatter is parallel over elements with atomic per-row cursors and a
 // parallel compaction pass (the same scheme as the global-stage assembly).
 // Void elements are skipped; isolated nodes carry identity rows.
+//
+//stressvet:gang -- `workers` scatter goroutines over disjoint element chunks
 func (m *QuadModel) Assemble(workers int) (*Assembled, error) {
 	g := m.Grid
 	for e, id := range g.MatID {

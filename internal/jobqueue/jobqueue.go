@@ -190,18 +190,19 @@ type job struct {
 	ctx       context.Context
 	cancel    context.CancelFunc
 
-	mu        sync.Mutex
-	state     State
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
-	completed int
-	failed    int
-	results   []*morestress.JobResult
-	err       error
-	events    []Event
-	subs      map[int]chan Event
-	nextSub   int
+	mu sync.Mutex
+	// All fields below are guarded by mu.
+	state     State                   // guarded by mu
+	submitted time.Time               // guarded by mu
+	started   time.Time               // guarded by mu
+	finished  time.Time               // guarded by mu
+	completed int                     // guarded by mu
+	failed    int                     // guarded by mu
+	results   []*morestress.JobResult // guarded by mu
+	err       error                   // guarded by mu
+	events    []Event                 // guarded by mu
+	subs      map[int]chan Event      // guarded by mu
+	nextSub   int                     // guarded by mu
 }
 
 // Queue is a bounded asynchronous job queue; safe for concurrent use.
@@ -217,11 +218,12 @@ type Queue struct {
 	done   chan struct{}
 	wg     sync.WaitGroup
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// guarded by mu
 	jobs    map[string]*job
-	pending []*job // FIFO: pending[0] runs next
-	cost    int64  // summed cost of every tracked job
-	closed  bool
+	pending []*job // guarded by mu; FIFO: pending[0] runs next
+	cost    int64  // guarded by mu; summed cost of every tracked job
+	closed  bool   // guarded by mu
 
 	running                   atomic.Int64
 	submitted, jobsDone       atomic.Int64
@@ -232,6 +234,8 @@ type Queue struct {
 
 // New creates a queue and starts its workers and garbage collector.
 // Options.Solve is required. Call Close to stop.
+//
+//stressvet:gang -- opt.Workers resident job workers plus one GC loop, all joined on Close
 func New(opt Options) (*Queue, error) {
 	if opt.Solve == nil {
 		return nil, errors.New("jobqueue: Options.Solve is required")
@@ -321,7 +325,7 @@ func (q *Queue) Submit(scenarios []morestress.Job, meta any, cost int64) (string
 	// Publish the pending event while still holding q.mu: workers pop
 	// under the same lock, so no later event can precede it.
 	j.mu.Lock()
-	j.publish(Event{Type: EventState, State: StatePending})
+	j.publishLocked(Event{Type: EventState, State: StatePending})
 	j.mu.Unlock()
 	q.mu.Unlock()
 
@@ -420,7 +424,7 @@ func (q *Queue) Subscribe(id string) (events <-chan Event, stop func(), ok bool)
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	// A job emits at most one event per scenario plus one per lifecycle
-	// transition, so this capacity guarantees publish never blocks and no
+	// transition, so this capacity guarantees publishLocked never blocks and no
 	// event is ever dropped.
 	ch := make(chan Event, len(j.scenarios)+8)
 	for _, ev := range j.events {
@@ -546,7 +550,7 @@ func (q *Queue) run(j *job) {
 	}
 	j.state = StateRunning
 	j.started = q.opt.now()
-	j.publish(Event{Type: EventState, State: StateRunning})
+	j.publishLocked(Event{Type: EventState, State: StateRunning})
 	j.mu.Unlock()
 
 	q.running.Add(1)
@@ -597,7 +601,7 @@ func (q *Queue) run(j *job) {
 			ev.WarmStart = res.Result.Stats.Warm
 			ev.PrecondCached = res.Result.Solution.PrecondShared
 		}
-		j.publish(ev)
+		j.publishLocked(ev)
 		j.mu.Unlock()
 	}
 
@@ -626,7 +630,7 @@ func (j *job) finishLocked(s State, err error, now time.Time) {
 	if err != nil {
 		ev.Err = err.Error()
 	}
-	j.publish(ev)
+	j.publishLocked(ev)
 	for idx, ch := range j.subs {
 		delete(j.subs, idx)
 		close(ch)
@@ -634,9 +638,9 @@ func (j *job) finishLocked(s State, err error, now time.Time) {
 	j.cancel()
 }
 
-// publish appends the event to the job's history and fans it out. Callers
+// publishLocked appends the event to the job's history and fans it out. Callers
 // hold j.mu. Subscriber channels are sized so the send never blocks.
-func (j *job) publish(ev Event) {
+func (j *job) publishLocked(ev Event) {
 	ev.JobID = j.id
 	ev.Completed = j.completed
 	ev.Failed = j.failed

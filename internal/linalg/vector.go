@@ -10,6 +10,8 @@ import (
 )
 
 // Dot returns the inner product of a and b. The slices must be equal length.
+//
+//stressvet:noalloc
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
@@ -23,11 +25,15 @@ func Dot(a, b []float64) float64 {
 
 // Norm2 returns the Euclidean norm of v, guarding against overflow for
 // well-scaled engineering magnitudes.
+//
+//stressvet:noalloc
 func Norm2(v []float64) float64 {
 	return math.Sqrt(Dot(v, v))
 }
 
 // NormInf returns the maximum absolute entry of v (0 for an empty slice).
+//
+//stressvet:noalloc
 func NormInf(v []float64) float64 {
 	var m float64
 	for _, x := range v {
@@ -39,6 +45,8 @@ func NormInf(v []float64) float64 {
 }
 
 // Axpy computes y += alpha*x in place.
+//
+//stressvet:noalloc
 func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("linalg: Axpy length mismatch %d vs %d", len(x), len(y)))
@@ -49,6 +57,8 @@ func Axpy(alpha float64, x, y []float64) {
 }
 
 // Scale multiplies v by alpha in place.
+//
+//stressvet:noalloc
 func Scale(alpha float64, v []float64) {
 	for i := range v {
 		v[i] *= alpha
@@ -63,6 +73,8 @@ func Copy(v []float64) []float64 {
 }
 
 // Zero sets every entry of v to zero.
+//
+//stressvet:noalloc
 func Zero(v []float64) {
 	for i := range v {
 		v[i] = 0
@@ -70,6 +82,8 @@ func Zero(v []float64) {
 }
 
 // Sub computes dst = a - b. dst may alias a or b.
+//
+//stressvet:noalloc
 func Sub(dst, a, b []float64) {
 	if len(a) != len(b) || len(dst) != len(a) {
 		panic("linalg: Sub length mismatch")
@@ -80,6 +94,8 @@ func Sub(dst, a, b []float64) {
 }
 
 // Add computes dst = a + b. dst may alias a or b.
+//
+//stressvet:noalloc
 func Add(dst, a, b []float64) {
 	if len(a) != len(b) || len(dst) != len(a) {
 		panic("linalg: Add length mismatch")

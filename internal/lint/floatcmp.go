@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp bans == and != between floating-point (or complex) operands
+// everywhere outside test files. Exact float equality is almost always a
+// bug waiting for a rounding change — the one idiomatic exception, comparing
+// against literal zero (sentinel/"unset" checks, division guards), is
+// allowed. Use a tolerance (math.Abs(a-b) <= tol) or restructure instead;
+// deliberate exact compares take a //stressvet:allow floatcmp directive
+// with a justification.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "ban ==/!= between floating-point operands except against literal zero",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(p *Pass) {
+	for _, f := range p.Files {
+		if p.isTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatOperand(p, be.X) && !isFloatOperand(p, be.Y) {
+				return true
+			}
+			if isZeroConst(p, be.X) || isZeroConst(p, be.Y) {
+				return true
+			}
+			p.Reportf(be.Pos(), "floating-point %s is exact; compare with a tolerance or against literal zero", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloatOperand(p *Pass, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to zero
+// (covers 0, 0.0, and named zero constants).
+func isZeroConst(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	case constant.Complex:
+		return constant.Sign(constant.Real(tv.Value)) == 0 && constant.Sign(constant.Imag(tv.Value)) == 0
+	}
+	return false
+}

@@ -1,0 +1,108 @@
+// Package linttest runs lint analyzers over testdata fixture packages and
+// checks their findings against `// want "regexp"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest: every want comment must be
+// matched by a finding on its line, and every finding must be expected by a
+// want comment. Multiple want strings on one line each need a match.
+package linttest
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantComment matches one expectation: `// want "re"` with optional further
+// `"re"` strings.
+var wantComment = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// wantRe pulls the individual quoted regexps out of a want comment.
+var wantRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// Run loads dir as a single fixture package under the import path asPath
+// (so path-scoped analyzers treat it as in scope) and diffs the analyzer's
+// findings against the fixture's want comments. modDir anchors `go list`
+// for the fixture's imports; pass the repository root.
+func Run(t *testing.T, modDir string, a *lint.Analyzer, dir, asPath string) {
+	t.Helper()
+	pkg, err := lint.LoadDir(modDir, dir, asPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	findings := lint.RunPackages([]*lint.Package{pkg}, []*lint.Analyzer{a})
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	// Re-scan the fixture files for want comments (positions from the
+	// loaded package's fileset).
+	fset := token.NewFileSet()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range matches {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantComment.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{filepath.Base(pos.Filename), pos.Line}
+				for _, q := range wantRe.FindAllString(m[1], -1) {
+					unq, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(unq)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, unq, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	matched := make(map[key][]bool)
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, f := range findings {
+		k := key{filepath.Base(f.Pos.Filename), f.Pos.Line}
+		ok := false
+		for i, re := range wants[k] {
+			if !matched[k][i] && re.MatchString(f.Message) {
+				matched[k][i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding at %s:%d: [%s] %s", k.file, k.line, f.Analyzer, f.Message)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: no finding matched want %q", k.file, k.line, re)
+			}
+		}
+	}
+	if t.Failed() {
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+	}
+}

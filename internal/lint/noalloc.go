@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc rejects allocating constructs in functions annotated
+// //stressvet:noalloc — the solver hot paths whose zero-allocation steady
+// state the runtime benchmarks pin (BenchmarkPCGNoAlloc) and the escape gate
+// verifies against the compiler. Flagged constructs: make/new, slice, map,
+// and address-taken composite literals, append (may grow), function literals
+// (closures), go statements, fmt calls, string concatenation and
+// string<->[]byte/[]rune conversions, variadic argument packing, and
+// interface conversions of non-pointer-shaped values. Code under a
+// panic(...) call is exempt: panic paths only fire on violated
+// preconditions, where the allocation is irrelevant.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "reject allocating constructs in //stressvet:noalloc hot-path functions",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(p *Pass) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, "noalloc") {
+				continue
+			}
+			na := &noallocCheck{p: p, sig: funcSignature(p, fd)}
+			ast.Inspect(fd.Body, na.visit)
+		}
+	}
+}
+
+// funcSignature returns the declared function's type signature (for checking
+// return-statement boxing).
+func funcSignature(p *Pass, fd *ast.FuncDecl) *types.Signature {
+	if obj, ok := p.Info.Defs[fd.Name]; ok {
+		if sig, ok := obj.Type().(*types.Signature); ok {
+			return sig
+		}
+	}
+	return nil
+}
+
+type noallocCheck struct {
+	p   *Pass
+	sig *types.Signature
+}
+
+func (na *noallocCheck) visit(n ast.Node) bool {
+	p := na.p
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		return na.call(n)
+	case *ast.CompositeLit:
+		switch p.Info.TypeOf(n).Underlying().(type) {
+		case *types.Slice:
+			p.Reportf(n.Pos(), "slice literal allocates")
+		case *types.Map:
+			p.Reportf(n.Pos(), "map literal allocates")
+		}
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				p.Reportf(n.Pos(), "address-taken composite literal escapes to the heap")
+			}
+		}
+	case *ast.FuncLit:
+		p.Reportf(n.Pos(), "function literal allocates (closure); dispatch a preallocated op struct through the Runner interface instead")
+		return false // the literal's body belongs to the closure, not this function
+	case *ast.GoStmt:
+		p.Reportf(n.Pos(), "go statement allocates a goroutine; use the resident sparse.Pool gang")
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && isString(p.Info.TypeOf(n.X)) {
+			p.Reportf(n.Pos(), "string concatenation allocates")
+		}
+	case *ast.AssignStmt:
+		// Boxing through assignment: iface = concrete.
+		for i, lhs := range n.Lhs {
+			if i >= len(n.Rhs) {
+				break // x, y := f() — boxing through multi-value returns is out of scope
+			}
+			na.boxCheck(p.Info.TypeOf(lhs), n.Rhs[i])
+		}
+	case *ast.ReturnStmt:
+		if na.sig == nil || na.sig.Results().Len() != len(n.Results) {
+			break
+		}
+		for i, r := range n.Results {
+			na.boxCheck(na.sig.Results().At(i).Type(), r)
+		}
+	}
+	return true
+}
+
+// call inspects one call expression; the return value tells ast.Inspect
+// whether to descend into the call's subtree.
+func (na *noallocCheck) call(call *ast.CallExpr) bool {
+	p := na.p
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := p.Info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				p.Reportf(call.Pos(), "make allocates; reuse a workspace-pooled buffer")
+			case "new":
+				p.Reportf(call.Pos(), "new allocates; reuse a workspace-pooled value")
+			case "append":
+				p.Reportf(call.Pos(), "append may grow (allocate) its backing array; preallocate to capacity outside the hot path")
+			case "panic":
+				// Cold path: a panic only fires on a violated precondition,
+				// where the cost of its argument no longer matters.
+				return false
+			}
+			return true
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := p.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				p.Reportf(call.Pos(), "fmt.%s allocates (formatting, interface boxing)", fun.Sel.Name)
+				return false
+			}
+		}
+	}
+	tv, ok := p.Info.Types[call.Fun]
+	if ok && tv.IsType() {
+		// Conversion, not a call.
+		dst := tv.Type
+		src := p.Info.TypeOf(call.Args[0])
+		if isString(dst) != isString(src) && (isByteOrRuneSlice(dst) || isByteOrRuneSlice(src) || isString(dst) || isString(src)) {
+			if isByteOrRuneSlice(dst) || isByteOrRuneSlice(src) {
+				p.Reportf(call.Pos(), "string <-> byte/rune slice conversion copies (allocates)")
+			}
+		}
+		na.boxCheck(dst, call.Args[0])
+		return true
+	}
+	sig, _ := p.Info.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return true
+	}
+	// Boxing through parameters, and variadic packing.
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if sig.Variadic() && i >= np-1 && call.Ellipsis == token.NoPos {
+			if i == np-1 {
+				p.Reportf(call.Pos(), "variadic call packs its arguments into a new slice")
+			}
+		}
+		na.boxCheck(pt, arg)
+	}
+	return true
+}
+
+// boxCheck reports expr when assigning it to dst converts a
+// non-pointer-shaped concrete value to an interface — a conversion that
+// heap-allocates the boxed copy.
+func (na *noallocCheck) boxCheck(dst types.Type, expr ast.Expr) {
+	p := na.p
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	src := p.Info.TypeOf(expr)
+	if src == nil || types.IsInterface(src) {
+		return
+	}
+	if b, ok := src.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	switch src.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: boxing stores the word itself
+	}
+	p.Reportf(expr.Pos(), "interface conversion boxes a %s value (heap-allocates); pass a pointer", src)
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

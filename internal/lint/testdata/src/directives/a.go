@@ -1,0 +1,16 @@
+// Package directives exercises the driver's allow-comment hygiene: a
+// justified allow suppresses, an unjustified one does not and is itself
+// reported. Checked by TestUnjustifiedAllow rather than want comments,
+// because the surviving finding and the directive report land on one line.
+package directives
+
+//stressvet:noalloc
+func hotJustified() []int {
+	return make([]int, 4) //stressvet:allow noalloc -- fixture: suppression must hold
+}
+
+//stressvet:noalloc
+func hotUnjustified() []int {
+	//stressvet:allow noalloc
+	return make([]int, 4)
+}

@@ -1,0 +1,45 @@
+// Package floatcmp fixtures.
+package floatcmp
+
+import "math"
+
+const eps = 1e-12
+
+const zeroF = 0.0
+
+func bad(a, b float64) bool {
+	if a == b { // want "floating-point == is exact"
+		return true
+	}
+	return a != b // want "floating-point != is exact"
+}
+
+func badFloat32(a, b float32) bool {
+	return a == b // want "floating-point == is exact"
+}
+
+func badComplex(a, b complex128) bool {
+	return a == b // want "floating-point == is exact"
+}
+
+func zeroOK(a float64) bool {
+	if a == 0 {
+		return true
+	}
+	if 0.0 != a {
+		return false
+	}
+	return a == zeroF // named zero constant is still literal zero
+}
+
+func toleranceOK(a, b float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func intsOK(a, b int) bool {
+	return a == b
+}
+
+func allowedExact(a, b float64) bool {
+	return a == b //stressvet:allow floatcmp -- exact bit-match is the contract under test
+}

@@ -1,0 +1,8 @@
+package floatcmp
+
+// Test files are exempt: bitwise-identity assertions legitimately compare
+// floats exactly.
+
+func exactAssert(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,76 @@
+// Package lockcheck fixtures.
+package lockcheck
+
+import "sync"
+
+type cache struct {
+	mu sync.Mutex
+	// guarded by mu
+	entries map[string]int
+	bytes   int64 // guarded by mu
+	hits    int64 // unguarded: no annotation
+}
+
+func newCache() *cache {
+	c := &cache{}
+	c.entries = make(map[string]int) // local constructor value: allowed
+	return c
+}
+
+func (c *cache) goodGet(k string) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.entries[k] // lock held: allowed
+	return v, ok
+}
+
+func (c *cache) badGet(k string) int {
+	return c.entries[k] // want "cache.entries is guarded by cache.mu"
+}
+
+func (c *cache) badPut(k string, v int) {
+	c.entries[k] = v // want "cache.entries is guarded by cache.mu"
+	c.bytes++        // want "cache.bytes is guarded by cache.mu"
+	c.hits++         // unguarded field: allowed
+}
+
+func (c *cache) sizeLocked() int {
+	return len(c.entries) // *Locked convention: caller holds the lock
+}
+
+func (c *cache) copyByValue() cache { // want "cache returned by value copies its mu mutex"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return *c
+}
+
+func (c *cache) derefCopy() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snapshot := *c // want "assignment copies cache by value"
+	_ = snapshot
+}
+
+func useByValue(c cache) { // want "cache passed by value copies its mu mutex"
+	_ = c
+}
+
+type rwcache struct {
+	mu sync.RWMutex
+	// guarded by mu
+	m map[string]int
+}
+
+func (c *rwcache) readOK(k string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m[k] // RLock counts as held
+}
+
+func (c *rwcache) readBad(k string) int {
+	return c.m[k] // want "rwcache.m is guarded by rwcache.mu"
+}
+
+func (c *cache) allowedUnlocked() int {
+	return int(c.bytes) //stressvet:allow lockcheck -- racy stats read is advisory only
+}

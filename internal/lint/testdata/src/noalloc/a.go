@@ -1,0 +1,103 @@
+// Package noalloc fixtures: each violation class and each allowed pattern.
+package noalloc
+
+import "fmt"
+
+type runner interface{ RunRange(lo, hi int) }
+
+type op struct{ dst []float64 }
+
+func (o *op) RunRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		o.dst[i] = 0
+	}
+}
+
+type scratch struct {
+	buf   []float64
+	items []int
+}
+
+//stressvet:noalloc
+func hotMake(n int) {
+	_ = make([]float64, n) // want "make allocates"
+	_ = new(scratch)       // want "new allocates"
+}
+
+//stressvet:noalloc
+func hotLiterals(n int) {
+	_ = []float64{1, 2} // want "slice literal allocates"
+	_ = map[int]int{}   // want "map literal allocates"
+	_ = &scratch{}      // want "address-taken composite literal"
+	v := scratch{}      // plain struct literal into a local: stack, allowed
+	v.buf = nil
+	_ = v
+}
+
+//stressvet:noalloc
+func hotAppend(s *scratch, x int) {
+	s.items = append(s.items, x) // want "append may grow"
+}
+
+//stressvet:noalloc
+func hotClosure(dst []float64) {
+	f := func(i int) { dst[i] = 0 } // want "function literal allocates"
+	f(0)
+	go forbiddenSpawn() // want "go statement allocates a goroutine"
+}
+
+func forbiddenSpawn() {}
+
+//stressvet:noalloc
+func hotFmt(x float64) {
+	fmt.Println(x) // want "fmt.Println allocates"
+}
+
+//stressvet:noalloc
+func hotStrings(a, b string, bs []byte) {
+	_ = a + b      // want "string concatenation allocates"
+	_ = string(bs) // want "conversion copies"
+	_ = []byte(a)  // want "conversion copies"
+}
+
+//stressvet:noalloc
+func hotBoxing(v scratch, p *scratch) {
+	var i interface{}
+	i = v // want "interface conversion boxes"
+	i = p // pointer: boxing stores the word, allowed
+	_ = i
+	sink(v) // want "interface conversion boxes"
+	sink(p)
+	variadicSink(1, 2) // want "variadic call packs" "interface conversion boxes" "interface conversion boxes"
+}
+
+func sink(x interface{}) { _ = x }
+
+func variadicSink(xs ...interface{}) { _ = xs }
+
+//stressvet:noalloc
+func hotClean(t *op, dst, b []float64, r int) float64 {
+	// The real hot-path shapes: gathers, stores, interface dispatch of a
+	// preallocated op pointer, panics on violated preconditions.
+	if len(dst) != len(b) {
+		panic(fmt.Sprintf("length mismatch %d != %d", len(dst), len(b)))
+	}
+	var s float64
+	for p := 0; p < r; p++ {
+		s += b[p] * dst[p]
+	}
+	var ru runner = t // pointer into interface: allowed
+	ru.RunRange(0, r)
+	return s
+}
+
+//stressvet:noalloc
+func hotAllowed(n int) {
+	_ = make([]float64, n) //stressvet:allow noalloc -- cold fallback path, measured free
+	//stressvet:allow noalloc -- next-line form, justified
+	_ = make([]float64, n)
+}
+
+func coldUnannotated() []float64 {
+	return make([]float64, 8) // unannotated functions may allocate freely
+}

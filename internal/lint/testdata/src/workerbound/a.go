@@ -1,0 +1,45 @@
+// Package workerbound fixtures.
+package workerbound
+
+import "sync"
+
+func adHoc(work []func()) {
+	var wg sync.WaitGroup
+	for _, w := range work {
+		wg.Add(1)
+		go func() { // want "go statement outside an approved worker-pool primitive"
+			defer wg.Done()
+			w()
+		}()
+	}
+	wg.Wait()
+}
+
+func fireAndForget(f func()) {
+	go f() // want "go statement outside an approved worker-pool primitive"
+}
+
+//stressvet:gang -- fixed-size pool, one goroutine per configured worker
+func approvedPool(workers int, run func(int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			run(id)
+		}(w)
+	}
+	wg.Wait()
+}
+
+//stressvet:gang -- bounded: spawns exactly one drain goroutine per queue
+func approvedNested(drain func()) {
+	start := func() {
+		go drain() // inside a gang-annotated function, even via a closure
+	}
+	start()
+}
+
+func allowedOnce(f func()) {
+	go f() //stressvet:allow workerbound -- one-shot background flush, bounded by construction
+}

@@ -24,6 +24,8 @@ type Measurement struct {
 // Measure runs fn while sampling the heap, returning elapsed time and
 // observed peak heap growth. A GC is forced before the run so the baseline
 // excludes garbage from earlier phases.
+//
+//stressvet:gang -- one heap-peak sampling goroutine, joined before Measure returns
 func Measure(fn func()) Measurement {
 	runtime.GC()
 	var ms runtime.MemStats

@@ -167,7 +167,7 @@ func Solve(p *Problem) (*Result, error) {
 		var fixed bool
 		switch p.BC {
 		case ClampedTopBottom:
-			fixed = c.Z == lo.Z || c.Z == hi.Z
+			fixed = c.Z == lo.Z || c.Z == hi.Z //stressvet:allow floatcmp -- grid coordinates are generated exactly; identity match selects boundary planes
 		case PrescribedBoundary:
 			fixed = grid.OnBoundary(n)
 		}
@@ -238,6 +238,8 @@ func (r *Result) VMField(geom mesh.TSVGeometry, bx, by, gs int, deltaT float64, 
 
 // SampleVM samples the mid-plane von Mises field of the solved problem with
 // gs samples per block edge, honoring per-block thermal loads.
+//
+//stressvet:gang -- `workers` goroutines over disjoint row chunks
 func (r *Result) SampleVM(gs, workers int) *field.Grid2D {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -123,6 +123,8 @@ type BuildStats struct {
 
 // Build runs the one-shot local stage with the given worker count
 // (0 = GOMAXPROCS).
+//
+//stressvet:gang -- basis solves bounded by a `workers`-slot semaphore
 func Build(spec Spec, workers int) (*ROM, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -334,6 +336,8 @@ func (r *ROM) SampleVM(u []float64, deltaT float64, zCut float64, gs int) []floa
 }
 
 // parallelFor runs fn(i) for i in [0, n) on up to workers goroutines.
+//
+//stressvet:gang -- `workers` goroutines draining the index channel
 func parallelFor(n, workers int, fn func(i int)) {
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {

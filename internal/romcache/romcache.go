@@ -97,10 +97,11 @@ type Cache struct {
 	opt    Options
 	flight Group[*rom.ROM]
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// guarded by mu
 	entries map[string]*list.Element
-	lru     *list.List // front = most recently used
-	bytes   int64      // sum of resident entry sizes
+	lru     *list.List // guarded by mu; front = most recently used
+	bytes   int64      // guarded by mu; sum of resident entry sizes
 
 	hits, misses, diskHits, evictions atomic.Int64
 	buildNanos                        atomic.Int64
@@ -253,7 +254,7 @@ func (c *Cache) insert(key string, r *rom.ROM) {
 	// Evict from the cold end until both budgets hold, but never the entry
 	// just admitted: a single model over the whole byte budget still serves
 	// (it simply shares the cache with nothing).
-	for c.lru.Len() > 1 && c.overBudget() {
+	for c.lru.Len() > 1 && c.overBudgetLocked() {
 		back := c.lru.Back()
 		e := back.Value.(*cacheEntry)
 		delete(c.entries, e.key)
@@ -263,9 +264,9 @@ func (c *Cache) insert(key string, r *rom.ROM) {
 	}
 }
 
-// overBudget reports whether either configured bound is exceeded.
+// overBudgetLocked reports whether either configured bound is exceeded.
 // Callers hold c.mu.
-func (c *Cache) overBudget() bool {
+func (c *Cache) overBudgetLocked() bool {
 	if c.opt.MaxBytes > 0 && c.bytes > c.opt.MaxBytes {
 		return true
 	}

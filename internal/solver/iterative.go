@@ -146,7 +146,7 @@ func GMRES(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error
 	st := Stats{Precond: kind, Warm: x0 != nil}
 	pre := opt.M
 	if pre == nil {
-		tBuild := time.Now()
+		tBuild := time.Now() //stressvet:allow determinism -- wall clock feeds Stats timing only, never numerics
 		var err error
 		// Worker-aware ordering resolution, matching PCG: see
 		// ResolveOrderingFor.
@@ -165,7 +165,7 @@ func GMRES(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error
 	ws.prepMatVec(a, opt.Workers)
 	wa, _ := pre.(parApplier)
 	apply := func(dst, src []float64) {
-		t0 := time.Now()
+		t0 := time.Now() //stressvet:allow determinism -- wall clock feeds Stats timing only, never numerics
 		if wa != nil {
 			wa.applyPar(dst, src, opt.Workers, ws)
 		} else {
@@ -300,6 +300,8 @@ func GMRES(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error
 }
 
 // givens returns the rotation (c, s) with c·a + s·b = r, −s·a + c·b = 0.
+//
+//stressvet:noalloc
 func givens(a, b float64) (c, s float64) {
 	if b == 0 {
 		return 1, 0

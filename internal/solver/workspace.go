@@ -111,6 +111,8 @@ func (w *Workspace) prepMatVec(a *sparse.CSR, workers int) {
 
 // matvec computes dst = a·x, through the resident gang when prepMatVec bound
 // it (allocation-free), falling back to MulVecPar otherwise.
+//
+//stressvet:noalloc
 func (w *Workspace) matvec(a *sparse.CSR, dst, x []float64, workers int) {
 	if w.mvReady && w.mv.M == a {
 		w.mv.Dst, w.mv.X = dst, x

@@ -89,6 +89,8 @@ func (t *LowerTri) MemoryBytes() int64 {
 // L[r,c]·dst[c]) / L[r,r]. dst and b may be the same slice. This single
 // kernel serves the serial and the parallel path, which is what makes them
 // bitwise identical.
+//
+//stressvet:noalloc
 func (t *LowerTri) lowerRow(dst, b []float64, r int32) {
 	end := t.RowPtr[r+1] - 1 // diagonal is last
 	s := b[r]
@@ -100,6 +102,8 @@ func (t *LowerTri) lowerRow(dst, b []float64, r int32) {
 
 // upperRow computes one row of the backward solve: dst[r] = (b[r] − Σ_{c>r}
 // Lᵀ[r,c]·dst[c]) / L[r,r]. dst and b may be the same slice.
+//
+//stressvet:noalloc
 func (t *LowerTri) upperRow(dst, b []float64, r int32) {
 	pj := t.UpPtr[r] // diagonal is first
 	s := b[r]
@@ -111,6 +115,8 @@ func (t *LowerTri) upperRow(dst, b []float64, r int32) {
 
 // SolveLower solves L·dst = b serially in row order (the reference the
 // level-scheduled path must match bitwise). dst and b may alias.
+//
+//stressvet:noalloc
 func (t *LowerTri) SolveLower(dst, b []float64) {
 	for r := 0; r < t.N; r++ {
 		t.lowerRow(dst, b, int32(r))
@@ -119,6 +125,8 @@ func (t *LowerTri) SolveLower(dst, b []float64) {
 
 // SolveUpper solves Lᵀ·dst = b serially in reverse row order. dst and b may
 // alias.
+//
+//stressvet:noalloc
 func (t *LowerTri) SolveUpper(dst, b []float64) {
 	for r := t.N - 1; r >= 0; r-- {
 		t.upperRow(dst, b, int32(r))
@@ -144,6 +152,8 @@ type triRun struct {
 }
 
 // RunRange implements Runner over positions in the level order.
+//
+//stressvet:noalloc
 func (o *triRun) RunRange(lo, hi int) {
 	if o.upper {
 		for i := lo; i < hi; i++ {
@@ -163,16 +173,21 @@ func (o *triRun) RunRange(lo, hi int) {
 // a schedule with no parallelizable level at all falls back to the plain
 // serial loop. Results are bitwise identical to SolveLower for every worker
 // count. sc may be nil when pool is nil. dst and b may alias.
+//
+//stressvet:noalloc
 func (t *LowerTri) SolveLowerPar(dst, b []float64, workers int, pool *Pool, sc *TriScratch) {
 	t.solvePar(t.Fwd, dst, b, false, workers, pool, sc)
 }
 
 // SolveUpperPar solves Lᵀ·dst = b with the backward level schedule; see
 // SolveLowerPar.
+//
+//stressvet:noalloc
 func (t *LowerTri) SolveUpperPar(dst, b []float64, workers int, pool *Pool, sc *TriScratch) {
 	t.solvePar(t.Bwd, dst, b, true, workers, pool, sc)
 }
 
+//stressvet:noalloc
 func (t *LowerTri) solvePar(s *LevelSchedule, dst, b []float64, upper bool, workers int, pool *Pool, sc *TriScratch) {
 	if workers <= 1 || !s.parallel {
 		if upper {
@@ -184,7 +199,7 @@ func (t *LowerTri) solvePar(s *LevelSchedule, dst, b []float64, upper bool, work
 	}
 	scratch := sc
 	if scratch == nil {
-		scratch = new(TriScratch)
+		scratch = new(TriScratch) //stressvet:allow noalloc -- fallback when the caller passes no scratch; pooled hot paths always do
 	}
 	// A plain pointer dispatched through the Runner interface: no closures,
 	// so the allocation-free pooled path stays allocation-free (a captured

@@ -85,6 +85,8 @@ func (f funcRunner) RunRange(lo, hi int) { f(lo, hi) }
 // Chunks are claimed through an atomic cursor so a worker finishing early
 // steals the remainder. This is the spawn-per-call dispatch; hot loops use
 // a resident Pool instead.
+//
+//stressvet:gang -- workers-1 goroutines; the caller participates as the last worker
 func parallelChunks(bounds []int32, workers int, r Runner) {
 	n := len(bounds) - 1
 	if n < 1 {

@@ -38,6 +38,8 @@ type Pool struct {
 // resident goroutines plus the calling goroutine, which participates in
 // every Run. workers ≤ 1 creates a degenerate pool whose Run executes
 // serially (no goroutines are started).
+//
+//stressvet:gang -- workers-1 resident pool goroutines, reused by every Run and joined on Close
 func NewPool(workers int) *Pool {
 	if workers < 1 {
 		workers = 1
@@ -57,6 +59,7 @@ func NewPool(workers int) *Pool {
 // Workers returns the pool's total parallelism (gang + caller).
 func (p *Pool) Workers() int { return p.workers }
 
+//stressvet:noalloc
 func (p *Pool) worker(tasks <-chan poolTask) {
 	for t := range tasks {
 		t.r.RunRange(int(t.lo), int(t.hi))
@@ -70,6 +73,8 @@ func (p *Pool) worker(tasks <-chan poolTask) {
 // runs the chunk itself instead of blocking, so a Run with many more chunks
 // than workers still gets the gang's full parallelism plus the caller. It
 // performs no allocation.
+//
+//stressvet:noalloc
 func (p *Pool) Run(bounds []int32, r Runner) {
 	n := len(bounds) - 1
 	if n < 1 {
@@ -114,6 +119,8 @@ type MatVec struct {
 }
 
 // RunRange implements Runner over matrix rows.
+//
+//stressvet:noalloc
 func (o *MatVec) RunRange(lo, hi int) {
 	m := o.M
 	for r := lo; r < hi; r++ {

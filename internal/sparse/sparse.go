@@ -121,6 +121,8 @@ func (m *CSR) sortRowsAndSum() {
 }
 
 // MulVec computes dst = m·x. dst must have length NRows and must not alias x.
+//
+//stressvet:noalloc
 func (m *CSR) MulVec(dst, x []float64) {
 	if len(x) != m.NCols || len(dst) != m.NRows {
 		panic(fmt.Sprintf("sparse: MulVec dimension mismatch: matrix %d×%d, x %d, dst %d",

@@ -45,6 +45,8 @@ type Kernel struct {
 // embedded in a (2R+1)×(2R+1) silicon neighbourhood, and the same
 // neighbourhood without the TSV, both clamped top and bottom. The deviation
 // of the two mid-plane stress fields is the superposition kernel.
+//
+//stressvet:gang -- `workers` goroutines over disjoint row chunks
 func BuildKernel(geom mesh.TSVGeometry, mats material.TSVSet, res mesh.BlockResolution, r, gs int, opt solver.Options, workers int) (*Kernel, error) {
 	if r < 1 {
 		return nil, fmt.Errorf("superpose: radius must be >= 1, got %d", r)
@@ -135,6 +137,8 @@ func BuildKernel(geom mesh.TSVGeometry, mats material.TSVSet, res mesh.BlockReso
 // actual ΔT, e.g. interpolated from a coarse package model); nil uses the
 // uniform far-field kernel background scaled by ΔT. isTSV marks blocks
 // carrying TSVs (nil = all).
+//
+//stressvet:gang -- `workers` goroutines over disjoint row chunks
 func (k *Kernel) EstimateArray(bx, by int, isTSV func(bx, by int) bool, deltaT float64, gs int, background func(x, y float64) [6]float64, workers int) *field.Grid2D {
 	if gs != k.GS {
 		panic(fmt.Sprintf("superpose: sampling grid %d differs from kernel grid %d", gs, k.GS))
