@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/gob"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,13 +11,20 @@ import (
 
 	morestress "repro"
 	"repro/internal/jobqueue"
+	"repro/internal/wal"
 )
 
 // jobMeta is the per-job metadata the HTTP layer stores in the queue: the
 // response-shaping flags of the original request, needed again when the
-// result is fetched.
+// result is fetched. The fields are exported because the queue journals meta
+// through gob when -journal-dir is set.
 type jobMeta struct {
-	includeField []bool // per scenario
+	IncludeField []bool // per scenario
+}
+
+func init() {
+	// Meta rides the job journal as a gob interface value.
+	gob.Register(&jobMeta{})
 }
 
 // submitResponse is the POST /jobs payload: the ID to poll, immediately.
@@ -70,7 +78,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("job fields would hold %d samples, above this server's %d-sample budget; shrink gridSamples or split the job", samples, max))
 		return
 	}
-	id, err := s.queue.Submit(jobs, &jobMeta{includeField: include}, samples)
+	id, err := s.queue.Submit(jobs, &jobMeta{IncludeField: include}, samples)
 	switch {
 	case errors.Is(err, jobqueue.ErrQueueFull):
 		// The backlog drains on the solve timescale.
@@ -127,7 +135,7 @@ func toJobStatus(snap jobqueue.Snapshot) jobStatusResponse {
 		meta, _ := snap.Meta.(*jobMeta)
 		out.Results = make([]jobResponse, len(snap.Results))
 		for i, res := range snap.Results {
-			include := meta != nil && i < len(meta.includeField) && meta.includeField[i]
+			include := meta != nil && i < len(meta.IncludeField) && meta.IncludeField[i]
 			out.Results[i] = toResponse(res, include)
 		}
 	}
@@ -173,6 +181,10 @@ func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case <-r.Context().Done():
+			return
+		case <-s.done:
+			// Server shutting down: end the stream now instead of making
+			// httpSrv.Shutdown wait out its whole deadline on us.
 			return
 		case ev, open := <-events:
 			if !open {
@@ -244,13 +256,15 @@ const defaultJobFieldBudget = 4 * maxBatchFieldSamples
 // per queue worker through Engine.Solve (which parallelizes internally and
 // shares the ROM and factor caches with the synchronous endpoints).
 // Cancellation takes effect at scenario boundaries. fieldBudget bounds the
-// aggregate field samples of tracked jobs (0 = unlimited).
-func newQueue(e *morestress.Engine, depth, workers int, ttl time.Duration, fieldBudget int64) (*jobqueue.Queue, error) {
+// aggregate field samples of tracked jobs (0 = unlimited). journal, when
+// non-nil, makes accepted jobs durable across restarts.
+func newQueue(e *morestress.Engine, depth, workers int, ttl time.Duration, fieldBudget int64, journal *wal.Log) (*jobqueue.Queue, error) {
 	return jobqueue.New(jobqueue.Options{
 		Depth:   depth,
 		Workers: workers,
 		TTL:     ttl,
 		MaxCost: fieldBudget,
+		Journal: journal,
 		Solve: func(ctx context.Context, sc morestress.Job) (*morestress.JobResult, error) {
 			if err := ctx.Err(); err != nil {
 				return nil, err

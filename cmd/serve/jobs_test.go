@@ -404,7 +404,7 @@ func TestJobsBackpressure429(t *testing.T) {
 // an earlier job's retained cost occupies it.
 func TestJobsFieldBudget429(t *testing.T) {
 	engine := morestress.NewEngine(morestress.EngineOptions{Workers: 2})
-	queue, err := newQueue(engine, 8, 1, time.Minute, 40) // cheapJob costs 1·2·4² = 32
+	queue, err := newQueue(engine, 8, 1, time.Minute, 40, nil) // cheapJob costs 1·2·4² = 32
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -440,7 +440,7 @@ func TestJobsFieldBudget429(t *testing.T) {
 // throttled (429).
 func TestJobsOversizedForBudgetIs413(t *testing.T) {
 	engine := morestress.NewEngine(morestress.EngineOptions{Workers: 2})
-	queue, err := newQueue(engine, 8, 1, time.Minute, 10)
+	queue, err := newQueue(engine, 8, 1, time.Minute, 10, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -459,5 +459,54 @@ func TestJobsOversizedForBudgetIs413(t *testing.T) {
 	}
 	if resp.Header.Get("Retry-After") != "" {
 		t.Error("permanent rejection carries Retry-After")
+	}
+}
+
+// TestSSEStreamEndsOnShutdown pins a job in running, attaches an SSE
+// subscriber, and begins server shutdown: the stream must end promptly
+// instead of forcing httpSrv.Shutdown to wait out its whole deadline.
+func TestSSEStreamEndsOnShutdown(t *testing.T) {
+	engine := morestress.NewEngine(morestress.EngineOptions{Workers: 2})
+	queue, err := jobqueue.New(jobqueue.Options{
+		Depth: 4, Workers: 1, TTL: time.Minute,
+		Solve: func(ctx context.Context, sc morestress.Job) (*morestress.JobResult, error) {
+			<-ctx.Done() // pin the job in running so the stream stays open
+			return nil, ctx.Err()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(queue.Close)
+	srv := newServer(engine, queue)
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+
+	var sub submitResponse
+	if code := postJSON(t, ts.URL+"/jobs", `{"jobs":[{"rows":1,"cols":1}]}`, &sub); code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	resp, err := (&http.Client{Timeout: 30 * time.Second}).Get(ts.URL + "/jobs/" + sub.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Read one event so the handler is demonstrably attached and streaming.
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatalf("read first SSE line: %v", err)
+	}
+
+	start := time.Now()
+	srv.beginShutdown()
+	// With the stream released, the body reaches EOF almost immediately;
+	// before the fix this read would hang until the client timeout.
+	for {
+		if _, err := br.ReadString('\n'); err != nil {
+			break
+		}
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("stream took %v to end after shutdown began", waited)
 	}
 }

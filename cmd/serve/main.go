@@ -69,7 +69,7 @@
 //	serve [-addr :8080] [-workers N]
 //	      [-cache-bytes 2147483648] [-cache-entries 0] [-cache-dir DIR]
 //	      [-queue-depth 64] [-job-workers 1] [-job-ttl 10m]
-//	      [-job-field-budget 134217728]
+//	      [-job-field-budget 134217728] [-journal-dir DIR]
 //	      [-precond auto] [-warm-start=true] [-assembly-bytes 1073741824]
 //
 // Defaults: -cache-bytes is 2 GiB (romcache.DefaultMaxBytes); -cache-entries
@@ -82,6 +82,22 @@
 // tracked async jobs, queued through retained (default 2²⁷ ≈ 1 GiB of
 // float64 samples — results held for the TTL count against it, so parked
 // results cannot exhaust memory; over-budget submissions get 429).
+//
+// # Durability
+//
+// With -journal-dir set, an accepted POST /jobs is a promise that survives
+// kill -9: the submission is fsynced to a write-ahead log before the 202 is
+// sent, lifecycle transitions and per-scenario results follow, and on
+// startup the server replays the log before listening — jobs that never
+// finished re-enter the queue in their original order under their original
+// IDs (scenario solves are deterministic, so re-running loses nothing),
+// finished jobs come back with their results and keep aging against
+// -job-ttl. /stats reports the journal under "journal": size, append and
+// compaction counters, and what recovery reconstructed. The log compacts
+// itself once it outgrows a few MiB; torn tails from a mid-write crash are
+// truncated on replay. Multiple replicas may share one -cache-dir (spills
+// are checksummed and single-writer locked) but each needs its own
+// -journal-dir.
 //
 // # Global-stage solver tuning
 //
@@ -109,6 +125,7 @@ import (
 
 	morestress "repro"
 	"repro/internal/romcache"
+	"repro/internal/wal"
 )
 
 //stressvet:gang -- one goroutine carries ListenAndServe so main can select on shutdown signals
@@ -123,6 +140,8 @@ func main() {
 	jobTTL := flag.Duration("job-ttl", 10*time.Minute, "finished async job retention before GC")
 	jobFieldBudget := flag.Int64("job-field-budget", defaultJobFieldBudget,
 		"aggregate field samples across tracked async jobs, 429 beyond it (0 = unlimited)")
+	journalDir := flag.String("journal-dir", "",
+		"directory for the async job journal: accepted jobs are fsynced and recovered after a crash (empty disables durability)")
 	precondFlag := flag.String("precond", "auto",
 		"default iterative preconditioner: auto, jacobi, block-jacobi3, ic0, or none (per-request \"precond\" overrides)")
 	orderingFlag := flag.String("ordering", "auto",
@@ -149,15 +168,36 @@ func main() {
 		DisableWarmStart: !*warmStart,
 		AssemblyBytes:    *assemblyBytes,
 	})
-	queue, err := newQueue(engine, *queueDepth, *jobWorkers, *jobTTL, *jobFieldBudget)
+	var journal *wal.Log
+	if *journalDir != "" {
+		journal, err = wal.Open(*journalDir, wal.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	queue, err := newQueue(engine, *queueDepth, *jobWorkers, *jobTTL, *jobFieldBudget, journal)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if journal != nil {
+		// Replay the journal before accepting traffic: jobs accepted by the
+		// previous process re-enter the queue (or come back finished) under
+		// their original IDs.
+		rec, err := queue.Recover()
+		if err != nil {
+			queue.Close()
+			journal.Close()
+			log.Fatalf("serve: journal recovery: %v", err)
+		}
+		log.Printf("serve: journal %s: %d records replayed, %d jobs requeued, %d restored, %d expired",
+			*journalDir, rec.Records, rec.Requeued, rec.Restored, rec.Expired)
+	}
 	srv := newServer(engine, queue)
+	srv.journal = journal
 	srv.precond = precond
 	srv.ordering = ordering
-	log.Printf("serve: listening on %s (cache %d MiB budget, spill %q, queue depth %d, job ttl %v)",
-		*addr, *cacheBytes>>20, *cacheDir, *queueDepth, *jobTTL)
+	log.Printf("serve: listening on %s (cache %d MiB budget, spill %q, queue depth %d, job ttl %v, journal %q)",
+		*addr, *cacheBytes>>20, *cacheDir, *queueDepth, *jobTTL, *journalDir)
 
 	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections,
 	// then close the queue so queued jobs land in a terminal state and
@@ -169,14 +209,29 @@ func main() {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	select {
 	case err := <-errc:
+		// The listener died on its own (port taken, socket error): still
+		// close the queue so running jobs stop at a scenario boundary and
+		// journaled state lands, instead of abandoning them mid-solve.
+		srv.beginShutdown()
+		queue.Close()
+		if journal != nil {
+			journal.Close()
+		}
 		log.Fatal(err)
 	case <-ctx.Done():
 	}
 	log.Print("serve: shutting down")
+	// Release SSE streams first: subscribers never see queue events during
+	// shutdown, so without this Shutdown would wait out its whole deadline
+	// on any attached stream.
+	srv.beginShutdown()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("serve: shutdown: %v", err)
 	}
 	queue.Close()
+	if journal != nil {
+		journal.Close()
+	}
 }

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	morestress "repro"
 	"repro/internal/jobqueue"
 	"repro/internal/mesh"
+	"repro/internal/wal"
 )
 
 // Request-size guards: the server is a demonstration front end, not a
@@ -218,16 +220,30 @@ func toResponse(res *morestress.JobResult, includeField bool) jobResponse {
 type server struct {
 	engine *morestress.Engine
 	queue  *jobqueue.Queue
+	// journal is the queue's WAL when -journal-dir is set (nil otherwise);
+	// held only so /stats can report it.
+	journal *wal.Log
 	// precond and ordering are the server-wide defaults (-precond and
 	// -ordering flags), applied to requests that do not name one.
 	precond  morestress.Precond
 	ordering morestress.Ordering
 	start    time.Time
 	requests atomic.Int64
+	// done is closed when the server begins shutting down; long-lived
+	// response streams (SSE) select on it so httpSrv.Shutdown does not
+	// wait out its deadline on subscribers that would otherwise never
+	// notice.
+	done     chan struct{}
+	downOnce sync.Once
 }
 
 func newServer(e *morestress.Engine, q *jobqueue.Queue) *server {
-	return &server{engine: e, queue: q, start: time.Now()}
+	return &server{engine: e, queue: q, start: time.Now(), done: make(chan struct{})}
+}
+
+// beginShutdown releases every long-lived stream; safe to call repeatedly.
+func (s *server) beginShutdown() {
+	s.downOnce.Do(func() { close(s.done) })
 }
 
 // routes builds the handler mux: the synchronous endpoints (POST /solve,
@@ -367,6 +383,34 @@ type statsResponse struct {
 		// ThroughputPerSec is completed scenarios per second of uptime.
 		ThroughputPerSec float64 `json:"throughputPerSec"`
 	} `json:"queue"`
+	// Journal reports the job durability layer; omitted without
+	// -journal-dir.
+	Journal *journalStats `json:"journal,omitempty"`
+}
+
+// journalStats is the /stats view of the job WAL and the recovery that ran
+// at startup.
+type journalStats struct {
+	// Bytes and Segments describe the on-disk log right now.
+	Bytes    int64 `json:"bytes"`
+	Segments int   `json:"segments"`
+	// Appends counts records fsynced this process lifetime; AppendErrors
+	// the appends that failed after the job was already accepted.
+	Appends      int64 `json:"appends"`
+	AppendErrors int64 `json:"appendErrors"`
+	// TornBytes is what torn-tail truncation discarded at startup.
+	TornBytes int64 `json:"tornBytes"`
+	// Compactions counts log rewrites; LastCompaction is the latest one
+	// (RFC 3339, empty when none ran yet).
+	Compactions    int64  `json:"compactions"`
+	LastCompaction string `json:"lastCompaction,omitempty"`
+	// RecordsReplayed/Requeued/Restored/Expired describe the startup
+	// recovery: records read, non-terminal jobs re-enqueued, finished jobs
+	// restored with results, finished jobs dropped as past their TTL.
+	RecordsReplayed int `json:"recordsReplayed"`
+	Requeued        int `json:"requeued"`
+	Restored        int `json:"restored"`
+	Expired         int `json:"expired"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -415,6 +459,26 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out.Queue.FieldSampleBudget = qs.MaxCost
 	if up := out.UptimeSeconds; up > 0 {
 		out.Queue.ThroughputPerSec = float64(qs.ScenariosSolved) / up
+	}
+	if s.journal != nil {
+		ws := s.journal.Stats()
+		rec := s.queue.Recovered()
+		js := &journalStats{
+			Bytes:           ws.Bytes,
+			Segments:        ws.Segments,
+			Appends:         ws.Appends,
+			AppendErrors:    qs.JournalErrors,
+			TornBytes:       ws.TornBytes,
+			Compactions:     ws.Compactions,
+			RecordsReplayed: rec.Records,
+			Requeued:        rec.Requeued,
+			Restored:        rec.Restored,
+			Expired:         rec.Expired,
+		}
+		if !ws.LastCompaction.IsZero() {
+			js.LastCompaction = ws.LastCompaction.Format(time.RFC3339Nano)
+		}
+		out.Journal = js
 	}
 	writeJSON(w, http.StatusOK, out)
 }

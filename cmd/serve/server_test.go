@@ -17,7 +17,7 @@ import (
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	engine := morestress.NewEngine(morestress.EngineOptions{Workers: 2})
-	queue, err := newQueue(engine, 8, 1, time.Minute, defaultJobFieldBudget)
+	queue, err := newQueue(engine, 8, 1, time.Minute, defaultJobFieldBudget, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

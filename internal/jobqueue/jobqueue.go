@@ -34,6 +34,7 @@ import (
 	"time"
 
 	morestress "repro"
+	"repro/internal/wal"
 )
 
 // State is a job lifecycle state.
@@ -125,8 +126,22 @@ type Options struct {
 	// Solve runs one scenario; required.
 	Solve SolveFunc
 
+	// Journal, when set, makes accepted work durable: Submit fsyncs a
+	// record before returning (an accepted job is on disk), lifecycle
+	// transitions and scenario completions follow, and Queue.Recover
+	// replays the log after a restart. The queue owns appends and
+	// compaction for the log but not its lifetime — the caller closes it
+	// after Close returns. See journal.go for the record format and
+	// recovery semantics.
+	Journal *wal.Log
+	// CompactBytes is the journal size that triggers compaction into a
+	// snapshot of the currently tracked jobs (default 4 MiB).
+	CompactBytes int64
+
 	// now overrides the clock in tests.
 	now func() time.Time
+	// newID overrides job ID generation in tests (collision injection).
+	newID func() (string, error)
 }
 
 // Snapshot is a point-in-time copy of a job's observable state.
@@ -169,6 +184,10 @@ type Stats struct {
 	// RetainedCost is the summed cost of every tracked job; MaxCost its
 	// budget (0 = unlimited).
 	RetainedCost, MaxCost int64
+	// JournalErrors counts journal appends that failed after the job was
+	// already accepted (the job still runs; a crash before its terminal
+	// record lands re-runs it at recovery). Zero without a journal.
+	JournalErrors int64
 }
 
 // Sentinel errors returned by Submit and Cancel.
@@ -187,6 +206,7 @@ type job struct {
 	scenarios []morestress.Job
 	meta      any
 	cost      int64
+	seq       int64 // admission order, assigned under Queue.mu; immutable after
 	ctx       context.Context
 	cancel    context.CancelFunc
 
@@ -220,16 +240,19 @@ type Queue struct {
 
 	mu sync.Mutex
 	// guarded by mu
-	jobs    map[string]*job
-	pending []*job // guarded by mu; FIFO: pending[0] runs next
-	cost    int64  // guarded by mu; summed cost of every tracked job
-	closed  bool   // guarded by mu
+	jobs      map[string]*job
+	pending   []*job       // guarded by mu; FIFO: pending[0] runs next
+	cost      int64        // guarded by mu; summed cost of every tracked job
+	closed    bool         // guarded by mu
+	nextSeq   int64        // guarded by mu; admission counter behind job.seq
+	recovered RecoverStats // guarded by mu; result of the startup Recover
 
 	running                   atomic.Int64
 	submitted, jobsDone       atomic.Int64
 	jobsFailed, jobsCancelled atomic.Int64
 	scenariosSolved, expired  atomic.Int64
 	solveNanos                atomic.Int64
+	journalErrors             atomic.Int64
 }
 
 // New creates a queue and starts its workers and garbage collector.
@@ -258,8 +281,14 @@ func New(opt Options) (*Queue, error) {
 			opt.GCInterval = time.Minute
 		}
 	}
+	if opt.CompactBytes <= 0 {
+		opt.CompactBytes = 4 << 20
+	}
 	if opt.now == nil {
 		opt.now = time.Now
+	}
+	if opt.newID == nil {
+		opt.newID = newID
 	}
 	q := &Queue{
 		opt:    opt,
@@ -287,13 +316,15 @@ func (q *Queue) Submit(scenarios []morestress.Job, meta any, cost int64) (string
 	if len(scenarios) == 0 {
 		return "", ErrNoScenarios
 	}
-	id, err := newID()
-	if err != nil {
-		return "", err
+	if q.opt.Journal != nil {
+		for _, sc := range scenarios {
+			if !journalable(sc) {
+				return "", ErrNotJournalable
+			}
+		}
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := newJobContext()
 	j := &job{
-		id:        id,
 		scenarios: scenarios,
 		meta:      meta,
 		cost:      cost,
@@ -319,6 +350,18 @@ func (q *Queue) Submit(scenarios []morestress.Job, meta any, cost int64) (string
 		cancel()
 		return "", ErrOverloaded
 	}
+	// The ID is generated under q.mu so a collision with a tracked job is
+	// detected and retried instead of silently replacing the old entry
+	// (which would strand its subscribers and double-count its cost).
+	id, err := q.newIDLocked()
+	if err != nil {
+		q.mu.Unlock()
+		cancel()
+		return "", err
+	}
+	j.id = id
+	j.seq = q.nextSeq
+	q.nextSeq++
 	q.jobs[id] = j
 	q.pending = append(q.pending, j)
 	q.cost += cost
@@ -327,11 +370,52 @@ func (q *Queue) Submit(scenarios []morestress.Job, meta any, cost int64) (string
 	j.mu.Lock()
 	j.publishLocked(Event{Type: EventState, State: StatePending})
 	j.mu.Unlock()
+	// Journal after admission (compaction snapshots walk q.jobs under this
+	// same lock, so the record cannot fall between append and insert) but
+	// before the ID is released: acceptance means the record is on disk.
+	if q.opt.Journal != nil {
+		wire := make([]jobWire, len(scenarios))
+		for i, sc := range scenarios {
+			wire[i] = toJobWire(sc)
+		}
+		rec := submitRec{ID: id, Submitted: j.submitted, Cost: cost, Scenarios: wire, Meta: meta}
+		if err := q.journalLocked(recSubmit, rec); err != nil {
+			// Undo the admission: a job whose acceptance never reached
+			// disk was never accepted.
+			delete(q.jobs, id)
+			q.pending = q.pending[:len(q.pending)-1]
+			q.cost -= cost
+			q.mu.Unlock()
+			cancel()
+			return "", fmt.Errorf("jobqueue: journal submit: %w", err)
+		}
+	}
 	q.mu.Unlock()
 
 	q.submitted.Add(1)
 	q.wake()
 	return id, nil
+}
+
+// newIDLocked generates a job ID no tracked job already uses, retrying on
+// the (vanishingly rare) 8-byte collision. Callers hold q.mu.
+func (q *Queue) newIDLocked() (string, error) {
+	for attempt := 0; ; attempt++ {
+		id, err := q.opt.newID()
+		if err != nil {
+			return "", err
+		}
+		if _, taken := q.jobs[id]; !taken {
+			return id, nil
+		}
+		if attempt >= 16 {
+			return "", errors.New("jobqueue: could not generate an unused job id")
+		}
+	}
+}
+
+func newJobContext() (context.Context, context.CancelFunc) {
+	return context.WithCancel(context.Background())
 }
 
 // wake nudges one idle worker; a full buffer means enough wake-ups are
@@ -399,8 +483,14 @@ func (q *Queue) Cancel(id string) error {
 				break
 			}
 		}
-		j.finishLocked(StateCancelled, nil, q.opt.now())
+		now := q.opt.now()
+		j.finishLocked(StateCancelled, nil, now)
 		j.mu.Unlock()
+		// Journal the cancellation under q.mu alone: compaction inside the
+		// append takes every job's lock, so j.mu must be free here.
+		if err := q.journalLocked(recState, stateRec{ID: id, State: StateCancelled, Time: now}); err != nil {
+			q.journalErrors.Add(1)
+		}
 		q.mu.Unlock()
 		q.jobsCancelled.Add(1)
 	default: // running: the worker observes the context and finishes it.
@@ -472,7 +562,16 @@ func (q *Queue) Stats() Stats {
 		ScenariosSolved: q.scenariosSolved.Load(),
 		SolveTime:       time.Duration(q.solveNanos.Load()),
 		Expired:         q.expired.Load(),
+		JournalErrors:   q.journalErrors.Load(),
 	}
+}
+
+// Recovered reports what the startup Recover call reconstructed (zero
+// before Recover, or without a journal).
+func (q *Queue) Recovered() RecoverStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.recovered
 }
 
 // Close stops the workers and the garbage collector, lands every
@@ -488,14 +587,22 @@ func (q *Queue) Close() {
 	}
 	q.closed = true
 	// Queued jobs will never run: finish them now so pollers see a
-	// terminal state and subscribers unblock.
+	// terminal state and subscribers unblock. The cancellations are
+	// journaled (j.mu released first — compaction takes every job lock)
+	// so a restart does not resurrect work this shutdown already refused.
 	for _, j := range q.pending {
 		j.mu.Lock()
-		if j.state == StatePending {
-			j.finishLocked(StateCancelled, nil, q.opt.now())
-			q.jobsCancelled.Add(1)
+		if j.state != StatePending {
+			j.mu.Unlock()
+			continue
 		}
+		now := q.opt.now()
+		j.finishLocked(StateCancelled, nil, now)
 		j.mu.Unlock()
+		q.jobsCancelled.Add(1)
+		if err := q.journalLocked(recState, stateRec{ID: j.id, State: StateCancelled, Time: now}); err != nil {
+			q.journalErrors.Add(1)
+		}
 	}
 	q.pending = nil
 	jobs := make([]*job, 0, len(q.jobs))
@@ -550,18 +657,22 @@ func (q *Queue) run(j *job) {
 	}
 	j.state = StateRunning
 	j.started = q.opt.now()
+	started := j.started
 	j.publishLocked(Event{Type: EventState, State: StateRunning})
 	j.mu.Unlock()
+	q.journalBestEffort(recState, stateRec{ID: j.id, State: StateRunning, Time: started})
 
 	q.running.Add(1)
 	defer q.running.Add(-1)
 
 	for i, sc := range j.scenarios {
 		if j.ctx.Err() != nil {
+			now := q.opt.now()
 			j.mu.Lock()
-			j.finishLocked(StateCancelled, nil, q.opt.now())
+			j.finishLocked(StateCancelled, nil, now)
 			j.mu.Unlock()
 			q.jobsCancelled.Add(1)
+			q.journalBestEffort(recState, stateRec{ID: j.id, State: StateCancelled, Time: now})
 			return
 		}
 		start := q.opt.now()
@@ -578,10 +689,12 @@ func (q *Queue) run(j *job) {
 		// scenario would flip the terminal state to failed when the
 		// cancel lands on the last scenario — and finish the job.
 		if j.ctx.Err() != nil && res.Err != nil {
+			now := q.opt.now()
 			j.mu.Lock()
-			j.finishLocked(StateCancelled, nil, q.opt.now())
+			j.finishLocked(StateCancelled, nil, now)
 			j.mu.Unlock()
 			q.jobsCancelled.Add(1)
+			q.journalBestEffort(recState, stateRec{ID: j.id, State: StateCancelled, Time: now})
 			return
 		}
 		res.Index = i
@@ -603,21 +716,32 @@ func (q *Queue) run(j *job) {
 		}
 		j.publishLocked(ev)
 		j.mu.Unlock()
+		q.journalBestEffort(recScenario, scenarioRec{ID: j.id, Result: toResultWire(res)})
 	}
 
 	// Every scenario was recorded (interrupted ones return inside the
 	// loop), so completed == len(scenarios) here: the job ran to the end
 	// even if its context was cancelled late, and the outcome is decided
 	// by the scenario errors alone.
+	now := q.opt.now()
 	j.mu.Lock()
-	defer j.mu.Unlock()
+	state, jerr := StateDone, error(nil)
 	if j.failed > 0 {
-		j.finishLocked(StateFailed, fmt.Errorf("%d of %d scenarios failed", j.failed, len(j.scenarios)), q.opt.now())
-		q.jobsFailed.Add(1)
-		return
+		state = StateFailed
+		jerr = fmt.Errorf("%d of %d scenarios failed", j.failed, len(j.scenarios))
 	}
-	j.finishLocked(StateDone, nil, q.opt.now())
-	q.jobsDone.Add(1)
+	j.finishLocked(state, jerr, now)
+	j.mu.Unlock()
+	if state == StateFailed {
+		q.jobsFailed.Add(1)
+	} else {
+		q.jobsDone.Add(1)
+	}
+	rec := stateRec{ID: j.id, State: state, Time: now}
+	if jerr != nil {
+		rec.Err = jerr.Error()
+	}
+	q.journalBestEffort(recState, rec)
 }
 
 // finishLocked lands the job in a terminal state, publishes the final event,

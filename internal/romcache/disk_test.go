@@ -1,0 +1,184 @@
+package romcache
+
+import (
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/rom"
+)
+
+// spillOnce builds and spills one model into dir, returning its key and the
+// spill path.
+func spillOnce(t *testing.T, dir string) (key, path string) {
+	t.Helper()
+	spec := testSpec(15)
+	key, err := Key(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := New(Options{Dir: dir})
+	if _, _, err := warm.Get(spec); err != nil {
+		t.Fatal(err)
+	}
+	path = filepath.Join(dir, key+".rom")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("model not spilled: %v", err)
+	}
+	return key, path
+}
+
+// TestSpillTrailerDetectsBitFlip checks the checksum trailer: a single
+// flipped payload byte — which the gob decoder may happily swallow — must be
+// detected, the file removed, and the model rebuilt.
+func TestSpillTrailerDetectsBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	_, path := spillOnce(t, dir)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0x01
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var builds atomic.Int64
+	cold := New(Options{Dir: dir, Build: func(spec rom.Spec, workers int) (*rom.ROM, error) {
+		builds.Add(1)
+		return rom.Build(spec, workers)
+	}})
+	if _, hit, err := cold.Get(testSpec(15)); err != nil {
+		t.Fatal(err)
+	} else if hit {
+		t.Error("bit-flipped spill served as a hit")
+	}
+	if n := builds.Load(); n != 1 {
+		t.Errorf("local stage ran %d times, want 1 rebuild", n)
+	}
+	if s := cold.Stats(); s.DiskCorrupt != 1 {
+		t.Errorf("stats = %+v, want 1 DiskCorrupt", s)
+	}
+}
+
+// TestLegacySpillWithoutTrailerAccepted checks that spill files written
+// before the trailer existed (raw rom.Save output) still load.
+func TestLegacySpillWithoutTrailerAccepted(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(15)
+	key, err := Key(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rom.Build(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, key+".rom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cold := New(Options{Dir: dir, Build: func(rom.Spec, int) (*rom.ROM, error) {
+		t.Error("legacy spill triggered a rebuild")
+		return nil, os.ErrInvalid
+	}})
+	if _, hit, err := cold.Get(spec); err != nil {
+		t.Fatal(err)
+	} else if !hit {
+		t.Error("legacy spill not served as a hit")
+	}
+	if s := cold.Stats(); s.DiskHits != 1 || s.DiskCorrupt != 0 {
+		t.Errorf("stats = %+v, want 1 disk hit, 0 corrupt", s)
+	}
+}
+
+// TestOrphanSweepOnOpen checks that cache open removes aged .tmp and .lock
+// leftovers but leaves fresh ones (another replica's in-flight spill) alone.
+func TestOrphanSweepOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	old := time.Now().Add(-time.Hour)
+	aged := func(name string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte("leftover"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(p, old, old); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	orphanTmp := aged("deadbeef.tmp42")
+	orphanLock := aged("deadbeef.lock")
+	fresh := filepath.Join(dir, "cafef00d.tmp7")
+	if err := os.WriteFile(fresh, []byte("in flight"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keep := aged("unrelated.dat")
+
+	c := New(Options{Dir: dir, SweepAge: 15 * time.Minute})
+	for _, p := range []string{orphanTmp, orphanLock} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("orphan %s survived the sweep", filepath.Base(p))
+		}
+	}
+	for _, p := range []string{fresh, keep} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("sweep removed %s: %v", filepath.Base(p), err)
+		}
+	}
+	if s := c.Stats(); s.Swept != 2 {
+		t.Errorf("Swept = %d, want 2", s.Swept)
+	}
+}
+
+// TestSpillLockSingleWriter checks the O_EXCL discipline: a fresh lock held
+// by another writer makes saveDisk stand down; a stale lock is broken and
+// the spill proceeds.
+func TestSpillLockSingleWriter(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(15)
+	key, err := Key(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock := filepath.Join(dir, key+".lock")
+	if err := os.WriteFile(lock, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(Options{Dir: dir})
+	if _, _, err := c.Get(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, key+".rom")); !os.IsNotExist(err) {
+		t.Error("spill written despite a held lock")
+	}
+	if s := c.Stats(); s.SpillSkips != 1 {
+		t.Errorf("SpillSkips = %d, want 1", s.SpillSkips)
+	}
+
+	// Age the lock past SweepAge: the next writer breaks it and spills.
+	// The cache is created before the lock is aged so lockKey (not the
+	// open-time sweep) does the breaking.
+	c2 := New(Options{Dir: dir})
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(lock, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c2.Get(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, key+".rom")); err != nil {
+		t.Errorf("stale lock not broken: %v", err)
+	}
+	if _, err := os.Stat(lock); !os.IsNotExist(err) {
+		t.Error("broken lock left behind after spill")
+	}
+}

@@ -14,11 +14,15 @@ package romcache
 import (
 	"container/list"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/gob"
 	"encoding/hex"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,6 +74,12 @@ type Options struct {
 	// defaults to the model's recorded Stats.MemoryBytes with a structural
 	// recount as fallback.
 	Size func(r *rom.ROM) int64
+	// SweepAge is the age past which crash leftovers in Dir — orphaned
+	// .tmp spill files and .lock files whose writer died — are removed,
+	// both by the sweep at New and when breaking a stale lock (default
+	// 15 minutes; a live spill holds either for far less). Only meaningful
+	// with Dir set.
+	SweepAge time.Duration
 }
 
 // Stats is a snapshot of cache effectiveness counters.
@@ -90,6 +100,15 @@ type Stats struct {
 	// Bytes is the current in-memory model footprint; MaxBytes is the
 	// budget it is admitted against (0 = entry-count bound only).
 	Bytes, MaxBytes int64
+	// SpillSkips counts saveDisk calls that stood down because another
+	// writer held the key's lock or had already spilled the model.
+	SpillSkips int64
+	// DiskCorrupt counts spill files rejected by the checksum trailer or
+	// decoder and removed (the build then runs as a plain miss).
+	DiskCorrupt int64
+	// Swept counts crash leftovers (orphan .tmp, stale .lock) removed
+	// from the spill directory.
+	Swept int64
 }
 
 // Cache is a content-addressed ROM cache, safe for concurrent use.
@@ -105,6 +124,7 @@ type Cache struct {
 
 	hits, misses, diskHits, evictions atomic.Int64
 	buildNanos                        atomic.Int64
+	spillSkips, diskCorrupt, swept    atomic.Int64
 }
 
 type cacheEntry struct {
@@ -125,10 +145,40 @@ func New(opt Options) *Cache {
 	if opt.Size == nil {
 		opt.Size = romBytes
 	}
-	return &Cache{
+	if opt.SweepAge <= 0 {
+		opt.SweepAge = 15 * time.Minute
+	}
+	c := &Cache{
 		opt:     opt,
 		entries: make(map[string]*list.Element),
 		lru:     list.New(),
+	}
+	if opt.Dir != "" {
+		c.sweepOrphans()
+	}
+	return c
+}
+
+// sweepOrphans removes crash leftovers from the spill directory: .tmp files
+// a dead writer never renamed and .lock files it never released, both aged
+// past SweepAge so in-flight spills by live replicas are left alone.
+func (c *Cache) sweepOrphans() {
+	ents, err := os.ReadDir(c.opt.Dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.Contains(name, ".tmp") && !strings.HasSuffix(name, ".lock") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil || time.Since(info.ModTime()) <= c.opt.SweepAge {
+			continue
+		}
+		if os.Remove(filepath.Join(c.opt.Dir, name)) == nil {
+			c.swept.Add(1)
+		}
 	}
 }
 
@@ -216,14 +266,17 @@ func (c *Cache) Stats() Stats {
 	n, b := len(c.entries), c.bytes
 	c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		DiskHits:  c.diskHits.Load(),
-		Evictions: c.evictions.Load(),
-		BuildTime: time.Duration(c.buildNanos.Load()),
-		Entries:   n,
-		Bytes:     b,
-		MaxBytes:  c.opt.MaxBytes,
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		DiskHits:    c.diskHits.Load(),
+		Evictions:   c.evictions.Load(),
+		BuildTime:   time.Duration(c.buildNanos.Load()),
+		Entries:     n,
+		Bytes:       b,
+		MaxBytes:    c.opt.MaxBytes,
+		SpillSkips:  c.spillSkips.Load(),
+		DiskCorrupt: c.diskCorrupt.Load(),
+		Swept:       c.swept.Load(),
 	}
 }
 
@@ -277,11 +330,26 @@ func (c *Cache) diskPath(key string) string {
 	return filepath.Join(c.opt.Dir, key+".rom")
 }
 
+// Spill files end in a fixed-size trailer so loadDisk can verify payload
+// integrity without trusting the gob decoder to notice corruption:
+//
+//	[ CRC-32C of payload | 4 B LE ][ payload length | 8 B LE ][ magic | 8 B ]
+//
+// Files without the trailer (spilled by older builds) are still accepted and
+// verified by spec-hash alone.
+const (
+	trailerLen   = 20
+	trailerMagic = "MSROMCK1"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
 // loadDisk restores a spilled model, returning nil on any failure: a
 // missing, truncated, or corrupt spill file is a plain cache miss (the spill
-// is a performance hint, not a source of truth), and a decode failure
-// removes the bad file so the fresh build can replace it. A well-formed file
-// whose content hashes to a different key is likewise rejected.
+// is a performance hint, not a source of truth), and a checksum or decode
+// failure removes the bad file so the fresh build can replace it. A
+// well-formed file whose content hashes to a different key is likewise
+// rejected.
 func (c *Cache) loadDisk(key string) *rom.ROM {
 	if c.opt.Dir == "" {
 		return nil
@@ -291,21 +359,76 @@ func (c *Cache) loadDisk(key string) *rom.ROM {
 		return nil
 	}
 	defer f.Close()
-	r, err := rom.Load(f)
+	payload, verified, err := verifyTrailer(f)
 	if err != nil {
-		os.Remove(c.diskPath(key))
+		c.dropCorrupt(key)
+		return nil
+	}
+	var src io.Reader = f
+	if verified {
+		src = io.LimitReader(f, payload)
+	}
+	r, err := rom.Load(src)
+	if err != nil {
+		c.dropCorrupt(key)
 		return nil
 	}
 	if got, err := Key(r.Spec); err != nil || got != key {
-		os.Remove(c.diskPath(key))
+		c.dropCorrupt(key)
 		return nil
 	}
 	return r
 }
 
-// saveDisk spills a built model (write-through), atomically via a temp file
-// so concurrent readers never observe a partial write. Spill failures are
-// ignored: the in-memory model is intact and the next miss simply rebuilds.
+func (c *Cache) dropCorrupt(key string) {
+	os.Remove(c.diskPath(key))
+	c.diskCorrupt.Add(1)
+}
+
+// verifyTrailer checks f's checksum trailer and leaves f positioned at the
+// start of the payload. verified is false for legacy trailer-less files
+// (payload is then unknown and f reads to EOF); err reports a trailer whose
+// checksum or length does not match the payload — corruption, not legacy.
+func verifyTrailer(f *os.File) (payload int64, verified bool, err error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, false, err
+	}
+	size := st.Size()
+	var tr [trailerLen]byte
+	if size < trailerLen {
+		return size, false, nil
+	}
+	if _, err := f.ReadAt(tr[:], size-trailerLen); err != nil {
+		return 0, false, err
+	}
+	if string(tr[12:20]) != trailerMagic {
+		return size, false, nil // legacy spill: no trailer
+	}
+	payload = int64(binary.LittleEndian.Uint64(tr[4:12]))
+	if payload != size-trailerLen {
+		return 0, false, fmt.Errorf("romcache: trailer claims %d payload bytes of a %d-byte file", payload, size)
+	}
+	crc := crc32.New(castagnoli)
+	if _, err := io.Copy(crc, io.LimitReader(f, payload)); err != nil {
+		return 0, false, err
+	}
+	if crc.Sum32() != binary.LittleEndian.Uint32(tr[0:4]) {
+		return 0, false, fmt.Errorf("romcache: spill payload checksum mismatch")
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, false, err
+	}
+	return payload, true, nil
+}
+
+// saveDisk spills a built model (write-through) crash-safely: the payload and
+// its checksum trailer go to a temp file that is fsynced before an atomic
+// rename, and the directory is fsynced after, so a spill either exists whole
+// and verified or not at all. An O_EXCL lock file serializes writers per key —
+// N replicas mounting one cache dir spill each model exactly once. Spill
+// failures are ignored: the in-memory model is intact and the next miss
+// simply rebuilds.
 func (c *Cache) saveDisk(key string, r *rom.ROM) {
 	if c.opt.Dir == "" {
 		return
@@ -313,13 +436,46 @@ func (c *Cache) saveDisk(key string, r *rom.ROM) {
 	if err := os.MkdirAll(c.opt.Dir, 0o755); err != nil {
 		return
 	}
+	unlock, ok := c.lockKey(key)
+	if !ok {
+		c.spillSkips.Add(1)
+		return
+	}
+	defer unlock()
+	if _, err := os.Stat(c.diskPath(key)); err == nil {
+		// Already spilled (content-addressed: same key, same bytes) — by
+		// this process earlier or by another replica sharing the dir.
+		c.spillSkips.Add(1)
+		return
+	}
 	tmp, err := os.CreateTemp(c.opt.Dir, key+".tmp*")
 	if err != nil {
 		return
 	}
-	if err := r.Save(tmp); err != nil {
+	discard := func() {
 		tmp.Close()
 		os.Remove(tmp.Name())
+	}
+	crc := crc32.New(castagnoli)
+	if err := r.Save(io.MultiWriter(tmp, crc)); err != nil {
+		discard()
+		return
+	}
+	payload, err := tmp.Seek(0, io.SeekCurrent)
+	if err != nil {
+		discard()
+		return
+	}
+	var tr [trailerLen]byte
+	binary.LittleEndian.PutUint32(tr[0:4], crc.Sum32())
+	binary.LittleEndian.PutUint64(tr[4:12], uint64(payload))
+	copy(tr[12:20], trailerMagic)
+	if _, err := tmp.Write(tr[:]); err != nil {
+		discard()
+		return
+	}
+	if err := tmp.Sync(); err != nil {
+		discard()
 		return
 	}
 	if err := tmp.Close(); err != nil {
@@ -328,5 +484,41 @@ func (c *Cache) saveDisk(key string, r *rom.ROM) {
 	}
 	if err := os.Rename(tmp.Name(), c.diskPath(key)); err != nil {
 		os.Remove(tmp.Name())
+		return
 	}
+	syncDir(c.opt.Dir)
+}
+
+// lockKey takes the per-key single-writer lock with an O_EXCL create. A held
+// lock means another writer (possibly in another process) is spilling this
+// model; the caller stands down rather than double-writing. A lock older
+// than SweepAge is a crash leftover and is broken once.
+func (c *Cache) lockKey(key string) (unlock func(), ok bool) {
+	path := filepath.Join(c.opt.Dir, key+".lock")
+	for attempt := 0; attempt < 2; attempt++ {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			f.Close()
+			return func() { os.Remove(path) }, true
+		}
+		st, serr := os.Stat(path)
+		if serr != nil || time.Since(st.ModTime()) <= c.opt.SweepAge {
+			return nil, false
+		}
+		if os.Remove(path) == nil {
+			c.swept.Add(1)
+		}
+	}
+	return nil, false
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+// Best effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
 }

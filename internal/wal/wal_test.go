@@ -1,0 +1,333 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// collect replays the log into a slice of copied payloads.
+func collect(t *testing.T, l *Log) [][]byte {
+	t.Helper()
+	var out [][]byte
+	if err := l.Replay(func(p []byte) error {
+		out = append(out, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		p := []byte(fmt.Sprintf("record-%03d-%s", i, bytes.Repeat([]byte{byte(i)}, i)))
+		want = append(want, p)
+		if err := l.Append(p); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	got := collect(t, l)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything survives.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := collect(t, l2); len(got) != len(want) {
+		t.Fatalf("after reopen: %d records, want %d", len(got), len(want))
+	}
+	if st := l2.Stats(); st.TornBytes != 0 {
+		t.Errorf("clean log reports %d torn bytes", st.TornBytes)
+	}
+}
+
+func TestAppendRejectsEmptyAndHuge(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(nil); err != ErrRecordTooLarge {
+		t.Errorf("empty append: %v, want ErrRecordTooLarge", err)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	cases := []struct {
+		name string
+		tear func(valid []byte) []byte // transforms the tail appended after 3 good records
+	}{
+		{"partial header", func(b []byte) []byte { return append(b, 0x05, 0x00) }},
+		{"partial payload", func(b []byte) []byte {
+			frame := make([]byte, 8)
+			binary.LittleEndian.PutUint32(frame[0:4], 100) // claims 100 bytes, provides 3
+			binary.LittleEndian.PutUint32(frame[4:8], 0xdeadbeef)
+			return append(b, append(frame, 1, 2, 3)...)
+		}},
+		{"bad crc", func(b []byte) []byte {
+			payload := []byte("torn")
+			frame := make([]byte, 8)
+			binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+			binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli)+1)
+			return append(b, append(frame, payload...)...)
+		}},
+		{"zero page", func(b []byte) []byte { return append(b, make([]byte, 4096)...) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				if err := l.Append([]byte(fmt.Sprintf("good-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			l.Close()
+
+			seg := filepath.Join(dir, "wal-0000000000000001.log")
+			raw, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(seg, tc.tear(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			l2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l2.Close()
+			got := collect(t, l2)
+			if len(got) != 3 {
+				t.Fatalf("replayed %d records after tear, want 3", len(got))
+			}
+			if st := l2.Stats(); st.TornBytes == 0 {
+				t.Error("tear not counted in TornBytes")
+			}
+			// The log must be appendable past the truncation point.
+			if err := l2.Append([]byte("after-recovery")); err != nil {
+				t.Fatal(err)
+			}
+			if got := collect(t, l2); len(got) != 4 || string(got[3]) != "after-recovery" {
+				t.Fatalf("post-recovery append not replayed: %q", got)
+			}
+		})
+	}
+}
+
+func TestTearInEarlierSegmentDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64}) // rotate almost every append
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := l.Append(bytes.Repeat([]byte{byte('a' + i)}, 60)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	seqs, err := segmentSeqs(dir)
+	if err != nil || len(seqs) < 3 {
+		t.Fatalf("want ≥3 segments, got %d (err %v)", len(seqs), err)
+	}
+	// Corrupt the first segment's record: flip a payload byte.
+	seg := filepath.Join(dir, fmt.Sprintf("wal-%016x.log", seqs[0]))
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[frameHeader+10] ^= 0xff
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := collect(t, l2); len(got) != 0 {
+		t.Fatalf("replayed %d records past a mid-log tear, want 0", len(got))
+	}
+	if seqs, _ := segmentSeqs(dir); len(seqs) != 1 {
+		t.Fatalf("post-tear segments not dropped: %d remain", len(seqs))
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 40; i++ {
+		if err := l.Append(bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("no rotation: %d segments", st.Segments)
+	}
+	if got := collect(t, l); len(got) != 40 {
+		t.Fatalf("replayed %d records across segments, want 40", len(got))
+	}
+	if want := int64(40 * (frameHeader + 32)); st.Bytes != want {
+		t.Errorf("Stats.Bytes = %d, want %d", st.Bytes, want)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 20; i++ {
+		if err := l.Append(bytes.Repeat([]byte{byte(i + 1)}, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := l.Size()
+	snapshot := [][]byte{[]byte("live-1"), []byte("live-2")}
+	err = l.Compact(func(emit func([]byte) error) error {
+		for _, p := range snapshot {
+			if err := emit(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := l.Size(); after >= before {
+		t.Errorf("compaction did not shrink the log: %d → %d", before, after)
+	}
+	got := collect(t, l)
+	if len(got) != 2 || string(got[0]) != "live-1" || string(got[1]) != "live-2" {
+		t.Fatalf("post-compaction replay = %q", got)
+	}
+	st := l.Stats()
+	if st.Segments != 1 || st.Compactions != 1 || st.LastCompaction.IsZero() {
+		t.Errorf("stats after compaction: %+v", st)
+	}
+	// Appends continue into the compacted segment; reopen sees everything.
+	if err := l.Append([]byte("post-compact")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := collect(t, l2); len(got) != 3 || string(got[2]) != "post-compact" {
+		t.Fatalf("replay after compact+reopen = %q", got)
+	}
+}
+
+func TestCompactErrorKeepsOldLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append([]byte("keep-me")); err != nil {
+		t.Fatal(err)
+	}
+	boom := fmt.Errorf("snapshot failed")
+	if err := l.Compact(func(emit func([]byte) error) error { return boom }); err == nil {
+		t.Fatal("compaction with failing snapshot succeeded")
+	}
+	got := collect(t, l)
+	if len(got) != 1 || string(got[0]) != "keep-me" {
+		t.Fatalf("old log lost after failed compaction: %q", got)
+	}
+	if seqs, _ := segmentSeqs(dir); len(seqs) != 1 {
+		t.Errorf("aborted snapshot segment left behind: %d segments", len(seqs))
+	}
+}
+
+func TestClosedLogRejectsOperations(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if err := l.Append([]byte("x")); err != ErrClosed {
+		t.Errorf("Append after Close: %v", err)
+	}
+	if err := l.Replay(func([]byte) error { return nil }); err != ErrClosed {
+		t.Errorf("Replay after Close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+}
+
+func TestReplayFnErrorPropagates(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.Append([]byte("a"))
+	l.Append([]byte("b"))
+	boom := fmt.Errorf("stop")
+	n := 0
+	if err := l.Replay(func([]byte) error { n++; return boom }); err != boom {
+		t.Errorf("Replay error = %v, want %v", err, boom)
+	}
+	if n != 1 {
+		t.Errorf("fn called %d times after erroring, want 1", n)
+	}
+}
+
+func TestForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "wal-notahexseq.log"), []byte("junk"), 0o644)
+	os.WriteFile(filepath.Join(dir, "README"), []byte("junk"), 0o644)
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, l); len(got) != 1 {
+		t.Fatalf("foreign files leaked into replay: %d records", len(got))
+	}
+}
