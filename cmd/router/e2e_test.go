@@ -1,0 +1,359 @@
+package main
+
+// Multi-replica end-to-end harness: the acceptance exercise for the shard
+// router. TestMain re-execs this test binary as real replica processes
+// (journaled serveapi servers, the crash_test.go pattern), fronts them with
+// an in-process Proxy, drives mixed traffic over a fixed lattice set, and
+// asserts the three routing properties the tentpole promises:
+//
+//   - cache affinity: each lattice's assembly/preconditioner builds happen
+//     on exactly one replica, the one the rendezvous table predicts;
+//   - balance: the fixed lattice set spreads over more than one replica;
+//   - failover: after SIGKILL of one replica its keyspace is served by its
+//     rendezvous runner-up, while jobs accepted by survivors complete.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	morestress "repro"
+	"repro/internal/mesh"
+	"repro/internal/router"
+	"repro/internal/serveapi"
+	"repro/internal/wal"
+)
+
+const (
+	e2eChildEnv   = "ROUTER_E2E_CHILD"
+	e2eJournalEnv = "ROUTER_E2E_JOURNAL"
+	e2eCacheEnv   = "ROUTER_E2E_CACHE"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(e2eChildEnv) == "1" {
+		runReplicaChild()
+		return // unreachable; runReplicaChild never returns
+	}
+	os.Exit(m.Run())
+}
+
+// runReplicaChild is one replica: a journaled serveapi server sequenced the
+// way cmd/serve sequences it — listener up, recovery replayed, then ready.
+func runReplicaChild() {
+	engine := morestress.NewEngine(morestress.EngineOptions{Workers: 2, CacheDir: os.Getenv(e2eCacheEnv)})
+	journal, err := wal.Open(os.Getenv(e2eJournalEnv), wal.Options{})
+	if err != nil {
+		log.Fatalf("replica child: %v", err)
+	}
+	queue, err := serveapi.NewQueue(engine, 16, 1, 10*time.Minute, 0, journal)
+	if err != nil {
+		log.Fatalf("replica child: %v", err)
+	}
+	srv := serveapi.New(engine, queue)
+	srv.Journal = journal
+	srv.BeginRecovery()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("replica child: %v", err)
+	}
+	go func() { log.Fatal(http.Serve(ln, srv.Routes())) }()
+	if _, err := queue.Recover(); err != nil {
+		log.Fatalf("replica child: recover: %v", err)
+	}
+	srv.FinishRecovery()
+	fmt.Printf("ADDR=%s\n", ln.Addr())
+	os.Stdout.Sync()
+	select {}
+}
+
+// startReplica launches a replica child and returns its base URL plus an
+// idempotent SIGKILL.
+func startReplica(t *testing.T, journalDir, cacheDir string) (baseURL string, kill func()) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^$")
+	cmd.Env = append(os.Environ(),
+		e2eChildEnv+"=1", e2eJournalEnv+"="+journalDir, e2eCacheEnv+"="+cacheDir)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	kill = func() {
+		if !killed {
+			killed = true
+			cmd.Process.Kill() // SIGKILL: no flush, no goodbye
+			cmd.Wait()
+		}
+	}
+	t.Cleanup(kill)
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if addr, ok := strings.CutPrefix(sc.Text(), "ADDR="); ok {
+			return "http://" + addr, kill
+		}
+	}
+	t.Fatalf("replica child exited before printing its address (scan err: %v)", sc.Err())
+	return "", nil
+}
+
+// latticeKey derives the lattice key of the harness's rows×2 coarse
+// scenario — the exact key every replica's engine uses, so the parent can
+// predict placement with its own rendezvous table.
+func latticeKey(t *testing.T, rows int) string {
+	t.Helper()
+	cfg := morestress.DefaultConfig(15)
+	cfg.Nodes = [3]int{3, 3, 3}
+	cfg.Resolution = mesh.CoarseResolution()
+	return morestress.LatticeKey(morestress.Job{Config: cfg, Rows: rows, Cols: 2, DeltaT: -250, Solver: morestress.SolveCG})
+}
+
+func e2eReq(rows int, dt float64) string {
+	return fmt.Sprintf(`{"resolution":"coarse","nodes":3,"rows":%d,"cols":2,"deltaT":%g,"solver":"cg"}`, rows, dt)
+}
+
+func postJSON(t *testing.T, url, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getStats(t *testing.T, base string) serveapi.StatsResponse {
+	t.Helper()
+	var st serveapi.StatsResponse
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatalf("stats %s: %v", base, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode stats %s: %v", base, err)
+	}
+	return st
+}
+
+func TestMultiReplicaAffinityAndFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-replica harness re-execs the test binary and solves real scenarios")
+	}
+	const replicas = 3
+
+	// Three real replica processes, each with its own journal and spill dir.
+	urls := make([]string, replicas)
+	kills := make([]func(), replicas)
+	for i := 0; i < replicas; i++ {
+		urls[i], kills[i] = startReplica(t, t.TempDir(), t.TempDir())
+	}
+	proxy, err := router.NewProxy(router.ProxyOptions{
+		Replicas:      urls,
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+		Backoff:       5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy.Start()
+	t.Cleanup(proxy.Close)
+	front := httptest.NewServer(proxy.Routes())
+	t.Cleanup(front.Close)
+
+	// The parent predicts placement with its own table over the same URLs —
+	// determinism is the property under test.
+	table := router.NewTable(urls)
+	lattices := []int{1, 2, 3, 4, 5, 6}
+	owner := make(map[int]int)
+	ownedBy := make(map[int][]int)
+	for _, rows := range lattices {
+		o := table.Pick(latticeKey(t, rows))
+		owner[rows] = o
+		ownedBy[o] = append(ownedBy[o], rows)
+	}
+
+	// Balance: rendezvous hashing must spread this small fixed set over
+	// more than one replica (it does for these keys; a regression to
+	// constant placement would collapse them onto one).
+	if len(ownedBy) < 2 {
+		t.Fatalf("all %d lattices landed on one replica: %v", len(lattices), owner)
+	}
+
+	// Mixed traffic: three solves per lattice (distinct ΔT — same lattice,
+	// different loads) through the router.
+	for _, rows := range lattices {
+		for _, dt := range []float64{-250, -200, -150} {
+			var out serveapi.JobResponse
+			if code := postJSON(t, front.URL+"/solve", e2eReq(rows, dt), &out); code != http.StatusOK {
+				t.Fatalf("solve rows=%d dt=%g: status %d", rows, dt, code)
+			}
+			if out.Error != "" || !out.Converged {
+				t.Fatalf("solve rows=%d dt=%g: %+v", rows, dt, out)
+			}
+		}
+	}
+
+	// Affinity: each replica must have built exactly its own lattices'
+	// assemblies — and nothing else. Builds summed across the fleet equal
+	// the lattice count: every lattice solved on exactly one replica.
+	var totalAssemblies, totalPrecondBuilds int64
+	for i, u := range urls {
+		st := getStats(t, u)
+		want := int64(len(ownedBy[i]))
+		if st.Solver.Assemblies != want {
+			t.Errorf("replica %d built %d assemblies, want %d (owns %v)", i, st.Solver.Assemblies, want, ownedBy[i])
+		}
+		if st.Solver.PrecondBuilds > want {
+			t.Errorf("replica %d built %d preconditioners for %d lattices", i, st.Solver.PrecondBuilds, want)
+		}
+		totalAssemblies += st.Solver.Assemblies
+		totalPrecondBuilds += st.Solver.PrecondBuilds
+	}
+	if totalAssemblies != int64(len(lattices)) {
+		t.Fatalf("fleet built %d assemblies for %d lattices — some lattice solved on two replicas", totalAssemblies, len(lattices))
+	}
+	if totalPrecondBuilds > int64(len(lattices)) {
+		t.Fatalf("fleet built %d preconditioners for %d lattices", totalPrecondBuilds, len(lattices))
+	}
+
+	// Pick the victim: a replica that owns at least one lattice. A survivor
+	// will carry an async job through the kill.
+	victim := owner[lattices[0]]
+	movedLattice := lattices[0]
+	survivor := -1
+	for i := range urls {
+		if i != victim {
+			survivor = i
+			break
+		}
+	}
+	runnerUp := -1
+	for _, idx := range table.Order(latticeKey(t, movedLattice), nil) {
+		if idx != victim {
+			runnerUp = idx
+			break
+		}
+	}
+	survivorBefore := getStats(t, urls[runnerUp]).Solver.Assemblies
+
+	// Submit an async job owned by a survivor lattice, through the router.
+	survivorLattice := -1
+	for _, rows := range lattices {
+		if owner[rows] == survivor {
+			survivorLattice = rows
+			break
+		}
+	}
+	if survivorLattice == -1 {
+		// The survivor owns nothing in the fixed set (possible but rare);
+		// fall back to any non-victim owner.
+		for _, rows := range lattices {
+			if owner[rows] != victim {
+				survivorLattice, survivor = rows, owner[rows]
+				break
+			}
+		}
+	}
+	var sub serveapi.SubmitResponse
+	jobBody := fmt.Sprintf(`{"jobs":[%s,%s]}`, e2eReq(survivorLattice, -240), e2eReq(survivorLattice, -230))
+	if code := postJSON(t, front.URL+"/jobs", jobBody, &sub); code != http.StatusAccepted {
+		t.Fatalf("job submit: status %d", code)
+	}
+	if !strings.HasPrefix(sub.ID, fmt.Sprintf("s%d-", survivor)) {
+		t.Fatalf("job ID %q not routed to survivor replica %d", sub.ID, survivor)
+	}
+
+	// SIGKILL the victim. Its keyspace must fail over to the rendezvous
+	// runner-up; traffic for everyone else must not move.
+	kills[victim]()
+
+	var out serveapi.JobResponse
+	if code := postJSON(t, front.URL+"/solve", e2eReq(movedLattice, -100), &out); code != http.StatusOK {
+		t.Fatalf("post-kill solve: status %d", code)
+	}
+	if out.Error != "" || !out.Converged {
+		t.Fatalf("post-kill solve: %+v", out)
+	}
+	// The runner-up re-warmed the orphaned lattice: exactly one new
+	// assembly there.
+	if got := getStats(t, urls[runnerUp]).Solver.Assemblies; got != survivorBefore+1 {
+		t.Errorf("runner-up %d assemblies %d after failover, want %d", runnerUp, got, survivorBefore+1)
+	}
+
+	// The accepted job completes on its survivor.
+	deadline := time.Now().Add(2 * time.Minute)
+	var status serveapi.JobStatusResponse
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished after the kill (last: %+v)", sub.ID, status)
+		}
+		resp, err := http.Get(front.URL + "/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := resp.StatusCode
+		err = json.NewDecoder(resp.Body).Decode(&status)
+		resp.Body.Close()
+		if code != http.StatusOK || err != nil {
+			t.Fatalf("poll job: status %d err %v", code, err)
+		}
+		if s := strings.ToLower(status.State); s == "done" || s == "failed" || s == "cancelled" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if status.State != "done" || status.Completed != 2 {
+		t.Fatalf("survivor job state %q completed %d, want done/2 (error %q)", status.State, status.Completed, status.Error)
+	}
+
+	// The router's own view converges: the victim marked down, failovers
+	// counted, readiness still green (survivors remain).
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(front.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var agg router.AggStats
+		err = json.NewDecoder(resp.Body).Decode(&agg)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !agg.Router.Replicas[victim].Up && agg.Router.Failovers > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router never marked the killed replica down: %+v", agg.Router)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, err := http.Get(front.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("router readyz %d with %d survivors", resp.StatusCode, replicas-1)
+	}
+}

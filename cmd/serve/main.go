@@ -60,13 +60,30 @@
 //
 // # Observability
 //
-//	GET /stats    engine, cache (bytes in use vs budget), and queue counters
-//	              (depth, running, throughput)
-//	GET /healthz  liveness probe
+//	GET /stats    engine, cache (bytes in use vs budget), queue counters
+//	              (depth, running, throughput), and per-shard counters
+//	              under -shards > 1
+//	GET /healthz  liveness probe: 200 whenever the process is up
+//	GET /readyz   readiness probe: 200 only once journal recovery finished,
+//	              while the queue accepts jobs, and while the journal (if
+//	              any) still persists them — the probe cmd/router and any
+//	              fleet scheduler should gate traffic on
+//
+// # Sharding
+//
+// With -shards N > 1 the process runs N independent engines behind one
+// listener, each owning the slice of lattice keyspace a rendezvous-hash
+// table assigns it (see internal/router). Requests route by lattice key —
+// the same string the engine's assembly, preconditioner, factor, and
+// warm-start caches are keyed by — so each lattice's cached state lives in
+// exactly one shard and the lattice-keyed caches stop contending. The
+// content-addressed ROM cache stays shared across shards (ROMs are
+// lattice-independent). -workers is split evenly across shards. /stats
+// breaks the solver counters out per shard under "shards".
 //
 // Usage:
 //
-//	serve [-addr :8080] [-workers N]
+//	serve [-addr :8080] [-workers N] [-shards 1]
 //	      [-cache-bytes 2147483648] [-cache-entries 0] [-cache-dir DIR]
 //	      [-queue-depth 64] [-job-workers 1] [-job-ttl 10m]
 //	      [-job-field-budget 134217728] [-journal-dir DIR]
@@ -88,16 +105,18 @@
 // With -journal-dir set, an accepted POST /jobs is a promise that survives
 // kill -9: the submission is fsynced to a write-ahead log before the 202 is
 // sent, lifecycle transitions and per-scenario results follow, and on
-// startup the server replays the log before listening — jobs that never
-// finished re-enter the queue in their original order under their original
-// IDs (scenario solves are deterministic, so re-running loses nothing),
-// finished jobs come back with their results and keep aging against
-// -job-ttl. /stats reports the journal under "journal": size, append and
-// compaction counters, and what recovery reconstructed. The log compacts
-// itself once it outgrows a few MiB; torn tails from a mid-write crash are
-// truncated on replay. Multiple replicas may share one -cache-dir (spills
-// are checksummed and single-writer locked) but each needs its own
-// -journal-dir.
+// startup the server replays the log — jobs that never finished re-enter
+// the queue in their original order under their original IDs (scenario
+// solves are deterministic, so re-running loses nothing), finished jobs
+// come back with their results and keep aging against -job-ttl. The
+// listener is up during the replay but not ready: /healthz answers 200,
+// /readyz and the traffic-mutating endpoints answer 503 until recovery
+// completes, so a router never races the replay. /stats reports the journal
+// under "journal": size, append and compaction counters, and what recovery
+// reconstructed. The log compacts itself once it outgrows a few MiB; torn
+// tails from a mid-write crash are truncated on replay. Multiple replicas
+// may share one -cache-dir (spills are checksummed and single-writer
+// locked) but each needs its own -journal-dir.
 //
 // # Global-stage solver tuning
 //
@@ -125,20 +144,24 @@ import (
 
 	morestress "repro"
 	"repro/internal/romcache"
+	"repro/internal/router"
+	"repro/internal/serveapi"
 	"repro/internal/wal"
 )
 
 //stressvet:gang -- one goroutine carries ListenAndServe so main can select on shutdown signals
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 0, "concurrent engine jobs (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "concurrent engine jobs (0 = GOMAXPROCS), split across shards")
+	shards := flag.Int("shards", 1,
+		"independent engine shards behind this listener; requests route by lattice key so each lattice's caches live in exactly one shard")
 	cacheBytes := flag.Int64("cache-bytes", romcache.DefaultMaxBytes, "in-memory ROM cache byte budget")
 	cacheEntries := flag.Int("cache-entries", 0, "optional ROM cache entry cap on top of the byte budget (0 = bytes only)")
 	cacheDir := flag.String("cache-dir", "", "directory for ROM disk spill (empty disables)")
 	queueDepth := flag.Int("queue-depth", 64, "async job queue capacity (backlog beyond it gets 429)")
 	jobWorkers := flag.Int("job-workers", 1, "async jobs solving concurrently")
 	jobTTL := flag.Duration("job-ttl", 10*time.Minute, "finished async job retention before GC")
-	jobFieldBudget := flag.Int64("job-field-budget", defaultJobFieldBudget,
+	jobFieldBudget := flag.Int64("job-field-budget", serveapi.DefaultJobFieldBudget,
 		"aggregate field samples across tracked async jobs, 429 beyond it (0 = unlimited)")
 	journalDir := flag.String("journal-dir", "",
 		"directory for the async job journal: accepted jobs are fsynced and recovered after a crash (empty disables durability)")
@@ -160,14 +183,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	engine := morestress.NewEngine(morestress.EngineOptions{
+	engineOpt := morestress.EngineOptions{
 		Workers:          *workers,
 		CacheBytes:       *cacheBytes,
 		CacheEntries:     *cacheEntries,
 		CacheDir:         *cacheDir,
 		DisableWarmStart: !*warmStart,
 		AssemblyBytes:    *assemblyBytes,
-	})
+	}
+	var solver morestress.Solver
+	var perShard func() []morestress.EngineStats
+	if *shards > 1 {
+		sh := router.NewShards(*shards, engineOpt)
+		solver, perShard = sh, sh.PerShard
+	} else {
+		solver = morestress.NewEngine(engineOpt)
+	}
 	var journal *wal.Log
 	if *journalDir != "" {
 		journal, err = wal.Open(*journalDir, wal.Options{})
@@ -175,44 +206,53 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	queue, err := newQueue(engine, *queueDepth, *jobWorkers, *jobTTL, *jobFieldBudget, journal)
+	queue, err := serveapi.NewQueue(solver, *queueDepth, *jobWorkers, *jobTTL, *jobFieldBudget, journal)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if journal != nil {
-		// Replay the journal before accepting traffic: jobs accepted by the
-		// previous process re-enter the queue (or come back finished) under
-		// their original IDs.
-		rec, err := queue.Recover()
-		if err != nil {
-			queue.Close()
-			journal.Close()
-			log.Fatalf("serve: journal recovery: %v", err)
-		}
-		log.Printf("serve: journal %s: %d records replayed, %d jobs requeued, %d restored, %d expired",
-			*journalDir, rec.Records, rec.Requeued, rec.Restored, rec.Expired)
-	}
-	srv := newServer(engine, queue)
-	srv.journal = journal
-	srv.precond = precond
-	srv.ordering = ordering
-	log.Printf("serve: listening on %s (cache %d MiB budget, spill %q, queue depth %d, job ttl %v, journal %q)",
-		*addr, *cacheBytes>>20, *cacheDir, *queueDepth, *jobTTL, *journalDir)
+	srv := serveapi.New(solver, queue)
+	srv.Journal = journal
+	srv.Precond = precond
+	srv.Ordering = ordering
+	srv.PerShard = perShard
 
 	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections,
 	// then close the queue so queued jobs land in a terminal state and
 	// in-flight ones stop at their next scenario boundary.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Routes()}
 	errc := make(chan error, 1)
+	if journal != nil {
+		// The listener comes up before the journal replay so probes can see
+		// the process alive (/healthz 200) but not yet live (/readyz 503):
+		// a router keeps this replica's keyspace on its failover shard until
+		// recovery completes instead of timing the process out.
+		srv.BeginRecovery()
+	}
 	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("serve: listening on %s (shards %d, cache %d MiB budget, spill %q, queue depth %d, job ttl %v, journal %q)",
+		*addr, *shards, *cacheBytes>>20, *cacheDir, *queueDepth, *jobTTL, *journalDir)
+	if journal != nil {
+		// Replay the journal, then flip ready: jobs accepted by the previous
+		// process re-enter the queue (or come back finished) under their
+		// original IDs.
+		rec, err := queue.Recover()
+		if err != nil {
+			queue.Close()
+			journal.Close()
+			log.Fatalf("serve: journal recovery: %v", err)
+		}
+		srv.FinishRecovery()
+		log.Printf("serve: journal %s: %d records replayed, %d jobs requeued, %d restored, %d expired; ready",
+			*journalDir, rec.Records, rec.Requeued, rec.Restored, rec.Expired)
+	}
 	select {
 	case err := <-errc:
 		// The listener died on its own (port taken, socket error): still
 		// close the queue so running jobs stop at a scenario boundary and
 		// journaled state lands, instead of abandoning them mid-solve.
-		srv.beginShutdown()
+		srv.BeginShutdown()
 		queue.Close()
 		if journal != nil {
 			journal.Close()
@@ -224,7 +264,7 @@ func main() {
 	// Release SSE streams first: subscribers never see queue events during
 	// shutdown, so without this Shutdown would wait out its whole deadline
 	// on any attached stream.
-	srv.beginShutdown()
+	srv.BeginShutdown()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -137,6 +137,14 @@ type EngineOptions struct {
 	// solution of that lattice (scaled across uniform-ΔT scenarios),
 	// falling back to a cold solve on divergence.
 	DisableWarmStart bool
+	// SharedCache, when non-nil, is used as the engine's ROM cache instead
+	// of building a private one (CacheBytes/CacheEntries/CacheDir/
+	// BuildWorkers are then ignored). The ROM cache is content-addressed
+	// and shard-agnostic, so in-process engine shards share one: each
+	// distinct unit cell pays the local stage once per process, while the
+	// lattice-keyed caches (assemblies, preconditioners, factors, seeds)
+	// stay private per shard.
+	SharedCache *romcache.Cache
 }
 
 // EngineStats is a snapshot of an engine's lifetime counters.
@@ -170,6 +178,54 @@ type EngineStats struct {
 	// solver.OrderingKind spellings: "natural", "rcm", "multicolor").
 	// Orderings that never ran are omitted.
 	OrderingCounts map[string]int64
+}
+
+// Merge adds o's counters into s, including the ROM cache section and the
+// per-ordering tallies. The sharded router uses it to present N engines as
+// one: the merged snapshot is what a single engine serving the union of the
+// shards' traffic would have reported. Callers whose shards share one ROM
+// cache should zero o.Cache on all but one shard first, or every engine
+// re-reports the same cache.
+func (s *EngineStats) Merge(o EngineStats) {
+	s.Cache.Hits += o.Cache.Hits
+	s.Cache.Misses += o.Cache.Misses
+	s.Cache.DiskHits += o.Cache.DiskHits
+	s.Cache.Evictions += o.Cache.Evictions
+	s.Cache.BuildTime += o.Cache.BuildTime
+	s.Cache.Entries += o.Cache.Entries
+	s.Cache.Bytes += o.Cache.Bytes
+	s.Cache.MaxBytes += o.Cache.MaxBytes
+	s.Cache.SpillSkips += o.Cache.SpillSkips
+	s.Cache.DiskCorrupt += o.Cache.DiskCorrupt
+	s.Cache.Swept += o.Cache.Swept
+	s.JobsDone += o.JobsDone
+	s.JobsFailed += o.JobsFailed
+	s.Factorizations += o.Factorizations
+	s.FactorHits += o.FactorHits
+	s.Assemblies += o.Assemblies
+	s.AssemblyHits += o.AssemblyHits
+	s.IterativeSolves += o.IterativeSolves
+	s.WarmStarts += o.WarmStarts
+	s.WarmFallbacks += o.WarmFallbacks
+	s.Iterations += o.Iterations
+	s.PrecondBuilds += o.PrecondBuilds
+	s.PrecondHits += o.PrecondHits
+	for k, n := range o.OrderingCounts {
+		if s.OrderingCounts == nil {
+			s.OrderingCounts = make(map[string]int64)
+		}
+		s.OrderingCounts[k] += n
+	}
+}
+
+// Solver is the batch-solve surface shared by Engine and the sharded
+// router: the HTTP serving layer and the async job queue are written
+// against it, so one process can serve from a single engine or from N
+// lattice-sharded engines without the front end knowing.
+type Solver interface {
+	Solve(Job) (*JobResult, error)
+	BatchSolve([]Job) *BatchResult
+	Stats() EngineStats
 }
 
 // Engine is a concurrent batch-solve front end over the ROM machinery: it
@@ -212,14 +268,18 @@ func NewEngine(opt EngineOptions) *Engine {
 	if opt.MaxAssemblies <= 0 {
 		opt.MaxAssemblies = 16
 	}
-	return &Engine{
-		opt: opt,
-		cache: romcache.New(romcache.Options{
+	cache := opt.SharedCache
+	if cache == nil {
+		cache = romcache.New(romcache.Options{
 			MaxBytes:   opt.CacheBytes,
 			MaxEntries: opt.CacheEntries,
 			Dir:        opt.CacheDir,
 			Workers:    opt.BuildWorkers,
-		}),
+		})
+	}
+	return &Engine{
+		opt:   opt,
+		cache: cache,
 		factors: &factorCache{memo: memo[*solver.CholFactor]{
 			max: opt.MaxFactors, maxBytes: opt.FactorBytes,
 			size: (*solver.CholFactor).MemoryBytes,
@@ -270,7 +330,7 @@ func (e *Engine) Solve(job Job) (*JobResult, error) {
 // solve computes the job's lattice key and delegates; BatchSolve threads
 // the keys it already computed for chain planning instead.
 func (e *Engine) solve(job Job, index, workers int) *JobResult {
-	return e.solveKeyed(job, index, workers, e.jobKey(job))
+	return e.solveKeyed(job, index, workers, LatticeKey(job))
 }
 
 // BatchSolve runs every job on a pool of at most EngineOptions.Workers
@@ -356,7 +416,7 @@ func (e *Engine) planChains(jobs []Job) (chains [][]int, keys []string) {
 	grouped := make(map[string][]int)
 	var order []string // deterministic chain emission order
 	for i, job := range jobs {
-		key := e.jobKey(job)
+		key := LatticeKey(job)
 		keys[i] = key
 		if e.opt.DisableWarmStart || key == "" || job.Solver == SolveDirect || job.DeltaTMap != nil {
 			chains = append(chains, []int{i})
@@ -380,10 +440,15 @@ func (e *Engine) planChains(jobs []Job) (chains [][]int, keys []string) {
 // BC kind cannot silently collide.
 const engineBC = array.ClampedTopBottom
 
-// jobKey identifies the job's reduced global system: ROM content, array
-// dimensions, and BC pattern — everything the matrix depends on and nothing
-// it does not (the thermal load). Empty when the spec cannot be hashed.
-func (e *Engine) jobKey(job Job) string {
+// LatticeKey identifies the job's reduced global system: ROM content (the
+// SHA-256 of the unit-cell spec), array dimensions, and BC pattern —
+// everything the matrix depends on and nothing it does not (the thermal
+// load). It is the key of every lattice-affine cache in the engine
+// (assembly, preconditioner, factor, warm-start seed), and therefore also
+// the routing key of the shard router: requests with equal LatticeKeys must
+// land on the same replica for those caches to stay hot. Empty when the
+// spec cannot be hashed.
+func LatticeKey(job Job) string {
 	key, err := romcache.Key(job.Config.romSpec(true))
 	if err != nil {
 		return ""

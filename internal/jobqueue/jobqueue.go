@@ -566,6 +566,15 @@ func (q *Queue) Stats() Stats {
 	}
 }
 
+// Accepting reports whether the queue takes new submissions: true until
+// Close. It is a readiness signal, not an admission guarantee — a
+// concurrent Submit can still hit ErrQueueFull or ErrOverloaded.
+func (q *Queue) Accepting() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return !q.closed
+}
+
 // Recovered reports what the startup Recover call reconstructed (zero
 // before Recover, or without a journal).
 func (q *Queue) Recovered() RecoverStats {

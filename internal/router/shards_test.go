@@ -1,0 +1,156 @@
+package router
+
+import (
+	"testing"
+
+	morestress "repro"
+	"repro/internal/mesh"
+)
+
+// cheapJob returns a fast scenario on an rows×2 lattice; rows varies the
+// lattice key, dt varies the load within one lattice.
+func cheapJob(t *testing.T, rows int, dt float64) morestress.Job {
+	t.Helper()
+	cfg := morestress.DefaultConfig(15)
+	cfg.Nodes = [3]int{3, 3, 3}
+	cfg.Resolution = mesh.CoarseResolution()
+	return morestress.Job{Config: cfg, Rows: rows, Cols: 2, DeltaT: dt, Solver: morestress.SolveCG}
+}
+
+func TestShardsRoutesByLatticeKey(t *testing.T) {
+	sh := NewShards(3, morestress.EngineOptions{Workers: 2})
+	// Same lattice → same shard, regardless of ΔT; the shard matches the
+	// table's own placement of the job's lattice key.
+	for rows := 1; rows <= 6; rows++ {
+		a := sh.ShardFor(cheapJob(t, rows, -250))
+		b := sh.ShardFor(cheapJob(t, rows, -100))
+		if a != b {
+			t.Errorf("rows=%d: ΔT changed the shard (%d vs %d)", rows, a, b)
+		}
+		if want := sh.table.Pick(morestress.LatticeKey(cheapJob(t, rows, -250))); a != want {
+			t.Errorf("rows=%d: ShardFor=%d, table owner=%d", rows, a, want)
+		}
+	}
+}
+
+func TestShardsAffinity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves real scenarios")
+	}
+	const shards = 3
+	sh := NewShards(shards, morestress.EngineOptions{Workers: 2})
+	// Distinct lattices, two solves each: every lattice's assembly must be
+	// built in exactly one shard (second solve hits that shard's cache).
+	lattices := []int{1, 2, 3, 4, 5}
+	owners := make(map[int]int)
+	for _, rows := range lattices {
+		owners[rows] = sh.ShardFor(cheapJob(t, rows, -250))
+		for _, dt := range []float64{-250, -200} {
+			res, err := sh.Solve(cheapJob(t, rows, dt))
+			if err != nil || res.Err != nil {
+				t.Fatalf("rows=%d dt=%g: %v / %v", rows, dt, err, res.Err)
+			}
+		}
+	}
+	per := sh.PerShard()
+	var totalAssemblies int64
+	wantPerShard := make([]int64, shards)
+	for _, rows := range lattices {
+		wantPerShard[owners[rows]]++
+	}
+	for i, es := range per {
+		totalAssemblies += es.Assemblies
+		if es.Assemblies != wantPerShard[i] {
+			t.Errorf("shard %d built %d assemblies, want %d (owners %v)", i, es.Assemblies, wantPerShard[i], owners)
+		}
+	}
+	if totalAssemblies != int64(len(lattices)) {
+		t.Errorf("fleet built %d assemblies for %d lattices — affinity broken", totalAssemblies, len(lattices))
+	}
+
+	// The merged view must add up to the per-shard views.
+	merged := sh.Stats()
+	if merged.Assemblies != totalAssemblies {
+		t.Errorf("merged assemblies %d != per-shard sum %d", merged.Assemblies, totalAssemblies)
+	}
+	var done int64
+	for _, es := range per {
+		done += es.JobsDone
+	}
+	if merged.JobsDone != done {
+		t.Errorf("merged jobsDone %d != per-shard sum %d", merged.JobsDone, done)
+	}
+}
+
+func TestShardsSharedROMCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves real scenarios")
+	}
+	sh := NewShards(3, morestress.EngineOptions{Workers: 2})
+	// All lattices share one unit cell; the shared ROM cache must build its
+	// model once even when the lattices land on different shards.
+	for rows := 1; rows <= 5; rows++ {
+		if res, err := sh.Solve(cheapJob(t, rows, -250)); err != nil || res.Err != nil {
+			t.Fatalf("rows=%d: %v / %v", rows, err, res.Err)
+		}
+	}
+	st := sh.Stats()
+	if st.Cache.Misses != 1 {
+		t.Errorf("shared ROM cache built %d models for 1 unit cell", st.Cache.Misses)
+	}
+	if st.Cache.Entries != 1 {
+		t.Errorf("shared ROM cache reports %d entries (double-counted across shards?)", st.Cache.Entries)
+	}
+}
+
+func TestShardsBatchSolve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves real scenarios")
+	}
+	sh := NewShards(3, morestress.EngineOptions{Workers: 2})
+	// A batch spanning several lattices: results must come back in input
+	// order with indices rewritten to batch positions.
+	var jobs []morestress.Job
+	for rows := 1; rows <= 4; rows++ {
+		for _, dt := range []float64{-250, -150} {
+			jobs = append(jobs, cheapJob(t, rows, dt))
+		}
+	}
+	br := sh.BatchSolve(jobs)
+	if len(br.Results) != len(jobs) {
+		t.Fatalf("%d results for %d jobs", len(br.Results), len(jobs))
+	}
+	if br.Stats.Jobs != len(jobs) || br.Stats.Errors != 0 {
+		t.Fatalf("batch stats %+v", br.Stats)
+	}
+	for i, res := range br.Results {
+		if res.Index != i {
+			t.Errorf("result %d carries index %d", i, res.Index)
+		}
+		if res.Err != nil {
+			t.Errorf("result %d: %v", i, res.Err)
+		}
+		if res.Result == nil || res.Result.GlobalDoFs <= 0 {
+			t.Errorf("result %d: missing solution", i)
+		}
+	}
+	// Per-lattice assembly counts must still be affine after the fan-out.
+	var total int64
+	for _, es := range sh.PerShard() {
+		total += es.Assemblies
+	}
+	if total != 4 {
+		t.Errorf("batch built %d assemblies for 4 lattices", total)
+	}
+}
+
+func TestShardsWorkerSplit(t *testing.T) {
+	// 4 workers over 3 shards: each shard gets at least one; a single shard
+	// keeps them all.
+	if sh := NewShards(3, morestress.EngineOptions{Workers: 4}); sh.Len() != 3 {
+		t.Fatalf("Len=%d", sh.Len())
+	}
+	if sh := NewShards(0, morestress.EngineOptions{}); sh.Len() != 1 {
+		t.Fatalf("n=0 should clamp to 1 shard, got %d", sh.Len())
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package serveapi
 
 // Crash-recovery harness: the acceptance exercise for the durability layer.
 // The test re-execs its own binary as a miniature serve process (TestMain
@@ -51,22 +51,22 @@ func runCrashChild() {
 	if err != nil {
 		log.Fatalf("crash child: %v", err)
 	}
-	queue, err := newQueue(engine, 16, 1, 10*time.Minute, 0, journal)
+	queue, err := NewQueue(engine, 16, 1, 10*time.Minute, 0, journal)
 	if err != nil {
 		log.Fatalf("crash child: %v", err)
 	}
 	if _, err := queue.Recover(); err != nil {
 		log.Fatalf("crash child: recover: %v", err)
 	}
-	srv := newServer(engine, queue)
-	srv.journal = journal
+	srv := New(engine, queue)
+	srv.Journal = journal
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatalf("crash child: %v", err)
 	}
 	fmt.Printf("ADDR=%s\n", ln.Addr())
 	os.Stdout.Sync()
-	log.Fatal(http.Serve(ln, srv.routes()))
+	log.Fatal(http.Serve(ln, srv.Routes()))
 }
 
 // startCrashChild launches the child on the given directories and returns
@@ -108,7 +108,7 @@ type crashStats struct {
 	Queue struct {
 		ScenariosSolved int64 `json:"scenariosSolved"`
 	} `json:"queue"`
-	Journal *journalStats `json:"journal"`
+	Journal *JournalStats `json:"journal"`
 }
 
 func getCrashStats(t *testing.T, base string) (crashStats, error) {
@@ -144,7 +144,7 @@ func TestCrashRecoveryLosesNoAcceptedJobs(t *testing.T) {
 		fmt.Fprintf(&sb, `{"resolution":"coarse","nodes":3,"rows":4,"cols":4,"deltaT":%g,"gridSamples":50}`, deltaT(i))
 	}
 	sb.WriteString(`]}`)
-	var sub submitResponse
+	var sub SubmitResponse
 	if code := postJSON(t, base+"/jobs", sb.String(), &sub); code != http.StatusAccepted {
 		t.Fatalf("submit status %d", code)
 	}
@@ -178,7 +178,7 @@ func TestCrashRecoveryLosesNoAcceptedJobs(t *testing.T) {
 		t.Fatalf("accepted job lost across kill -9: %+v", st.Journal)
 	}
 
-	var status jobStatusResponse
+	var status JobStatusResponse
 	deadline = time.Now().Add(5 * time.Minute)
 	for {
 		if time.Now().After(deadline) {
@@ -218,8 +218,8 @@ func TestCrashRecoveryLosesNoAcceptedJobs(t *testing.T) {
 			t.Fatalf("scenario %d: error %q converged %v", i, got.Error, got.Converged)
 		}
 		dt := deltaT(i)
-		req := jobRequest{Resolution: "coarse", Nodes: 3, Rows: 4, Cols: 4, DeltaT: &dt, GridSamples: 50}
-		job, err := req.toJob(0, 0)
+		req := JobRequest{Resolution: "coarse", Nodes: 3, Rows: 4, Cols: 4, DeltaT: &dt, GridSamples: 50}
+		job, err := req.ToJob(0, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

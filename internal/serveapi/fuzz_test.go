@@ -1,4 +1,4 @@
-package main
+package serveapi
 
 import (
 	"bytes"
@@ -29,8 +29,8 @@ func FuzzJobRequestJSON(f *testing.F) {
 	f.Add([]byte(``))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		check := func(req jobRequest) {
-			job, err := req.toJob(morestress.PrecondAuto, morestress.OrderingAuto)
+		check := func(req JobRequest) {
+			job, err := req.ToJob(morestress.PrecondAuto, morestress.OrderingAuto)
 			if err != nil {
 				return // rejected; only panics are bugs
 			}
@@ -52,7 +52,7 @@ func FuzzJobRequestJSON(f *testing.F) {
 		}
 
 		// The /solve shape, decoded exactly as decodeJSON does.
-		var single jobRequest
+		var single JobRequest
 		dec := json.NewDecoder(bytes.NewReader(data))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&single); err == nil {
@@ -60,7 +60,7 @@ func FuzzJobRequestJSON(f *testing.F) {
 		}
 
 		// The /batch and /jobs envelope.
-		var batch batchRequest
+		var batch BatchRequest
 		dec = json.NewDecoder(bytes.NewReader(data))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&batch); err == nil {

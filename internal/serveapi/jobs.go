@@ -1,4 +1,4 @@
-package main
+package serveapi
 
 import (
 	"context"
@@ -27,8 +27,8 @@ func init() {
 	gob.Register(&jobMeta{})
 }
 
-// submitResponse is the POST /jobs payload: the ID to poll, immediately.
-type submitResponse struct {
+// SubmitResponse is the POST /jobs payload: the ID to poll, immediately.
+type SubmitResponse struct {
 	ID    string `json:"id"`
 	State string `json:"state"`
 	// QueueDepth is the number of jobs still queued when the response was
@@ -40,8 +40,8 @@ type submitResponse struct {
 	Events string `json:"events"`
 }
 
-// jobStatusResponse is the GET /jobs/{id} payload.
-type jobStatusResponse struct {
+// JobStatusResponse is the GET /jobs/{id} payload.
+type JobStatusResponse struct {
 	ID        string  `json:"id"`
 	State     string  `json:"state"`
 	Total     int     `json:"total"`
@@ -57,13 +57,13 @@ type jobStatusResponse struct {
 	Error       string `json:"error,omitempty"`
 	// Results carries per-scenario outcomes once the job is terminal
 	// (partial up to the cancellation point for cancelled jobs).
-	Results []jobResponse `json:"results,omitempty"`
+	Results []JobResponse `json:"results,omitempty"`
 }
 
 // handleJobSubmit accepts the same payload as /batch but returns an ID
 // immediately; the solve proceeds in the queue. A full queue or an
 // exhausted retained-result budget → 429.
-func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	jobs, include, samples, ok := s.decodeBatch(w, r)
 	if !ok {
@@ -94,7 +94,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, submitResponse{
+	writeJSON(w, http.StatusAccepted, SubmitResponse{
 		ID:         id,
 		State:      string(jobqueue.StatePending),
 		QueueDepth: s.queue.Stats().Depth,
@@ -103,7 +103,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	snap, ok := s.queue.Get(r.PathValue("id"))
 	if !ok {
@@ -113,8 +113,8 @@ func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, toJobStatus(snap))
 }
 
-func toJobStatus(snap jobqueue.Snapshot) jobStatusResponse {
-	out := jobStatusResponse{
+func toJobStatus(snap jobqueue.Snapshot) JobStatusResponse {
+	out := JobStatusResponse{
 		ID:          snap.ID,
 		State:       string(snap.State),
 		Total:       snap.Total,
@@ -133,7 +133,7 @@ func toJobStatus(snap jobqueue.Snapshot) jobStatusResponse {
 	}
 	if snap.State.Terminal() && len(snap.Results) > 0 {
 		meta, _ := snap.Meta.(*jobMeta)
-		out.Results = make([]jobResponse, len(snap.Results))
+		out.Results = make([]JobResponse, len(snap.Results))
 		for i, res := range snap.Results {
 			include := meta != nil && i < len(meta.IncludeField) && meta.IncludeField[i]
 			out.Results[i] = toResponse(res, include)
@@ -142,7 +142,7 @@ func toJobStatus(snap jobqueue.Snapshot) jobStatusResponse {
 	return out
 }
 
-func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	id := r.PathValue("id")
 	err := s.queue.Cancel(id)
@@ -162,7 +162,7 @@ func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 // history so far is replayed first, then transitions arrive live. Event
 // names are the jobqueue event types ("state", "scenario"); each data line
 // is the event JSON. The stream ends after the terminal state event.
-func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	events, stop, ok := s.queue.Subscribe(r.PathValue("id"))
 	if !ok {
@@ -209,8 +209,8 @@ func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 // scenarios, each scenario's includeField flag, and the request's total
 // field sample count; ok is false when the response has already been
 // written.
-func (s *server) decodeBatch(w http.ResponseWriter, r *http.Request) ([]morestress.Job, []bool, int64, bool) {
-	var req batchRequest
+func (s *Server) decodeBatch(w http.ResponseWriter, r *http.Request) ([]morestress.Job, []bool, int64, bool) {
+	var req BatchRequest
 	if !decodeJSON(w, r, &req) {
 		return nil, nil, 0, false
 	}
@@ -226,7 +226,7 @@ func (s *server) decodeBatch(w http.ResponseWriter, r *http.Request) ([]morestre
 	include := make([]bool, len(req.Jobs))
 	var batchSamples int64
 	for i := range req.Jobs {
-		job, err := req.Jobs[i].toJob(s.precond, s.ordering)
+		job, err := req.Jobs[i].ToJob(s.Precond, s.Ordering)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err))
 			return nil, nil, 0, false
@@ -243,22 +243,22 @@ func (s *server) decodeBatch(w http.ResponseWriter, r *http.Request) ([]morestre
 	return jobs, include, batchSamples, true
 }
 
-// defaultJobFieldBudget bounds the field samples summed over every tracked
+// DefaultJobFieldBudget bounds the field samples summed over every tracked
 // async job — queued, running, and finished-but-retained for the TTL. The
 // synchronous path caps one /batch response at maxBatchFieldSamples because
 // all its fields are in memory at once; the async path retains results
 // after completion, so without this aggregate bound a client could park
 // many at-cap results in the TTL window and exhaust memory. Four full-size
 // batches ≈ 1 GiB of float64 samples.
-const defaultJobFieldBudget = 4 * maxBatchFieldSamples
+const DefaultJobFieldBudget = 4 * maxBatchFieldSamples
 
-// newQueue wires a jobqueue over the engine: scenarios run one at a time
+// NewQueue wires a jobqueue over the engine: scenarios run one at a time
 // per queue worker through Engine.Solve (which parallelizes internally and
 // shares the ROM and factor caches with the synchronous endpoints).
 // Cancellation takes effect at scenario boundaries. fieldBudget bounds the
 // aggregate field samples of tracked jobs (0 = unlimited). journal, when
 // non-nil, makes accepted jobs durable across restarts.
-func newQueue(e *morestress.Engine, depth, workers int, ttl time.Duration, fieldBudget int64, journal *wal.Log) (*jobqueue.Queue, error) {
+func NewQueue(e morestress.Solver, depth, workers int, ttl time.Duration, fieldBudget int64, journal *wal.Log) (*jobqueue.Queue, error) {
 	return jobqueue.New(jobqueue.Options{
 		Depth:   depth,
 		Workers: workers,

@@ -1,4 +1,4 @@
-package main
+package serveapi
 
 import (
 	"bufio"
@@ -32,14 +32,14 @@ func postJSON(t *testing.T, url, body string, out any) int {
 	return resp.StatusCode
 }
 
-func getStatus(t *testing.T, url string) (jobStatusResponse, int) {
+func getStatus(t *testing.T, url string) (JobStatusResponse, int) {
 	t.Helper()
 	resp, err := http.Get(url)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out jobStatusResponse
+	var out JobStatusResponse
 	if resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 			t.Fatal(err)
@@ -71,7 +71,7 @@ func slowServer(t *testing.T, delay time.Duration, depth int) *httptest.Server {
 		t.Fatal(err)
 	}
 	t.Cleanup(queue.Close)
-	ts := httptest.NewServer(newServer(engine, queue).routes())
+	ts := httptest.NewServer(New(engine, queue).Routes())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -85,7 +85,7 @@ func TestJobsEndToEnd(t *testing.T) {
 
 	// Submit a 3-scenario job; the ID comes back immediately.
 	batch := `{"jobs":[` + cheapJob + `,` + cheapJob + `,` + cheapJob + `]}`
-	var sub submitResponse
+	var sub SubmitResponse
 	if code := postJSON(t, ts.URL+"/jobs", batch, &sub); code != http.StatusAccepted {
 		t.Fatalf("submit status %d, want 202", code)
 	}
@@ -106,7 +106,7 @@ func TestJobsEndToEnd(t *testing.T) {
 
 	// While the first scenario builds the ROM, submit a second job and
 	// cancel it before the single queue worker reaches it.
-	var sub2 submitResponse
+	var sub2 SubmitResponse
 	if code := postJSON(t, ts.URL+"/jobs", `{"jobs":[`+cheapJob+`]}`, &sub2); code != http.StatusAccepted {
 		t.Fatalf("second submit status %d, want 202", code)
 	}
@@ -132,7 +132,7 @@ func TestJobsEndToEnd(t *testing.T) {
 	// Poll until the first job is observed running, then until done.
 	deadline := time.Now().Add(2 * time.Minute)
 	sawRunning := false
-	var final jobStatusResponse
+	var final JobStatusResponse
 	for {
 		s, code := getStatus(t, ts.URL+sub.Poll)
 		if code != http.StatusOK {
@@ -223,7 +223,7 @@ func TestJobsEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sresp.Body.Close()
-	var stats statsResponse
+	var stats StatsResponse
 	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +266,7 @@ func TestJobsIncludeFieldSurvivesQueue(t *testing.T) {
 	ts := testServer(t)
 	withField := strings.TrimSuffix(cheapJob, "}") + `,"includeField":true}`
 	body := `{"jobs":[` + cheapJob + `,` + withField + `]}`
-	var sub submitResponse
+	var sub SubmitResponse
 	if code := postJSON(t, ts.URL+"/jobs", body, &sub); code != http.StatusAccepted {
 		t.Fatalf("submit status %d", code)
 	}
@@ -332,7 +332,7 @@ func TestJobsValidationAndErrors(t *testing.T) {
 	}
 
 	// Cancelling a finished job is a conflict.
-	var sub submitResponse
+	var sub SubmitResponse
 	if code := postJSON(t, ts.URL+"/jobs", `{"jobs":[`+cheapJob+`]}`, &sub); code != http.StatusAccepted {
 		t.Fatalf("submit status %d", code)
 	}
@@ -367,7 +367,7 @@ func TestJobsBackpressure429(t *testing.T) {
 
 	// The first submit occupies the worker; the second sits in the FIFO;
 	// the third must bounce.
-	var first submitResponse
+	var first SubmitResponse
 	if code := postJSON(t, ts.URL+"/jobs", `{"jobs":[`+cheapJob+`]}`, &first); code != http.StatusAccepted {
 		t.Fatalf("first submit: %d", code)
 	}
@@ -404,12 +404,12 @@ func TestJobsBackpressure429(t *testing.T) {
 // an earlier job's retained cost occupies it.
 func TestJobsFieldBudget429(t *testing.T) {
 	engine := morestress.NewEngine(morestress.EngineOptions{Workers: 2})
-	queue, err := newQueue(engine, 8, 1, time.Minute, 40, nil) // cheapJob costs 1·2·4² = 32
+	queue, err := NewQueue(engine, 8, 1, time.Minute, 40, nil) // cheapJob costs 1·2·4² = 32
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(queue.Close)
-	ts := httptest.NewServer(newServer(engine, queue).routes())
+	ts := httptest.NewServer(New(engine, queue).Routes())
 	t.Cleanup(ts.Close)
 
 	// The first job fits (32 ≤ 40) and holds its cost for the TTL even
@@ -440,12 +440,12 @@ func TestJobsFieldBudget429(t *testing.T) {
 // throttled (429).
 func TestJobsOversizedForBudgetIs413(t *testing.T) {
 	engine := morestress.NewEngine(morestress.EngineOptions{Workers: 2})
-	queue, err := newQueue(engine, 8, 1, time.Minute, 10, nil)
+	queue, err := NewQueue(engine, 8, 1, time.Minute, 10, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(queue.Close)
-	ts := httptest.NewServer(newServer(engine, queue).routes())
+	ts := httptest.NewServer(New(engine, queue).Routes())
 	t.Cleanup(ts.Close)
 
 	// 32 samples > the whole 10-sample budget: no amount of retrying helps.
@@ -478,11 +478,11 @@ func TestSSEStreamEndsOnShutdown(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(queue.Close)
-	srv := newServer(engine, queue)
-	ts := httptest.NewServer(srv.routes())
+	srv := New(engine, queue)
+	ts := httptest.NewServer(srv.Routes())
 	t.Cleanup(ts.Close)
 
-	var sub submitResponse
+	var sub SubmitResponse
 	if code := postJSON(t, ts.URL+"/jobs", `{"jobs":[{"rows":1,"cols":1}]}`, &sub); code != http.StatusAccepted {
 		t.Fatalf("submit status %d", code)
 	}
@@ -498,7 +498,7 @@ func TestSSEStreamEndsOnShutdown(t *testing.T) {
 	}
 
 	start := time.Now()
-	srv.beginShutdown()
+	srv.BeginShutdown()
 	// With the stream released, the body reaches EOF almost immediately;
 	// before the fix this read would hang until the client timeout.
 	for {

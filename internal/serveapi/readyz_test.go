@@ -1,0 +1,153 @@
+package serveapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	morestress "repro"
+	"repro/internal/wal"
+)
+
+// TestReadyzRecoveryWindow is the regression test for the not-yet-ready
+// window: a replica whose listener is up but whose journal replay has not
+// finished must answer /healthz 200 (alive), /readyz 503 (not live), and
+// refuse traffic-mutating requests with 503 + Retry-After — the contract
+// the router's health probes and failover depend on. Readiness flips with
+// FinishRecovery, exactly as cmd/serve sequences it around queue.Recover.
+func TestReadyzRecoveryWindow(t *testing.T) {
+	engine := morestress.NewEngine(morestress.EngineOptions{Workers: 2})
+	queue, err := NewQueue(engine, 8, 1, time.Minute, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(queue.Close)
+	srv := New(engine, queue)
+	srv.BeginRecovery() // what cmd/serve does before the listener starts
+	ts := httptest.NewServer(srv.Routes())
+	t.Cleanup(ts.Close)
+
+	get := func(path string) (*http.Response, ReadyzResponse) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body ReadyzResponse
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil && path == "/readyz" {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+		return resp, body
+	}
+
+	// Alive but not live.
+	if resp, _ := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d during recovery, want 200", resp.StatusCode)
+	}
+	resp, body := get("/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz %d during recovery, want 503", resp.StatusCode)
+	}
+	if body.Ready || body.Recovered {
+		t.Fatalf("readyz body during recovery: %+v", body)
+	}
+	if !body.Accepting || !body.JournalWritable {
+		t.Fatalf("recovery window misattributed: %+v", body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("not-ready readyz carries no Retry-After")
+	}
+
+	// Every mutating endpoint refuses; read-only endpoints still serve.
+	for _, probe := range []struct{ method, path, payload string }{
+		{http.MethodPost, "/solve", cheapJob},
+		{http.MethodPost, "/batch", `{"jobs":[` + cheapJob + `]}`},
+		{http.MethodPost, "/jobs", `{"jobs":[` + cheapJob + `]}`},
+		{http.MethodDelete, "/jobs/abc", ""},
+	} {
+		req, err := http.NewRequest(probe.method, ts.URL+probe.path, strings.NewReader(probe.payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s %s: status %d during recovery, want 503", probe.method, probe.path, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("%s %s: no Retry-After during recovery", probe.method, probe.path)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/stats"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats unavailable during recovery: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+
+	// Recovery finishes: the same endpoints flip open with no restart.
+	srv.FinishRecovery()
+	resp, body = get("/readyz")
+	if resp.StatusCode != http.StatusOK || !body.Ready {
+		t.Fatalf("readyz after recovery: status %d body %+v", resp.StatusCode, body)
+	}
+	if code := postJSON(t, ts.URL+"/solve", cheapJob, &JobResponse{}); code != http.StatusOK {
+		t.Fatalf("solve after recovery: status %d", code)
+	}
+}
+
+// TestReadyzJournalUnwritable: a journal that can no longer append makes
+// the replica not-ready (accepted jobs could not be persisted), while
+// liveness stays green.
+func TestReadyzJournalUnwritable(t *testing.T) {
+	engine := morestress.NewEngine(morestress.EngineOptions{Workers: 2})
+	journal, err := wal.Open(t.TempDir(), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queue, err := NewQueue(engine, 8, 1, time.Minute, 0, journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(queue.Close)
+	srv := New(engine, queue)
+	srv.Journal = journal
+	ts := httptest.NewServer(srv.Routes())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz %d with a healthy journal", resp.StatusCode)
+	}
+
+	// Close the journal out from under the server — the cheapest stand-in
+	// for a dead disk; Writable turns false either way.
+	journal.Close()
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body ReadyzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || body.JournalWritable {
+		t.Fatalf("readyz with unwritable journal: status %d body %+v", resp.StatusCode, body)
+	}
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatal("liveness dropped with the journal — healthz must stay 200")
+	} else {
+		resp.Body.Close()
+	}
+}

@@ -1,4 +1,21 @@
-package main
+// Package serveapi is the HTTP serving layer of the MORE-Stress engine,
+// extracted from cmd/serve so that every front end can share it: cmd/serve
+// mounts it directly (optionally over N in-process engine shards), the
+// cmd/router proxy reuses its request/response types to derive routing keys
+// and to aggregate /stats, and multi-replica test harnesses re-exec real
+// replica processes built from it. The Server handles the synchronous
+// endpoints (POST /solve, POST /batch), the async job lifecycle (POST
+// /jobs, GET /jobs/{id}, GET /jobs/{id}/events, DELETE /jobs/{id}), and the
+// observability trio (GET /stats, GET /healthz, GET /readyz).
+//
+// Liveness vs readiness: /healthz answers "is the process up" and is always
+// 200; /readyz answers "should this replica take traffic" — 503 while
+// journal recovery is still replaying, after the queue stops accepting, or
+// while the journal cannot persist accepted jobs. The traffic-mutating
+// endpoints (solve, batch, job submit/cancel) are gated on the same
+// readiness bit, so a router probing /readyz never routes into the
+// recovery window.
+package serveapi
 
 import (
 	"encoding/json"
@@ -21,7 +38,9 @@ const (
 	maxArrayDim    = 512
 	maxGridSamples = 500
 	maxBatchJobs   = 1024
-	maxBodyBytes   = 8 << 20
+	// MaxBodyBytes caps a request body; exported so the shard router
+	// applies the same bound before buffering a body for key derivation.
+	MaxBodyBytes = 8 << 20
 	// maxFieldSamples caps rows·cols·gridSamples², the total von Mises
 	// sample count of one job (the per-dimension caps alone would still
 	// admit a ~10¹¹-sample field). 2²² float64s ≈ 32 MB.
@@ -34,13 +53,13 @@ const (
 )
 
 // fieldSamples returns the request's total von Mises sample count.
-func (r *jobRequest) fieldSamples() int64 {
+func (r *JobRequest) fieldSamples() int64 {
 	return int64(r.Rows) * int64(r.Cols) * int64(r.GridSamples) * int64(r.GridSamples)
 }
 
-// jobRequest is the JSON description of one scenario, shared by /solve and
+// JobRequest is the JSON description of one scenario, shared by /solve and
 // the elements of /batch. Zero values select the paper defaults.
-type jobRequest struct {
+type JobRequest struct {
 	// Unit cell (determines the cached ROM).
 	Pitch      float64 `json:"pitch"`      // µm, default 15
 	Nodes      int     `json:"nodes"`      // interpolation nodes per axis, default 5
@@ -73,7 +92,7 @@ type jobRequest struct {
 	IncludeField bool `json:"includeField"`
 }
 
-func (r *jobRequest) toJob(defaultPrecond morestress.Precond, defaultOrdering morestress.Ordering) (morestress.Job, error) {
+func (r *JobRequest) ToJob(defaultPrecond morestress.Precond, defaultOrdering morestress.Ordering) (morestress.Job, error) {
 	var job morestress.Job
 	pitch := r.Pitch
 	if pitch == 0 {
@@ -154,15 +173,15 @@ func (r *jobRequest) toJob(defaultPrecond morestress.Precond, defaultOrdering mo
 	return job, nil
 }
 
-// fieldResponse is a sampled von Mises field.
-type fieldResponse struct {
+// FieldResponse is a sampled von Mises field.
+type FieldResponse struct {
 	NX int       `json:"nx"`
 	NY int       `json:"ny"`
 	V  []float64 `json:"v"` // row-major, x fastest, MPa
 }
 
-// jobResponse is the JSON outcome of one scenario.
-type jobResponse struct {
+// JobResponse is the JSON outcome of one scenario.
+type JobResponse struct {
 	Error      string  `json:"error,omitempty"`
 	Converged  bool    `json:"converged"`
 	Iterations int     `json:"iterations"`
@@ -182,11 +201,11 @@ type jobResponse struct {
 	CacheHit      bool           `json:"cacheHit"`
 	LocalWaitMS   float64        `json:"localWaitMs"`
 	TotalMS       float64        `json:"totalMs"`
-	Field         *fieldResponse `json:"field,omitempty"`
+	Field         *FieldResponse `json:"field,omitempty"`
 }
 
-func toResponse(res *morestress.JobResult, includeField bool) jobResponse {
-	out := jobResponse{
+func toResponse(res *morestress.JobResult, includeField bool) JobResponse {
+	out := JobResponse{
 		CacheHit:    res.CacheHit,
 		LocalWaitMS: float64(res.LocalWait) / float64(time.Millisecond),
 		TotalMS:     float64(res.Total) / float64(time.Millisecond),
@@ -209,26 +228,35 @@ func toResponse(res *morestress.JobResult, includeField bool) jobResponse {
 	if r.VM != nil {
 		out.MaxVonMises = r.VM.Max()
 		if includeField {
-			out.Field = &fieldResponse{NX: r.VM.NX, NY: r.VM.NY, V: r.VM.V}
+			out.Field = &FieldResponse{NX: r.VM.NX, NY: r.VM.NY, V: r.VM.V}
 		}
 	}
 	return out
 }
 
-// server is the HTTP front end over a shared Engine and its async job
-// queue.
-type server struct {
-	engine *morestress.Engine
+// Server is the HTTP front end over a Solver (a single Engine or a sharded
+// router.Shards) and its async job queue.
+type Server struct {
+	engine morestress.Solver
 	queue  *jobqueue.Queue
-	// journal is the queue's WAL when -journal-dir is set (nil otherwise);
-	// held only so /stats can report it.
-	journal *wal.Log
-	// precond and ordering are the server-wide defaults (-precond and
+	// Journal is the queue's WAL when the process runs with a journal dir
+	// (nil otherwise); held so /stats can report it and /readyz can check
+	// that it still takes appends.
+	Journal *wal.Log
+	// Precond and Ordering are the server-wide defaults (-precond and
 	// -ordering flags), applied to requests that do not name one.
-	precond  morestress.Precond
-	ordering morestress.Ordering
+	Precond  morestress.Precond
+	Ordering morestress.Ordering
+	// PerShard, when the engine is an in-process shard set, returns the
+	// per-shard engine snapshots /stats breaks out under "shards" (nil for
+	// a single engine).
+	PerShard func() []morestress.EngineStats
 	start    time.Time
 	requests atomic.Int64
+	// recovering is set between BeginRecovery and FinishRecovery: the
+	// journal is being replayed, so the replica must not advertise itself
+	// ready nor accept traffic that would race the replay.
+	recovering atomic.Bool
 	// done is closed when the server begins shutting down; long-lived
 	// response streams (SSE) select on it so httpSrv.Shutdown does not
 	// wait out its deadline on subscribers that would otherwise never
@@ -237,39 +265,77 @@ type server struct {
 	downOnce sync.Once
 }
 
-func newServer(e *morestress.Engine, q *jobqueue.Queue) *server {
-	return &server{engine: e, queue: q, start: time.Now(), done: make(chan struct{})}
+func New(e morestress.Solver, q *jobqueue.Queue) *Server {
+	return &Server{engine: e, queue: q, start: time.Now(), done: make(chan struct{})}
 }
 
-// beginShutdown releases every long-lived stream; safe to call repeatedly.
-func (s *server) beginShutdown() {
+// BeginShutdown releases every long-lived stream; safe to call repeatedly.
+func (s *Server) BeginShutdown() {
 	s.downOnce.Do(func() { close(s.done) })
 }
 
-// routes builds the handler mux: the synchronous endpoints (POST /solve,
+// BeginRecovery marks the replica not-ready: /readyz turns 503 and the
+// traffic-mutating endpoints refuse with 503 until FinishRecovery. Call it
+// before the listener starts when a journal replay still has to run, so
+// health probes see the process alive but not yet live.
+func (s *Server) BeginRecovery() { s.recovering.Store(true) }
+
+// FinishRecovery marks the replica ready (the complement of BeginRecovery).
+func (s *Server) FinishRecovery() { s.recovering.Store(false) }
+
+// Ready reports whether the replica should take traffic: recovery complete,
+// queue accepting submissions, and (when journaled) the journal writable.
+func (s *Server) Ready() bool {
+	if s.recovering.Load() || !s.queue.Accepting() {
+		return false
+	}
+	return s.Journal == nil || s.Journal.Writable()
+}
+
+// Routes builds the handler mux: the synchronous endpoints (POST /solve,
 // POST /batch), the async job lifecycle (POST /jobs, GET /jobs/{id},
-// GET /jobs/{id}/events, DELETE /jobs/{id}), and the observability pair
-// (GET /stats, GET /healthz).
-func (s *server) routes() http.Handler {
+// GET /jobs/{id}/events, DELETE /jobs/{id}), and the observability trio
+// (GET /stats, GET /healthz, GET /readyz). The mutating endpoints are
+// wrapped in the readiness gate: while the replica is not ready they
+// return 503 with Retry-After instead of racing a journal replay.
+func (s *Server) Routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /solve", s.handleSolve)
-	mux.HandleFunc("POST /batch", s.handleBatch)
-	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+	mux.HandleFunc("POST /solve", s.ifReady(s.handleSolve))
+	mux.HandleFunc("POST /batch", s.ifReady(s.handleBatch))
+	mux.HandleFunc("POST /jobs", s.ifReady(s.handleJobSubmit))
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
-	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("DELETE /jobs/{id}", s.ifReady(s.handleJobCancel))
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
 }
 
-func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+// ifReady gates a traffic-mutating handler on readiness: a request that
+// arrives mid-recovery (or after the queue closed) gets 503 + Retry-After
+// so a well-behaved client — and the shard router — moves on.
+func (s *Server) ifReady(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.Ready() {
+			s.requests.Add(1)
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, errNotReady)
+			return
+		}
+		h(w, r)
+	}
+}
+
+var errNotReady = fmt.Errorf("replica not ready (recovering, queue closed, or journal unwritable); retry or route elsewhere")
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	var req jobRequest
+	var req JobRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	job, err := req.toJob(s.precond, s.ordering)
+	job, err := req.ToJob(s.Precond, s.Ordering)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -282,14 +348,14 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, toResponse(res, req.IncludeField))
 }
 
-// batchRequest wraps the /batch payload.
-type batchRequest struct {
-	Jobs []jobRequest `json:"jobs"`
+// BatchRequest wraps the /batch payload.
+type BatchRequest struct {
+	Jobs []JobRequest `json:"jobs"`
 }
 
-// batchResponse reports per-job outcomes plus the batch aggregate.
-type batchResponse struct {
-	Results []jobResponse `json:"results"`
+// BatchResponse reports per-job outcomes plus the batch aggregate.
+type BatchResponse struct {
+	Results []JobResponse `json:"results"`
 	Stats   struct {
 		Jobs        int     `json:"jobs"`
 		Errors      int     `json:"errors"`
@@ -301,15 +367,15 @@ type batchResponse struct {
 	} `json:"stats"`
 }
 
-func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	jobs, include, _, ok := s.decodeBatch(w, r)
 	if !ok {
 		return
 	}
 	br := s.engine.BatchSolve(jobs)
-	var out batchResponse
-	out.Results = make([]jobResponse, len(br.Results))
+	var out BatchResponse
+	out.Results = make([]JobResponse, len(br.Results))
 	for i := range br.Results {
 		out.Results[i] = toResponse(&br.Results[i], include[i])
 	}
@@ -324,8 +390,8 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// statsResponse is the /stats payload.
-type statsResponse struct {
+// StatsResponse is the /stats payload.
+type StatsResponse struct {
 	UptimeSeconds  float64 `json:"uptimeSeconds"`
 	Requests       int64   `json:"requests"`
 	JobsDone       int64   `json:"jobsDone"`
@@ -385,12 +451,33 @@ type statsResponse struct {
 	} `json:"queue"`
 	// Journal reports the job durability layer; omitted without
 	// -journal-dir.
-	Journal *journalStats `json:"journal,omitempty"`
+	Journal *JournalStats `json:"journal,omitempty"`
+	// Shards breaks the solver counters out per in-process engine shard;
+	// present only when the process runs -shards > 1. The lattice-affine
+	// counters (assemblies, preconditioner builds) are the cache-affinity
+	// evidence: with HRW routing each lattice's builds appear under
+	// exactly one shard.
+	Shards []ShardStats `json:"shards,omitempty"`
 }
 
-// journalStats is the /stats view of the job WAL and the recovery that ran
+// ShardStats is the per-shard slice of the merged engine counters.
+type ShardStats struct {
+	Shard           int   `json:"shard"`
+	JobsDone        int64 `json:"jobsDone"`
+	JobsFailed      int64 `json:"jobsFailed"`
+	Assemblies      int64 `json:"assemblies"`
+	AssemblyHits    int64 `json:"assemblyHits"`
+	PrecondBuilds   int64 `json:"precondBuilds"`
+	PrecondHits     int64 `json:"precondHits"`
+	IterativeSolves int64 `json:"iterativeSolves"`
+	WarmStarts      int64 `json:"warmStarts"`
+	Factorizations  int64 `json:"factorizations"`
+	FactorHits      int64 `json:"factorHits"`
+}
+
+// JournalStats is the /stats view of the job WAL and the recovery that ran
 // at startup.
-type journalStats struct {
+type JournalStats struct {
 	// Bytes and Segments describe the on-disk log right now.
 	Bytes    int64 `json:"bytes"`
 	Segments int   `json:"segments"`
@@ -413,10 +500,10 @@ type journalStats struct {
 	Expired         int `json:"expired"`
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	es := s.engine.Stats()
-	var out statsResponse
+	var out StatsResponse
 	out.UptimeSeconds = time.Since(s.start).Seconds()
 	out.Requests = s.requests.Load()
 	out.JobsDone = es.JobsDone
@@ -460,10 +547,29 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if up := out.UptimeSeconds; up > 0 {
 		out.Queue.ThroughputPerSec = float64(qs.ScenariosSolved) / up
 	}
-	if s.journal != nil {
-		ws := s.journal.Stats()
+	if s.PerShard != nil {
+		per := s.PerShard()
+		out.Shards = make([]ShardStats, len(per))
+		for i, es := range per {
+			out.Shards[i] = ShardStats{
+				Shard:           i,
+				JobsDone:        es.JobsDone,
+				JobsFailed:      es.JobsFailed,
+				Assemblies:      es.Assemblies,
+				AssemblyHits:    es.AssemblyHits,
+				PrecondBuilds:   es.PrecondBuilds,
+				PrecondHits:     es.PrecondHits,
+				IterativeSolves: es.IterativeSolves,
+				WarmStarts:      es.WarmStarts,
+				Factorizations:  es.Factorizations,
+				FactorHits:      es.FactorHits,
+			}
+		}
+	}
+	if s.Journal != nil {
+		ws := s.Journal.Stats()
 		rec := s.queue.Recovered()
-		js := &journalStats{
+		js := &JournalStats{
 			Bytes:           ws.Bytes,
 			Segments:        ws.Segments,
 			Appends:         ws.Appends,
@@ -483,12 +589,45 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
+// ReadyzResponse is the GET /readyz payload: the readiness verdict plus the
+// per-component breakdown a probe can log when the verdict is 503.
+type ReadyzResponse struct {
+	Ready bool `json:"ready"`
+	// Recovered is false while the startup journal replay is running.
+	Recovered bool `json:"recovered"`
+	// Accepting reports the queue takes submissions (false after Close).
+	Accepting bool `json:"accepting"`
+	// JournalWritable reports the journal's sticky append health; true
+	// when the process runs without a journal.
+	JournalWritable bool `json:"journalWritable"`
+}
+
+// handleReadyz is the readiness probe behind router health checks: 200 only
+// once recovery completed, while the queue accepts jobs, and while the
+// journal (if any) persists them. /healthz stays 200 through all of that —
+// alive but not yet (or no longer) live is exactly the window this probe
+// exists to report.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	out := ReadyzResponse{
+		Recovered:       !s.recovering.Load(),
+		Accepting:       s.queue.Accepting(),
+		JournalWritable: s.Journal == nil || s.Journal.Writable(),
+	}
+	out.Ready = out.Recovered && out.Accepting && out.JournalWritable
+	status := http.StatusOK
+	if !out.Ready {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, out)
+}
+
 func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))

@@ -1,4 +1,4 @@
-package main
+package serveapi
 
 import (
 	"encoding/json"
@@ -17,12 +17,12 @@ import (
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	engine := morestress.NewEngine(morestress.EngineOptions{Workers: 2})
-	queue, err := newQueue(engine, 8, 1, time.Minute, defaultJobFieldBudget, nil)
+	queue, err := NewQueue(engine, 8, 1, time.Minute, DefaultJobFieldBudget, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(queue.Close)
-	ts := httptest.NewServer(newServer(engine, queue).routes())
+	ts := httptest.NewServer(New(engine, queue).Routes())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -59,7 +59,7 @@ func TestSolveEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	var out jobResponse
+	var out JobResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestSolveIncludeField(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out jobResponse
+	var out JobResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestBatchEndpointSharesCache(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	var out batchResponse
+	var out BatchResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +157,7 @@ func TestBatchEndpointSharesCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sresp.Body.Close()
-	var stats statsResponse
+	var stats StatsResponse
 	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,7 @@ func TestSolveExplicitZeroDeltaT(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out jobResponse
+	var out JobResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
@@ -213,14 +213,14 @@ func TestBatchRejectsEmptyAndBadJobs(t *testing.T) {
 func TestSolvePrecondField(t *testing.T) {
 	ts := testServer(t)
 
-	post := func(body string) (*http.Response, jobResponse) {
+	post := func(body string) (*http.Response, JobResponse) {
 		t.Helper()
 		resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer resp.Body.Close()
-		var out jobResponse
+		var out JobResponse
 		if resp.StatusCode == http.StatusOK {
 			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 				t.Fatal(err)
@@ -257,14 +257,14 @@ func TestSolvePrecondField(t *testing.T) {
 func TestSolveOrderingField(t *testing.T) {
 	ts := testServer(t)
 
-	post := func(body string) (*http.Response, jobResponse) {
+	post := func(body string) (*http.Response, JobResponse) {
 		t.Helper()
 		resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer resp.Body.Close()
-		var out jobResponse
+		var out JobResponse
 		if resp.StatusCode == http.StatusOK {
 			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 				t.Fatal(err)
@@ -300,7 +300,7 @@ func TestSolveOrderingField(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var stats statsResponse
+	var stats StatsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +340,7 @@ func TestStatsSolverSection(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var stats statsResponse
+	var stats StatsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}

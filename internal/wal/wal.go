@@ -124,6 +124,10 @@ type Log struct {
 
 	appends, torn, compactions atomic.Int64
 	lastCompaction             atomic.Int64 // unix nanos, 0 = never
+	// appendBroken is set when an Append fails at the I/O layer (write or
+	// sync) and cleared by the next success: the sticky "is the journal
+	// writable right now" bit behind Writable and the serve /readyz probe.
+	appendBroken atomic.Bool
 }
 
 // Open opens (or creates) the log in dir, scanning every segment and
@@ -255,14 +259,17 @@ func (l *Log) Append(payload []byte) error {
 	binary.LittleEndian.PutUint32(b[4:8], crc32.Checksum(payload, castagnoli))
 	copy(b[frameHeader:], payload)
 	if _, err := l.f.Write(b); err != nil {
+		l.appendBroken.Store(true)
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	l.size += int64(need)
 	if !l.opt.NoSync {
 		if err := l.f.Sync(); err != nil {
+			l.appendBroken.Store(true)
 			return fmt.Errorf("wal: append sync: %w", err)
 		}
 	}
+	l.appendBroken.Store(false)
 	l.appends.Add(1)
 	if l.size >= l.opt.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
@@ -381,6 +388,18 @@ func (l *Log) Stats() Stats {
 		s.LastCompaction = time.Unix(0, ns)
 	}
 	return s
+}
+
+// Writable reports whether the log can currently take appends: it is open
+// and the most recent Append did not fail at the I/O layer (a failure is
+// sticky until an append succeeds again). Readiness probes use it — a
+// replica whose journal cannot persist accepted jobs must not advertise
+// itself ready for traffic.
+func (l *Log) Writable() bool {
+	l.mu.Lock()
+	closed := l.closed
+	l.mu.Unlock()
+	return !closed && !l.appendBroken.Load()
 }
 
 // Close syncs and closes the active segment. Further operations return
