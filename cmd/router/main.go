@@ -114,6 +114,7 @@ func main() {
 	backoff := flag.Duration("backoff", 50*time.Millisecond, "base pause between failover attempts (grows linearly)")
 	precondFlag := flag.String("precond", "auto", "default preconditioner assumed during request validation (match the replicas)")
 	orderingFlag := flag.String("ordering", "auto", "default IC0 ordering assumed during request validation (match the replicas)")
+	precisionFlag := flag.String("precision", "auto", "default IC0 factor precision assumed during request validation (match the replicas)")
 	flag.Parse()
 
 	precond, err := morestress.ParsePrecond(*precondFlag)
@@ -121,6 +122,10 @@ func main() {
 		log.Fatal(err)
 	}
 	ordering, err := morestress.ParseOrdering(*orderingFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	precision, err := morestress.ParsePrecision(*precisionFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -141,6 +146,7 @@ func main() {
 		Backoff:       *backoff,
 		Precond:       precond,
 		Ordering:      ordering,
+		Precision:     precision,
 	})
 	if err != nil {
 		log.Fatal(err)

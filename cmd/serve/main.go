@@ -169,6 +169,8 @@ func main() {
 		"default iterative preconditioner: auto, jacobi, block-jacobi3, ic0, or none (per-request \"precond\" overrides)")
 	orderingFlag := flag.String("ordering", "auto",
 		"default IC0 factor ordering: auto, natural, rcm, or multicolor (per-request \"ordering\" overrides)")
+	precisionFlag := flag.String("precision", "auto",
+		"default IC0 factor storage precision: auto, float64, or float32 (per-request \"precision\" overrides)")
 	warmStart := flag.Bool("warm-start", true,
 		"seed iterative solves with the latest solution on the same lattice")
 	assemblyBytes := flag.Int64("assembly-bytes", 1<<30,
@@ -180,6 +182,10 @@ func main() {
 		log.Fatal(err)
 	}
 	ordering, err := morestress.ParseOrdering(*orderingFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	precision, err := morestress.ParsePrecision(*precisionFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -214,6 +220,7 @@ func main() {
 	srv.Journal = journal
 	srv.Precond = precond
 	srv.Ordering = ordering
+	srv.Precision = precision
 	srv.PerShard = perShard
 
 	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections,

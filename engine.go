@@ -178,6 +178,15 @@ type EngineStats struct {
 	// solver.OrderingKind spellings: "natural", "rcm", "multicolor").
 	// Orderings that never ran are omitted.
 	OrderingCounts map[string]int64
+	// PrecisionCounts tallies iterative solves by the storage precision of
+	// their preconditioner factor (keys are the solver.Precision spellings:
+	// "float64", "float32"). Precisions that never ran are omitted.
+	PrecisionCounts map[string]int64
+	// Refinements sums the iterative-refinement restarts performed by
+	// float32-factor solves; PrecisionFallbacks counts solves whose float32
+	// factor exhausted the refinement budget and were retried against a
+	// float64 rebuild.
+	Refinements, PrecisionFallbacks int64
 }
 
 // Merge adds o's counters into s, including the ROM cache section and the
@@ -210,11 +219,19 @@ func (s *EngineStats) Merge(o EngineStats) {
 	s.Iterations += o.Iterations
 	s.PrecondBuilds += o.PrecondBuilds
 	s.PrecondHits += o.PrecondHits
+	s.Refinements += o.Refinements
+	s.PrecisionFallbacks += o.PrecisionFallbacks
 	for k, n := range o.OrderingCounts {
 		if s.OrderingCounts == nil {
 			s.OrderingCounts = make(map[string]int64)
 		}
 		s.OrderingCounts[k] += n
+	}
+	for k, n := range o.PrecisionCounts {
+		if s.PrecisionCounts == nil {
+			s.PrecisionCounts = make(map[string]int64)
+		}
+		s.PrecisionCounts[k] += n
 	}
 }
 
@@ -255,6 +272,8 @@ type Engine struct {
 	iterations                                 atomic.Int64
 	precondBuilds, precondHits                 atomic.Int64
 	orderingCounts                             [solver.NumOrderings]atomic.Int64
+	precisionCounts                            [solver.NumPrecisions]atomic.Int64
+	refinements, precisionFallbacks            atomic.Int64
 }
 
 // NewEngine creates an engine. A zero EngineOptions is valid.
@@ -301,21 +320,30 @@ func (e *Engine) Stats() EngineStats {
 			orderings[solver.OrderingKind(k).String()] = n
 		}
 	}
+	precisions := make(map[string]int64)
+	for k := range e.precisionCounts {
+		if n := e.precisionCounts[k].Load(); n > 0 {
+			precisions[solver.Precision(k).String()] = n
+		}
+	}
 	return EngineStats{
-		OrderingCounts:  orderings,
-		Cache:           e.cache.Stats(),
-		JobsDone:        e.jobsDone.Load(),
-		JobsFailed:      e.jobsFailed.Load(),
-		Factorizations:  e.factors.built.Load(),
-		FactorHits:      e.factors.hits.Load(),
-		Assemblies:      e.assemblies.built.Load(),
-		AssemblyHits:    e.assemblies.hits.Load(),
-		IterativeSolves: e.iterativeSolves.Load(),
-		WarmStarts:      e.warmStarts.Load(),
-		WarmFallbacks:   e.warmFallbacks.Load(),
-		Iterations:      e.iterations.Load(),
-		PrecondBuilds:   e.precondBuilds.Load(),
-		PrecondHits:     e.precondHits.Load(),
+		OrderingCounts:     orderings,
+		PrecisionCounts:    precisions,
+		Cache:              e.cache.Stats(),
+		JobsDone:           e.jobsDone.Load(),
+		JobsFailed:         e.jobsFailed.Load(),
+		Factorizations:     e.factors.built.Load(),
+		FactorHits:         e.factors.hits.Load(),
+		Assemblies:         e.assemblies.built.Load(),
+		AssemblyHits:       e.assemblies.hits.Load(),
+		IterativeSolves:    e.iterativeSolves.Load(),
+		WarmStarts:         e.warmStarts.Load(),
+		WarmFallbacks:      e.warmFallbacks.Load(),
+		Iterations:         e.iterations.Load(),
+		PrecondBuilds:      e.precondBuilds.Load(),
+		PrecondHits:        e.precondHits.Load(),
+		Refinements:        e.refinements.Load(),
+		PrecisionFallbacks: e.precisionFallbacks.Load(),
 	}
 }
 
@@ -539,6 +567,13 @@ func (e *Engine) solveKeyed(job Job, index, workers int, key string) *JobResult 
 		}
 		if o := sol.Ordering; o >= 0 && int(o) < len(e.orderingCounts) {
 			e.orderingCounts[o].Add(1)
+		}
+		if pr := sol.Precision; pr >= 0 && int(pr) < len(e.precisionCounts) {
+			e.precisionCounts[pr].Add(1)
+		}
+		e.refinements.Add(int64(sol.Stats.Refinements))
+		if sol.PrecisionFallback {
+			e.precisionFallbacks.Add(1)
 		}
 	}
 	if key != "" && !e.opt.DisableWarmStart && job.DeltaTMap == nil && len(sol.QFree) > 0 {

@@ -19,6 +19,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/rom"
 	"repro/internal/solver"
+	"repro/internal/sparse"
 )
 
 // BCKind selects the global boundary condition.
@@ -250,6 +251,14 @@ type Solution struct {
 	// WarmFallback reports that the warm-started solve diverged and the
 	// recorded Stats are from the cold retry.
 	WarmFallback bool
+	// Precision is the storage precision of the solve's preconditioner
+	// factor (mirrors Stats.Precision; PrecisionFloat64 for direct solves,
+	// the Jacobi family, and the degenerate all-constrained case).
+	Precision solver.Precision
+	// PrecisionFallback reports that the float32-factor solve exhausted its
+	// iterative-refinement budget (solver.ErrPrecision) and the recorded
+	// Stats are from the retry against a float64 rebuild of the factor.
+	PrecisionFallback bool
 	// GlobalDoFs is the size of the abstract global system.
 	GlobalDoFs int
 	// MatrixNNZ is the assembled global matrix's stored entries.
@@ -285,8 +294,9 @@ type Assembly struct {
 	// BuildTime is the one-shot cost of the matrix assembly + reduction.
 	BuildTime time.Duration
 
-	// pmu guards preconds, the lazily built per-(kind, ordering)
-	// preconditioner cache, and the memoized level-width probe.
+	// pmu guards preconds, the lazily built per-(kind, ordering, precision)
+	// preconditioner cache, the memoized level-width probe, and the memoized
+	// blocked form of the reduced matrix.
 	pmu      sync.Mutex
 	preconds map[precondKey]*assemblyPrecond
 	// widthKnown/naturalWidth memoize solver.NaturalLevelWidth of the
@@ -295,15 +305,25 @@ type Assembly struct {
 	// also depends on the solve's worker count.
 	widthKnown   bool
 	naturalWidth int
+	// bmKnown/bm memoize the 3×3-tiled (BCSR) form of the reduced matrix,
+	// built by Blocked on the lattice's first iterative solve and shared by
+	// every solve after it (the blocked mat-vec kernel reads it); bm stays
+	// nil when the reduced dimension is not a multiple of sparse.BlockSize.
+	bmKnown bool
+	bm      *sparse.BCSR
 }
 
 // precondKey identifies one cached preconditioner: the concrete kind plus,
-// for the factorizing kinds, the concrete symmetric ordering the factor was
-// built under (the ordering-invariant kinds always cache under
-// OrderingNatural so spellings share one entry).
+// for the factorizing kinds, the concrete symmetric ordering and factor
+// storage precision the factor was built under (the ordering-invariant
+// kinds always cache under OrderingNatural and PrecisionFloat64 so
+// spellings share one entry; PrecisionAuto canonicalizes to PrecisionFloat32
+// for IC0 because both build the identical factor — float32 exactly when
+// the factor commits to 3×3 tiles).
 type precondKey struct {
 	kind solver.PrecondKind
 	ord  solver.OrderingKind
+	prec solver.Precision
 }
 
 // assemblyPrecond is one cached preconditioner: built once (the Once covers
@@ -329,6 +349,10 @@ type AssemblyPrecond struct {
 	// built under (Auto resolved against the reduced matrix's level
 	// structure; OrderingNatural for the ordering-invariant kinds).
 	Ordering solver.OrderingKind
+	// Precision is the concrete storage precision of the built factor:
+	// float32 only when an IC0 factor committed to the 3×3-tiled form,
+	// float64 otherwise (including every non-factorizing kind).
+	Precision solver.Precision
 	// Hit reports that the preconditioner was already cached (or is being
 	// built by a concurrent caller this call waited on) rather than built
 	// by this call.
@@ -381,6 +405,18 @@ func (a *Assembly) resolveOrdering(ord solver.OrderingKind, workers int) solver.
 // entry. Only the factorizing kinds are ordering-sensitive; the Jacobi
 // family caches under OrderingNatural regardless of the requested ordering.
 func (a *Assembly) Preconditioner(kind solver.PrecondKind, ord solver.OrderingKind, workers int) (AssemblyPrecond, error) {
+	return a.PreconditionerPrec(kind, ord, solver.PrecisionAuto, workers)
+}
+
+// PreconditionerPrec is Preconditioner with an explicit factor-precision
+// request. Only the factorizing kinds are precision-sensitive: for IC0,
+// PrecisionAuto and PrecisionFloat32 build the identical factor (float32
+// storage exactly when the factor commits to the 3×3-tiled form) and so
+// share one cache entry, while PrecisionFloat64 caches separately — the
+// float64 rebuild a precision-stalled solve retries against lives next to
+// the float32 factor it replaces. The Jacobi family always caches under
+// PrecisionFloat64.
+func (a *Assembly) PreconditionerPrec(kind solver.PrecondKind, ord solver.OrderingKind, prec solver.Precision, workers int) (AssemblyPrecond, error) {
 	if a.Red == nil {
 		return AssemblyPrecond{}, fmt.Errorf("array: assembly has no free DoFs, nothing to precondition")
 	}
@@ -390,10 +426,14 @@ func (a *Assembly) Preconditioner(kind solver.PrecondKind, ord solver.OrderingKi
 	resolved := kind.ResolveAmortized(a.Red.NFree())
 	if resolved == solver.PrecondIC0 {
 		ord = a.resolveOrdering(ord, workers)
+		if prec == solver.PrecisionAuto {
+			prec = solver.PrecisionFloat32
+		}
 	} else {
 		ord = solver.OrderingNatural
+		prec = solver.PrecisionFloat64
 	}
-	key := precondKey{kind: resolved, ord: ord}
+	key := precondKey{kind: resolved, ord: ord, prec: prec}
 	a.pmu.Lock()
 	e, hit := a.preconds[key]
 	if e == nil {
@@ -406,7 +446,7 @@ func (a *Assembly) Preconditioner(kind solver.PrecondKind, ord solver.OrderingKi
 	a.pmu.Unlock()
 	e.once.Do(func() {
 		t0 := time.Now() //stressvet:allow determinism -- wall clock feeds Stats timing only, never numerics
-		e.m, e.err = solver.NewPreconditionerOrdered(resolved, ord, a.Red.Aff)
+		e.m, e.err = solver.NewPreconditionerPrec(resolved, ord, prec, a.Red.Aff)
 		e.build = time.Since(t0)
 	})
 	a.pmu.Lock()
@@ -415,11 +455,41 @@ func (a *Assembly) Preconditioner(kind solver.PrecondKind, ord solver.OrderingKi
 	if e.err != nil {
 		return AssemblyPrecond{Kind: resolved, Ordering: ord}, e.err
 	}
-	out := AssemblyPrecond{M: e.m, Kind: resolved, Ordering: ord, Hit: hit}
+	out := AssemblyPrecond{M: e.m, Kind: resolved, Ordering: ord, Precision: solver.PrecisionFloat64, Hit: hit}
+	if fp, ok := e.m.(solver.FactorPrecisioned); ok {
+		out.Precision = fp.FactorPrecision()
+	}
 	if !hit {
 		out.Build = e.build
 	}
 	return out, nil
+}
+
+// Blocked returns the 3×3-tiled (BCSR) form of the reduced matrix, building
+// and memoizing it on first use; nil when the reduced dimension is not a
+// multiple of sparse.BlockSize or there are no free DoFs. Iterative solves
+// hand it to the solver as Options.MatBlocked so the mat-vec hot loop runs
+// the tiled kernel; the footprint is counted by MemoryBytes like the cached
+// preconditioners.
+func (a *Assembly) Blocked() *sparse.BCSR {
+	if a.Red == nil {
+		return nil
+	}
+	a.pmu.Lock()
+	known, bm := a.bmKnown, a.bm
+	a.pmu.Unlock()
+	if known {
+		return bm
+	}
+	// Convert outside the lock (one pass over the matrix) so a multi-second
+	// first conversion does not block concurrent Preconditioner requests;
+	// the conversion is deterministic, so a concurrent double-build is
+	// benign.
+	bm, _ = sparse.NewBCSR(a.Red.Aff)
+	a.pmu.Lock()
+	a.bmKnown, a.bm = true, bm
+	a.pmu.Unlock()
+	return bm
 }
 
 // NewAssembly runs the load-independent part of the global stage for the
@@ -499,6 +569,9 @@ func (a *Assembly) MemoryBytes() int64 {
 				b += s.MemoryBytes()
 			}
 		}
+	}
+	if a.bm != nil {
+		b += a.bm.MemoryBytes()
 	}
 	a.pmu.Unlock()
 	return b
@@ -613,8 +686,9 @@ func Solve(p *Problem) (*Solution, error) {
 		}
 		return &Solution{
 			Prob: snap, Lattice: lat, Q: q,
-			Stats:          solver.Stats{Converged: true, Ordering: solver.OrderingNatural},
+			Stats:          solver.Stats{Converged: true, Ordering: solver.OrderingNatural, Precision: solver.PrecisionFloat64},
 			Ordering:       solver.OrderingNatural,
+			Precision:      solver.PrecisionFloat64,
 			AssembleTime:   time.Since(tAsm),
 			AssemblyShared: shared,
 			GlobalDoFs:     ndof, MatrixNNZ: asm.NNZ,
@@ -652,6 +726,7 @@ func Solve(p *Problem) (*Solution, error) {
 	// scenario after it (including the cold retry of a failed warm start).
 	// A caller-supplied Opt.M wins over the cache.
 	precondShared := false
+	drewFromCache := false
 	var precondBuild time.Duration
 	if p.Solver != Direct && opt.M == nil {
 		kind := opt.Precond
@@ -662,7 +737,7 @@ func Solve(p *Problem) (*Solution, error) {
 			// Jacobi family instead of paying an unamortized IC0 factor.
 			kind = kind.Resolve(asm.NumFree())
 		}
-		ap, err := asm.Preconditioner(kind, opt.Ordering, opt.Workers)
+		ap, err := asm.PreconditionerPrec(kind, opt.Ordering, opt.Precision, opt.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("array: global preconditioner: %w", err)
 		}
@@ -670,7 +745,14 @@ func Solve(p *Problem) (*Solution, error) {
 		opt.Precond = ap.Kind
 		opt.Ordering = ap.Ordering
 		precondShared = ap.Hit
+		drewFromCache = true
 		precondBuild = ap.Build
+	}
+	if p.Solver != Direct {
+		// The 3×3-tiled form of the reduced matrix (nil when the dimension
+		// does not tile) routes the solver's mat-vec through the blocked
+		// kernel; built once per assembly, shared by every solve.
+		opt.MatBlocked = asm.Blocked()
 	}
 	x0 := p.X0
 	if len(x0) != len(rhs) {
@@ -691,12 +773,31 @@ func Solve(p *Problem) (*Solution, error) {
 			if err != nil {
 				return nil, stats, err
 			}
-			return chol.Solve(rhs), solver.Stats{Converged: true, Ordering: solver.OrderingNatural}, nil
+			return chol.Solve(rhs), solver.Stats{Converged: true, Ordering: solver.OrderingNatural, Precision: solver.PrecisionFloat64}, nil
 		default:
 			return solver.GMRES(red.Aff, rhs, seed, opt)
 		}
 	}
 	qf, stats, err := solve(x0)
+	precFellBack := false
+	if err != nil && drewFromCache && errors.Is(err, solver.ErrPrecision) {
+		// The float32 factor exhausted its refinement budget: the root cause
+		// is the factor's precision, not the seed, so a cold retry with the
+		// same factor would stall the same way. Rebuild in float64 — cached
+		// on the assembly like any other precision, so a sweep that trips
+		// the guard once pays the rebuild once — and retry with the same
+		// seed. opt.Precond/Ordering are concrete after the first draw, so
+		// the request resolves to the sibling cache entry.
+		ap, perr := asm.PreconditionerPrec(opt.Precond, opt.Ordering, solver.PrecisionFloat64, opt.Workers)
+		if perr != nil {
+			return nil, fmt.Errorf("array: float64 fallback preconditioner: %w (after %v)", perr, err)
+		}
+		opt.M = ap.M
+		opt.Precision = solver.PrecisionFloat64
+		precondBuild += ap.Build
+		precFellBack = true
+		qf, stats, err = solve(x0)
+	}
 	fellBack := false
 	if err != nil && x0 != nil && errors.Is(err, solver.ErrStalled) {
 		// A bad warm seed can stall the iteration; the scenario is still
@@ -726,10 +827,12 @@ func Solve(p *Problem) (*Solution, error) {
 	return &Solution{
 		Prob: snap, Lattice: lat, Q: q, QFree: qf, Stats: stats,
 		Ordering:     stats.Ordering,
+		Precision:    stats.Precision,
 		AssembleTime: asmTime, SolveTime: solveTime,
 		AssemblyShared: shared, WarmFallback: fellBack,
-		PrecondShared: precondShared,
-		GlobalDoFs:    ndof, MatrixNNZ: asm.NNZ,
+		PrecondShared:     precondShared,
+		PrecisionFallback: precFellBack,
+		GlobalDoFs:        ndof, MatrixNNZ: asm.NNZ,
 	}, nil
 }
 

@@ -37,13 +37,20 @@ func TestMeasureReducedGlobalPrecond(t *testing.T) {
 	type variant struct {
 		kind solver.PrecondKind
 		ord  solver.OrderingKind
+		prec solver.Precision
 	}
+	// The two explicit IC0 precisions at the natural ordering measure the
+	// blocked layout in both storage widths (the reduced matrices always
+	// clear BlockFillMin, so float64 here IS the blocked-vs-scalar apply
+	// comparison against the pr-8 scalar rows); the remaining orderings run
+	// at the auto precision the serving path uses.
 	variants := []variant{
-		{solver.PrecondJacobi, solver.OrderingNatural},
-		{solver.PrecondBlockJacobi3, solver.OrderingNatural},
-		{solver.PrecondIC0, solver.OrderingNatural},
-		{solver.PrecondIC0, solver.OrderingRCM},
-		{solver.PrecondIC0, solver.OrderingMulticolor},
+		{solver.PrecondJacobi, solver.OrderingNatural, solver.PrecisionFloat64},
+		{solver.PrecondBlockJacobi3, solver.OrderingNatural, solver.PrecisionFloat64},
+		{solver.PrecondIC0, solver.OrderingNatural, solver.PrecisionFloat64},
+		{solver.PrecondIC0, solver.OrderingNatural, solver.PrecisionFloat32},
+		{solver.PrecondIC0, solver.OrderingRCM, solver.PrecisionAuto},
+		{solver.PrecondIC0, solver.OrderingMulticolor, solver.PrecisionAuto},
 	}
 	for _, size := range []int{6, 12, 18} {
 		base := &Problem{ROM: r, Bx: size, By: size, DeltaT: -250, BC: ClampedTopBottom, Solver: CG}
@@ -58,7 +65,7 @@ func TestMeasureReducedGlobalPrecond(t *testing.T) {
 			solveOnce := func(a *Assembly) (*Solution, time.Duration) {
 				p := *base
 				p.Assembly = a
-				p.Opt = solver.Options{Tol: 1e-8, Precond: v.kind, Ordering: v.ord}
+				p.Opt = solver.Options{Tol: 1e-8, Precond: v.kind, Ordering: v.ord, Precision: v.prec}
 				t0 := time.Now()
 				sol, err := Solve(&p)
 				if err != nil {
@@ -73,13 +80,21 @@ func TestMeasureReducedGlobalPrecond(t *testing.T) {
 			}
 			coldSol, cold := solveOnce(coldAsm)
 			// Warm: shared assembly whose preconditioner cache is populated.
-			ap, err := asm.Preconditioner(v.kind, v.ord, 0)
+			ap, err := asm.PreconditionerPrec(v.kind, v.ord, v.prec, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
 			levels, width := -1, -1
 			if fl, ok := ap.M.(solver.FactorLevels); ok {
 				levels, width = fl.Levels()
+			}
+			blocked := false
+			if bl, ok := ap.M.(interface{ Blocked() bool }); ok {
+				blocked = bl.Blocked()
+			}
+			var factorBytes int64 = -1
+			if sz, ok := ap.M.(solver.Sized); ok {
+				factorBytes = sz.MemoryBytes()
 			}
 			best := time.Duration(1 << 62)
 			var warmSol *Solution
@@ -90,11 +105,12 @@ func TestMeasureReducedGlobalPrecond(t *testing.T) {
 				}
 				warmSol = sol
 			}
-			fmt.Printf("MEASURE %dx%d %-14s %-10s it=%3d cold=%7.0fms warm=%7.0fms build=%7.0fms apply=%6.0fms levels=%5d width=%5d shared=%v\n",
-				size, size, v.kind, v.ord, warmSol.Stats.Iterations,
+			fmt.Printf("MEASURE %dx%d %-14s %-10s prec=%-7s blocked=%-5v it=%3d cold=%7.0fms warm=%7.0fms build=%7.0fms apply=%6.0fms refine=%d bytes=%9d levels=%5d width=%5d shared=%v\n",
+				size, size, v.kind, v.ord, warmSol.Precision, blocked, warmSol.Stats.Iterations,
 				float64(cold)/1e6, float64(best)/1e6,
 				float64(coldSol.Stats.PrecondBuild)/1e6,
 				float64(warmSol.Stats.PrecondApply)/1e6,
+				warmSol.Stats.Refinements, factorBytes,
 				levels, width,
 				warmSol.PrecondShared)
 		}

@@ -91,7 +91,11 @@ type Event struct {
 	PrecondCached bool    `json:"precondCached,omitempty"`
 	Residual      float64 `json:"residual,omitempty"`
 	Precond       string  `json:"precond,omitempty"`
-	WarmStart     bool    `json:"warmStart,omitempty"`
+	// Precision is the storage precision the preconditioner factor was
+	// held in ("float32" for the mixed-precision IC0 path, "float64"
+	// otherwise); empty for state events, failures, and direct solves.
+	Precision string `json:"precision,omitempty"`
+	WarmStart bool   `json:"warmStart,omitempty"`
 }
 
 // SolveFunc solves one scenario. The context is the job's: it is cancelled
@@ -720,6 +724,7 @@ func (q *Queue) run(j *job) {
 			ev.Iterations = res.Result.Stats.Iterations
 			ev.Residual = res.Result.Stats.Residual
 			ev.Precond = res.Result.Stats.Precond.String()
+			ev.Precision = res.Result.Stats.Precision.String()
 			ev.WarmStart = res.Result.Stats.Warm
 			ev.PrecondCached = res.Result.Solution.PrecondShared
 		}

@@ -74,6 +74,7 @@ type jobWire struct {
 	Workers     int
 	Precond     morestress.Precond
 	Ordering    morestress.Ordering
+	Precision   morestress.Precision
 }
 
 func toJobWire(j morestress.Job) jobWire {
@@ -82,6 +83,7 @@ func toJobWire(j morestress.Job) jobWire {
 		DeltaT: j.DeltaT, GridSamples: j.GridSamples, Solver: j.Solver,
 		Tol: j.Options.Tol, MaxIter: j.Options.MaxIter, Restart: j.Options.Restart,
 		Workers: j.Options.Workers, Precond: j.Options.Precond, Ordering: j.Options.Ordering,
+		Precision: j.Options.Precision,
 	}
 }
 
@@ -92,6 +94,7 @@ func (w jobWire) job() morestress.Job {
 		Options: morestress.SolverOptions{
 			Tol: w.Tol, MaxIter: w.MaxIter, Restart: w.Restart,
 			Workers: w.Workers, Precond: w.Precond, Ordering: w.Ordering,
+			Precision: w.Precision,
 		},
 	}
 }

@@ -312,6 +312,31 @@ func TestSubmitRejectsUnjournalableScenarios(t *testing.T) {
 	}
 }
 
+// TestJobWireRoundTripsSolverOptions pins the journal's wire projection:
+// every serializable solver option a recovered job needs to re-run
+// identically — including the factor ordering and storage precision —
+// survives the jobWire round trip. A field silently dropped here means a
+// crash-recovered job re-runs under different solver settings.
+func TestJobWireRoundTripsSolverOptions(t *testing.T) {
+	in := scenario(7)
+	in.Rows, in.Cols, in.GridSamples = 3, 4, 9
+	in.Solver = morestress.SolveCG
+	in.Options = morestress.SolverOptions{
+		Tol: 1e-9, MaxIter: 123, Restart: 17, Workers: 2,
+		Precond:   morestress.PrecondIC0,
+		Ordering:  morestress.OrderingMulticolor,
+		Precision: morestress.PrecisionFloat32,
+	}
+	out := toJobWire(in).job()
+	if out.Options != in.Options {
+		t.Errorf("solver options did not round-trip: got %+v, want %+v", out.Options, in.Options)
+	}
+	if out.Rows != in.Rows || out.Cols != in.Cols || out.DeltaT != in.DeltaT ||
+		out.GridSamples != in.GridSamples || out.Solver != in.Solver {
+		t.Errorf("job fields did not round-trip: got %+v, want %+v", out, in)
+	}
+}
+
 func TestSubmitRegeneratesCollidingID(t *testing.T) {
 	ids := []string{"aaaa", "aaaa", "bbbb"}
 	calls := 0

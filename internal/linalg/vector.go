@@ -86,7 +86,7 @@ func Zero(v []float64) {
 //stressvet:noalloc
 func Sub(dst, a, b []float64) {
 	if len(a) != len(b) || len(dst) != len(a) {
-		panic("linalg: Sub length mismatch")
+		panic(fmt.Sprintf("linalg: Sub length mismatch %d vs %d vs %d", len(dst), len(a), len(b)))
 	}
 	for i := range a {
 		dst[i] = a[i] - b[i]

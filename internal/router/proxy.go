@@ -39,13 +39,15 @@ type ProxyOptions struct {
 	// Client issues the forwarded requests (default: http.Client with no
 	// overall timeout — solves are long; per-probe timeouts still apply).
 	Client *http.Client
-	// Precond and Ordering are the defaults used when deriving routing
-	// keys from requests that do not name them. They must match the
-	// replicas' own -precond/-ordering flags only if those flags differ
-	// per replica (they never should); the lattice key does not depend on
-	// solver options, so these exist purely to satisfy request validation.
-	Precond  morestress.Precond
-	Ordering morestress.Ordering
+	// Precond, Ordering, and Precision are the defaults used when deriving
+	// routing keys from requests that do not name them. They must match the
+	// replicas' own -precond/-ordering/-precision flags only if those flags
+	// differ per replica (they never should); the lattice key does not
+	// depend on solver options, so these exist purely to satisfy request
+	// validation.
+	Precond   morestress.Precond
+	Ordering  morestress.Ordering
+	Precision morestress.Precision
 }
 
 // replica is one backend in the fleet.
@@ -183,7 +185,7 @@ func (p *Proxy) SolveKey(body []byte) (string, error) {
 	if err := dec.Decode(&req); err != nil {
 		return "", err
 	}
-	job, err := req.ToJob(p.opt.Precond, p.opt.Ordering)
+	job, err := req.ToJobPrec(p.opt.Precond, p.opt.Ordering, p.opt.Precision)
 	if err != nil {
 		return "", err
 	}
@@ -268,7 +270,7 @@ func (p *Proxy) batchKey(body []byte) (string, error) {
 	if len(req.Jobs) == 0 {
 		return "", errors.New("batch has no jobs")
 	}
-	job, err := req.Jobs[0].ToJob(p.opt.Precond, p.opt.Ordering)
+	job, err := req.Jobs[0].ToJobPrec(p.opt.Precond, p.opt.Ordering, p.opt.Precision)
 	if err != nil {
 		return "", err
 	}
@@ -299,7 +301,7 @@ func (p *Proxy) handleBatch(w http.ResponseWriter, r *http.Request) {
 	parts := make([][]int, p.table.Len())
 	for i := range req.Jobs {
 		key := ""
-		if job, err := req.Jobs[i].ToJob(p.opt.Precond, p.opt.Ordering); err == nil {
+		if job, err := req.Jobs[i].ToJobPrec(p.opt.Precond, p.opt.Ordering, p.opt.Precision); err == nil {
 			key = morestress.LatticeKey(job)
 		}
 		sh := p.table.Pick(key)
@@ -669,6 +671,14 @@ func mergeStats(dst, src *serveapi.StatsResponse, idx int) {
 		}
 		dst.Solver.OrderingCounts[k] += v
 	}
+	for k, v := range src.Solver.PrecisionCounts {
+		if dst.Solver.PrecisionCounts == nil {
+			dst.Solver.PrecisionCounts = make(map[string]int64)
+		}
+		dst.Solver.PrecisionCounts[k] += v
+	}
+	dst.Solver.Refinements += src.Solver.Refinements
+	dst.Solver.PrecisionFallbacks += src.Solver.PrecisionFallbacks
 	dst.Cache.Hits += src.Cache.Hits
 	dst.Cache.Misses += src.Cache.Misses
 	dst.Cache.DiskHits += src.Cache.DiskHits
@@ -691,17 +701,19 @@ func mergeStats(dst, src *serveapi.StatsResponse, idx int) {
 	dst.Queue.RetainedFieldSamples += src.Queue.RetainedFieldSamples
 	dst.Queue.FieldSampleBudget += src.Queue.FieldSampleBudget
 	dst.Shards = append(dst.Shards, serveapi.ShardStats{
-		Shard:           idx,
-		JobsDone:        src.JobsDone,
-		JobsFailed:      src.JobsFailed,
-		Assemblies:      src.Solver.Assemblies,
-		AssemblyHits:    src.Solver.AssemblyHits,
-		PrecondBuilds:   src.Solver.PrecondBuilds,
-		PrecondHits:     src.Solver.PrecondHits,
-		IterativeSolves: src.Solver.IterativeSolves,
-		WarmStarts:      src.Solver.WarmStarts,
-		Factorizations:  src.Factorizations,
-		FactorHits:      src.FactorHits,
+		Shard:              idx,
+		JobsDone:           src.JobsDone,
+		JobsFailed:         src.JobsFailed,
+		Assemblies:         src.Solver.Assemblies,
+		AssemblyHits:       src.Solver.AssemblyHits,
+		PrecondBuilds:      src.Solver.PrecondBuilds,
+		PrecondHits:        src.Solver.PrecondHits,
+		IterativeSolves:    src.Solver.IterativeSolves,
+		WarmStarts:         src.Solver.WarmStarts,
+		Factorizations:     src.Factorizations,
+		FactorHits:         src.FactorHits,
+		Refinements:        src.Solver.Refinements,
+		PrecisionFallbacks: src.Solver.PrecisionFallbacks,
 	})
 }
 

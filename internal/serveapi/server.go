@@ -86,6 +86,11 @@ type JobRequest struct {
 	// out), "natural", "rcm", or "multicolor". Empty falls back to the
 	// server's -ordering flag.
 	Ordering string `json:"ordering"`
+	// Precision selects the IC0 factor storage precision: "auto" (default,
+	// float32 when the factor tiles), "float64"/"f64"/"double", or
+	// "float32"/"f32"/"single". Empty falls back to the server's
+	// -precision flag.
+	Precision string `json:"precision"`
 
 	// IncludeField returns the sampled von Mises field in the response
 	// (requires gridSamples > 0).
@@ -93,6 +98,12 @@ type JobRequest struct {
 }
 
 func (r *JobRequest) ToJob(defaultPrecond morestress.Precond, defaultOrdering morestress.Ordering) (morestress.Job, error) {
+	return r.ToJobPrec(defaultPrecond, defaultOrdering, morestress.PrecisionAuto)
+}
+
+// ToJobPrec is ToJob with an explicit default for the factor precision (the
+// server's -precision flag), applied when the request does not name one.
+func (r *JobRequest) ToJobPrec(defaultPrecond morestress.Precond, defaultOrdering morestress.Ordering, defaultPrecision morestress.Precision) (morestress.Job, error) {
 	var job morestress.Job
 	pitch := r.Pitch
 	if pitch == 0 {
@@ -169,7 +180,14 @@ func (r *JobRequest) ToJob(defaultPrecond morestress.Precond, defaultOrdering mo
 			return job, err
 		}
 	}
-	job.Options = morestress.SolverOptions{Tol: r.Tol, MaxIter: r.MaxIter, Precond: precond, Ordering: ordering}
+	precision := defaultPrecision
+	if r.Precision != "" {
+		var err error
+		if precision, err = morestress.ParsePrecision(r.Precision); err != nil {
+			return job, err
+		}
+	}
+	job.Options = morestress.SolverOptions{Tol: r.Tol, MaxIter: r.MaxIter, Precond: precond, Ordering: ordering, Precision: precision}
 	return job, nil
 }
 
@@ -192,16 +210,24 @@ type JobResponse struct {
 	// solution on the same lattice, and PrecondCached whether the
 	// preconditioner came from the lattice assembly's cache instead of
 	// being built by this solve. Empty/false for direct solves.
-	Precond       string         `json:"precond,omitempty"`
-	Ordering      string         `json:"ordering,omitempty"`
-	WarmStart     bool           `json:"warmStart,omitempty"`
-	PrecondCached bool           `json:"precondCached,omitempty"`
-	GlobalDoFs    int            `json:"globalDoFs"`
-	MaxVonMises   float64        `json:"maxVonMises,omitempty"`
-	CacheHit      bool           `json:"cacheHit"`
-	LocalWaitMS   float64        `json:"localWaitMs"`
-	TotalMS       float64        `json:"totalMs"`
-	Field         *FieldResponse `json:"field,omitempty"`
+	Precond       string `json:"precond,omitempty"`
+	Ordering      string `json:"ordering,omitempty"`
+	WarmStart     bool   `json:"warmStart,omitempty"`
+	PrecondCached bool   `json:"precondCached,omitempty"`
+	// Precision is the storage precision the preconditioner factor was
+	// held in ("float64" or "float32"); Refinements counts the
+	// iterative-refinement restarts a float32-factor solve performed, and
+	// PrecisionFallback reports that the float32 factor stalled and the
+	// recorded solve ran against a float64 rebuild.
+	Precision         string         `json:"precision,omitempty"`
+	Refinements       int            `json:"refinements,omitempty"`
+	PrecisionFallback bool           `json:"precisionFallback,omitempty"`
+	GlobalDoFs        int            `json:"globalDoFs"`
+	MaxVonMises       float64        `json:"maxVonMises,omitempty"`
+	CacheHit          bool           `json:"cacheHit"`
+	LocalWaitMS       float64        `json:"localWaitMs"`
+	TotalMS           float64        `json:"totalMs"`
+	Field             *FieldResponse `json:"field,omitempty"`
 }
 
 func toResponse(res *morestress.JobResult, includeField bool) JobResponse {
@@ -223,6 +249,9 @@ func toResponse(res *morestress.JobResult, includeField bool) JobResponse {
 		out.Ordering = r.Solution.Ordering.String()
 		out.WarmStart = r.Stats.Warm
 		out.PrecondCached = r.Solution.PrecondShared
+		out.Precision = r.Solution.Precision.String()
+		out.Refinements = r.Stats.Refinements
+		out.PrecisionFallback = r.Solution.PrecisionFallback
 	}
 	out.GlobalDoFs = r.GlobalDoFs
 	if r.VM != nil {
@@ -243,10 +272,12 @@ type Server struct {
 	// (nil otherwise); held so /stats can report it and /readyz can check
 	// that it still takes appends.
 	Journal *wal.Log
-	// Precond and Ordering are the server-wide defaults (-precond and
-	// -ordering flags), applied to requests that do not name one.
-	Precond  morestress.Precond
-	Ordering morestress.Ordering
+	// Precond, Ordering, and Precision are the server-wide defaults
+	// (-precond, -ordering, and -precision flags), applied to requests that
+	// do not name one.
+	Precond   morestress.Precond
+	Ordering  morestress.Ordering
+	Precision morestress.Precision
 	// PerShard, when the engine is an in-process shard set, returns the
 	// per-shard engine snapshots /stats breaks out under "shards" (nil for
 	// a single engine).
@@ -335,7 +366,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	job, err := req.ToJob(s.Precond, s.Ordering)
+	job, err := req.ToJobPrec(s.Precond, s.Ordering, s.Precision)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -417,6 +448,14 @@ type StatsResponse struct {
 		// ordering their preconditioner factored under ("natural", "rcm",
 		// "multicolor"); orderings that never ran are omitted.
 		OrderingCounts map[string]int64 `json:"orderingCounts"`
+		// PrecisionCounts tallies iterative solves by the storage precision
+		// of their preconditioner factor ("float64", "float32");
+		// Refinements sums the iterative-refinement restarts of
+		// float32-factor solves and PrecisionFallbacks counts solves that
+		// fell back to a float64 rebuild.
+		PrecisionCounts    map[string]int64 `json:"precisionCounts"`
+		Refinements        int64            `json:"refinements"`
+		PrecisionFallbacks int64            `json:"precisionFallbacks"`
 		// WarmStartRate is WarmStarts / IterativeSolves (0 when none ran).
 		WarmStartRate float64 `json:"warmStartRate"`
 	} `json:"solver"`
@@ -473,6 +512,10 @@ type ShardStats struct {
 	WarmStarts      int64 `json:"warmStarts"`
 	Factorizations  int64 `json:"factorizations"`
 	FactorHits      int64 `json:"factorHits"`
+	// Refinements and PrecisionFallbacks report the shard's mixed-precision
+	// behavior (see the solver section for the fleet totals).
+	Refinements        int64 `json:"refinements,omitempty"`
+	PrecisionFallbacks int64 `json:"precisionFallbacks,omitempty"`
 }
 
 // JournalStats is the /stats view of the job WAL and the recovery that ran
@@ -519,6 +562,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out.Solver.PrecondBuilds = es.PrecondBuilds
 	out.Solver.PrecondHits = es.PrecondHits
 	out.Solver.OrderingCounts = es.OrderingCounts
+	out.Solver.PrecisionCounts = es.PrecisionCounts
+	out.Solver.Refinements = es.Refinements
+	out.Solver.PrecisionFallbacks = es.PrecisionFallbacks
 	if es.IterativeSolves > 0 {
 		out.Solver.WarmStartRate = float64(es.WarmStarts) / float64(es.IterativeSolves)
 	}
@@ -552,17 +598,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		out.Shards = make([]ShardStats, len(per))
 		for i, es := range per {
 			out.Shards[i] = ShardStats{
-				Shard:           i,
-				JobsDone:        es.JobsDone,
-				JobsFailed:      es.JobsFailed,
-				Assemblies:      es.Assemblies,
-				AssemblyHits:    es.AssemblyHits,
-				PrecondBuilds:   es.PrecondBuilds,
-				PrecondHits:     es.PrecondHits,
-				IterativeSolves: es.IterativeSolves,
-				WarmStarts:      es.WarmStarts,
-				Factorizations:  es.Factorizations,
-				FactorHits:      es.FactorHits,
+				Shard:              i,
+				JobsDone:           es.JobsDone,
+				JobsFailed:         es.JobsFailed,
+				Assemblies:         es.Assemblies,
+				AssemblyHits:       es.AssemblyHits,
+				PrecondBuilds:      es.PrecondBuilds,
+				PrecondHits:        es.PrecondHits,
+				IterativeSolves:    es.IterativeSolves,
+				WarmStarts:         es.WarmStarts,
+				Factorizations:     es.Factorizations,
+				FactorHits:         es.FactorHits,
+				Refinements:        es.Refinements,
+				PrecisionFallbacks: es.PrecisionFallbacks,
 			}
 		}
 	}

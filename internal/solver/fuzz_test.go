@@ -88,12 +88,29 @@ func FuzzMulticolorOrdering(f *testing.F) {
 			}
 		}
 		// Contract 4: the multicolor factor applies bitwise identically at
-		// every worker count and dispatch mode.
+		// every worker count and dispatch mode. The level-count contract is
+		// layout-aware: 3-DoF dimensions use the node coloring — one block
+		// level per node color when the factor commits to tiles, and between
+		// nc and 3·nc scalar levels otherwise (each node chains ≤ 3 rows,
+		// and greedy color c always has a strictly descending color path
+		// beneath it, so depth is at least the color count) — while other
+		// dimensions keep the scalar one-level-per-color shape.
 		p, err := newIC0Ordered(m, OrderingMulticolor)
 		if err != nil {
 			t.Fatalf("ic0: %v", err)
 		}
-		if lv, _ := p.Levels(); lv != len(colorPtr)-1 {
+		lv, _ := p.Levels()
+		if n%3 == 0 {
+			_, nodePtr := MulticolorNodes(m)
+			nc := len(nodePtr) - 1
+			if p.Blocked() {
+				if lv != nc {
+					t.Fatalf("blocked factor has %d levels, want one per node color (%d)", lv, nc)
+				}
+			} else if lv < nc || lv > 3*nc {
+				t.Fatalf("scalar factor under node coloring has %d levels, want within [%d, %d]", lv, nc, 3*nc)
+			}
+		} else if lv != len(colorPtr)-1 {
 			t.Fatalf("factor has %d levels, want one per color (%d)", lv, len(colorPtr)-1)
 		}
 		r := make([]float64, n)

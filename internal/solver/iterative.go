@@ -30,6 +30,15 @@ type Stats struct {
 	// (OrderingNatural for the ordering-invariant kinds; prebuilt Options.M
 	// preconditioners report their own).
 	Ordering OrderingKind
+	// Precision is the concrete storage precision of the preconditioner's
+	// factor values (PrecisionFloat64 for the non-factorizing kinds; prebuilt
+	// Options.M preconditioners report their own).
+	Precision Precision
+	// Refinements counts the iterative-refinement restarts a float32-factor
+	// PCG solve took when the recurrence residual diverged from the true
+	// residual (always zero for float64 factors and for GMRES, whose
+	// restarts recompute the true residual anyway).
+	Refinements int
 	// Warm reports whether the solve was seeded with an initial guess.
 	Warm bool
 	// PrecondBuild is the preconditioner construction cost paid by this
@@ -63,12 +72,24 @@ type Options struct {
 	// fan out, natural otherwise). Ignored when Options.M supplies a
 	// prebuilt preconditioner, which carries its own ordering.
 	Ordering OrderingKind
+	// Precision selects the storage precision of the factorizing
+	// preconditioners' values (default PrecisionAuto: float32 when the
+	// blocked factor layout engages, float64 otherwise — see Precision).
+	// Ignored when Options.M supplies a prebuilt preconditioner, which
+	// carries its own precision.
+	Precision Precision
 	// M optionally supplies a prebuilt preconditioner — e.g. one cached on
 	// an array.Assembly — and skips construction (Stats.PrecondBuild stays
 	// zero). Precond should name the concrete kind M was built as; it is
 	// resolved and recorded in Stats either way. Runtime-only: never
 	// serialized.
 	M Preconditioner
+	// MatBlocked optionally supplies the 3×3-tiled form of the system
+	// matrix (e.g. assembly-cached); the workspace mat-vec then runs the
+	// blocked kernel instead of the scalar CSR one. Must represent the same
+	// matrix as a — dimension mismatches are ignored (scalar path). Runtime-
+	// only: never serialized.
+	MatBlocked *sparse.BCSR
 	// Work optionally supplies a reusable Workspace (pooled work vectors,
 	// resident parallel gang). The returned solution vector is then owned
 	// by the workspace and valid only until its next solve — copy it to
@@ -150,19 +171,23 @@ func GMRES(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error
 		var err error
 		// Worker-aware ordering resolution, matching PCG: see
 		// ResolveOrderingFor.
-		pre, err = NewPreconditionerOrdered(kind, ResolveOrderingFor(opt.Ordering, a, opt.Workers), a)
+		pre, err = NewPreconditionerPrec(kind, ResolveOrderingFor(opt.Ordering, a, opt.Workers), opt.Precision, a)
 		if err != nil {
 			return nil, st, err
 		}
 		st.PrecondBuild = time.Since(tBuild)
 	}
 	st.Ordering = orderingOf(pre)
+	// GMRES needs no refinement guard for float32 factors: every restart
+	// already recomputes the true residual b−A·x and the convergence test
+	// runs on it, so a rounded factor can slow convergence but never fake it.
+	st.Precision = precisionOf(pre)
 	ws := opt.Work
 	if ws == nil {
 		ws = &Workspace{}
 	}
 	ws.reset()
-	ws.prepMatVec(a, opt.Workers)
+	ws.prepMatVec(a, opt.MatBlocked, opt.Workers)
 	wa, _ := pre.(parApplier)
 	apply := func(dst, src []float64) {
 		t0 := time.Now() //stressvet:allow determinism -- wall clock feeds Stats timing only, never numerics

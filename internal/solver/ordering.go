@@ -165,6 +165,79 @@ func csrRows(m *sparse.CSR) func(r int) []int32 {
 	return func(r int) []int32 { return m.ColIdx[m.RowPtr[r]:m.RowPtr[r+1]] }
 }
 
+// MulticolorNodes is the block-aware multicolor ordering for 3-DoF node
+// systems: it colors the *node quotient graph* (nodes adjacent when any of
+// their scalar DoFs couple) with the same greedy rule as Multicolor, then
+// expands the node permutation so each node's 3 rows stay contiguous —
+// perm[3v+c] = 3·newNode(v)+c. Blocked (3×3-tiled) storage survives the
+// reordering intact, and the coloring is coarser than the scalar one (node
+// cliques collapse to single vertices), which is why it costs fewer extra
+// PCG iterations than coloring scalar rows: the intra-node couplings that
+// scalar coloring is forced to separate stay together.
+//
+// Under the returned permutation no two adjacent nodes share a color, so
+// the blocked factor's dependency schedules collapse to one block level per
+// color (the scalar factor still chains up to 3 rows inside each node).
+// The returned perm maps perm[old] = new over scalar indices; colorPtr
+// bounds each color class in *node* units (class c covers scalar rows
+// [3·colorPtr[c], 3·colorPtr[c+1])). n must be divisible by 3. Deterministic
+// for a fixed pattern.
+func MulticolorNodes(a *sparse.CSR) (perm []int32, colorPtr []int32) {
+	n := a.NRows
+	nb := n / sparse.BlockSize
+	color := make([]int32, nb)
+	for i := range color {
+		color[i] = -1
+	}
+	// mark[c] holds the most recent node whose neighborhood saw color c;
+	// duplicate scalar couplings to the same neighbor just re-mark it, so no
+	// dedup pass is needed.
+	var mark []int32
+	var ncolors int32
+	for v := 0; v < nb; v++ {
+		for i := 0; i < sparse.BlockSize; i++ {
+			r := sparse.BlockSize*v + i
+			for p := a.RowPtr[r]; p < a.RowPtr[r+1]; p++ {
+				w := int(a.ColIdx[p]) / sparse.BlockSize
+				if w == v || w < 0 || w >= nb {
+					continue
+				}
+				if c := color[w]; c >= 0 {
+					mark[c] = int32(v)
+				}
+			}
+		}
+		c := int32(0)
+		for c < ncolors && mark[c] == int32(v) {
+			c++
+		}
+		if c == ncolors {
+			ncolors++
+			mark = append(mark, -1)
+		}
+		color[v] = c
+	}
+	colorPtr = make([]int32, ncolors+1)
+	for _, c := range color {
+		colorPtr[c+1]++
+	}
+	for c := int32(0); c < ncolors; c++ {
+		colorPtr[c+1] += colorPtr[c]
+	}
+	perm = make([]int32, n)
+	next := make([]int32, ncolors)
+	copy(next, colorPtr[:ncolors])
+	for v := 0; v < nb; v++ {
+		c := color[v]
+		q := next[c]
+		next[c]++
+		for i := 0; i < sparse.BlockSize; i++ {
+			perm[sparse.BlockSize*v+i] = sparse.BlockSize*q + int32(i)
+		}
+	}
+	return perm, colorPtr
+}
+
 // NaturalLevelWidth returns the maximum dependency-level width (rows) of the
 // lower-triangular pattern of a in its natural order — the zero-fill IC0
 // factor pattern, computed without factoring (one O(nnz) sweep). This is the
@@ -243,12 +316,19 @@ func OrderingFromWidth(k OrderingKind, n, width, workers int) OrderingKind {
 }
 
 // orderingPerm materializes the permutation of a concrete ordering kind for
-// the pattern of a: nil for the natural ordering (identity).
+// the pattern of a: nil for the natural ordering (identity). Multicolor is
+// node-blocked on 3-DoF systems (MulticolorNodes) so blocked factor storage
+// survives the reordering; scalar coloring remains for dimensions not
+// divisible by 3.
 func orderingPerm(k OrderingKind, a *sparse.CSR) []int32 {
 	switch k {
 	case OrderingRCM:
 		return RCM(a)
 	case OrderingMulticolor:
+		if a.NRows == a.NCols && a.NRows%sparse.BlockSize == 0 {
+			perm, _ := MulticolorNodes(a)
+			return perm
+		}
 		perm, _ := Multicolor(a.NRows, csrRows(a))
 		return perm
 	}

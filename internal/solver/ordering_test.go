@@ -79,8 +79,12 @@ func TestMulticolorValidColoring(t *testing.T) {
 // TestMulticolorCollapsesLevels is the tentpole's shape contract: on a
 // lattice-like system whose natural-order IC0 DAG is deep and narrow, the
 // multicolor-ordered factor's schedule must collapse to one level per color
-// — orders of magnitude fewer, each wide.
+// — orders of magnitude fewer, each wide. Since PR 9 the factor layout
+// depends on the dimension: 3-DoF systems commit to the blocked (3×3-tiled)
+// factor and the node coloring (one *block* level per node color), while
+// other dimensions keep the scalar factor and the scalar row coloring.
 func TestMulticolorCollapsesLevels(t *testing.T) {
+	// Blocked path: n divisible by 3 → node coloring + tiled factor.
 	a := latticeLike(12, 12, 9) // narrow natural DAG by construction
 	natural, err := newIC0Ordered(a, OrderingNatural)
 	if err != nil {
@@ -90,12 +94,19 @@ func TestMulticolorCollapsesLevels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, colorPtr := Multicolor(a.NRows, csrRows(a))
-	colors := len(colorPtr) - 1
+	if !natural.Blocked() || !colored.Blocked() {
+		t.Fatalf("3-DoF lattice factors not blocked (natural %v, multicolor %v)", natural.Blocked(), colored.Blocked())
+	}
+	_, nodePtr := MulticolorNodes(a)
+	nodeColors := len(nodePtr) - 1
+	_, scalarPtr := Multicolor(a.NRows, csrRows(a))
+	if nodeColors > len(scalarPtr)-1 {
+		t.Errorf("node coloring uses %d colors, more than the %d scalar colors", nodeColors, len(scalarPtr)-1)
+	}
 	nLevels, nWidth := natural.Levels()
 	cLevels, cWidth := colored.Levels()
-	if cLevels != colors {
-		t.Errorf("multicolor factor has %d levels, want one per color (%d)", cLevels, colors)
+	if cLevels != nodeColors {
+		t.Errorf("multicolor blocked factor has %d levels, want one per node color (%d)", cLevels, nodeColors)
 	}
 	if cLevels >= nLevels/4 {
 		t.Errorf("multicolor did not collapse the schedule: %d levels vs natural %d", cLevels, nLevels)
@@ -103,8 +114,84 @@ func TestMulticolorCollapsesLevels(t *testing.T) {
 	if cWidth <= nWidth {
 		t.Errorf("multicolor max level width %d not wider than natural %d", cWidth, nWidth)
 	}
-	if w := NaturalLevelWidth(a); w != nWidth {
-		t.Errorf("NaturalLevelWidth probe says %d, factored schedule says %d", w, nWidth)
+
+	// Scalar path: dimension not divisible by 3 keeps the scalar factor and
+	// the scalar coloring, with the original one-level-per-color contract
+	// and the NaturalLevelWidth probe matching the factored schedule.
+	s := latticeLike(11, 11, 10) // 1210 DoFs, not a multiple of 3
+	snat, err := newIC0Ordered(s, OrderingNatural)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scol, err := newIC0Ordered(s, OrderingMulticolor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snat.Blocked() || scol.Blocked() {
+		t.Fatalf("non-3-DoF factors unexpectedly blocked (natural %v, multicolor %v)", snat.Blocked(), scol.Blocked())
+	}
+	_, sPtr := Multicolor(s.NRows, csrRows(s))
+	if sLevels, _ := scol.Levels(); sLevels != len(sPtr)-1 {
+		t.Errorf("scalar multicolor factor has %d levels, want one per color (%d)", sLevels, len(sPtr)-1)
+	}
+	_, sWidth := snat.Levels()
+	if w := NaturalLevelWidth(s); w != sWidth {
+		t.Errorf("NaturalLevelWidth probe says %d, factored schedule says %d", w, sWidth)
+	}
+}
+
+// TestMulticolorNodesContiguous pins the block-aware coloring's structural
+// contracts: a valid scalar permutation that keeps every node's 3 rows
+// contiguous (triads survive for blocked storage), node-class bounds that
+// cover the node range, and no two *coupled* nodes in one class.
+func TestMulticolorNodesContiguous(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	systems := map[string]*sparse.CSR{
+		"lattice":    latticeLike(7, 7, 6),
+		"elasticity": elasticity3(6, 5, 4),
+		"random":     randSPDSparse(rng, 900, 5),
+		"diagonal":   diagonalCSR(42),
+	}
+	for name, m := range systems {
+		perm, colorPtr := MulticolorNodes(m)
+		n := m.NRows
+		nb := n / 3
+		seen := make([]bool, n)
+		for _, p := range perm {
+			if p < 0 || int(p) >= n || seen[p] {
+				t.Fatalf("%s: perm is not a permutation at %d", name, p)
+			}
+			seen[p] = true
+		}
+		for v := 0; v < nb; v++ {
+			base := perm[3*v]
+			if base%3 != 0 || perm[3*v+1] != base+1 || perm[3*v+2] != base+2 {
+				t.Fatalf("%s: node %d triad not contiguous: %v", name, v, perm[3*v:3*v+3])
+			}
+		}
+		if colorPtr[0] != 0 || colorPtr[len(colorPtr)-1] != int32(nb) {
+			t.Fatalf("%s: node colorPtr %v does not cover [0, %d]", name, colorPtr, nb)
+		}
+		classOf := make([]int32, nb)
+		for c := 0; c+1 < len(colorPtr); c++ {
+			if colorPtr[c+1] <= colorPtr[c] {
+				t.Fatalf("%s: empty node color class %d", name, c)
+			}
+			for i := colorPtr[c]; i < colorPtr[c+1]; i++ {
+				classOf[i] = int32(c)
+			}
+		}
+		for r := 0; r < n; r++ {
+			for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+				vr, vc := r/3, int(m.ColIdx[p])/3
+				if vr == vc {
+					continue
+				}
+				if classOf[perm[3*vr]/3] == classOf[perm[3*vc]/3] {
+					t.Fatalf("%s: coupled nodes %d and %d share a color", name, vr, vc)
+				}
+			}
+		}
 	}
 }
 

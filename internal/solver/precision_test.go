@@ -1,0 +1,333 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func maxAbsVec(v []float64) float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// TestBlockedIC0ApplyMatchesScalar compares the tiled factor application
+// against the scalar factor of the same system (newIC0Layout with blocking
+// suppressed): same factorization, same values, only the storage layout and
+// kernel grouping differ — so float64 tiles must agree to rounding noise,
+// and float32 tiles to single-precision rounding of the factor, across
+// orderings, worker counts, and dispatch modes.
+func TestBlockedIC0ApplyMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	// Dense per-node tiles: the factor fill clears BlockFillMin, as the
+	// reduced global matrices do. (elasticity3's ⅓-full off-diagonal tiles
+	// stay scalar — TestPrecisionDegradesOnScalarLayout covers that side.)
+	systems := map[string]*sparse.CSR{
+		"lattice-9x8":   latticeLike(9, 8, 3),
+		"lattice-11x11": latticeLike(11, 11, 3),
+	}
+	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0), 8}
+	for name, a := range systems {
+		for _, ord := range []OrderingKind{OrderingNatural, OrderingMulticolor} {
+			scalar, err := newIC0Layout(a, ord, PrecisionFloat64, false)
+			if err != nil {
+				t.Fatalf("%s/%v scalar: %v", name, ord, err)
+			}
+			if scalar.Blocked() {
+				t.Fatalf("%s/%v: layout-suppressed factor is blocked", name, ord)
+			}
+			b64, err := newIC0Prec(a, ord, PrecisionFloat64)
+			if err != nil {
+				t.Fatalf("%s/%v f64: %v", name, ord, err)
+			}
+			b32, err := newIC0Prec(a, ord, PrecisionAuto)
+			if err != nil {
+				t.Fatalf("%s/%v f32: %v", name, ord, err)
+			}
+			if !b64.Blocked() || b64.FactorPrecision() != PrecisionFloat64 {
+				t.Fatalf("%s/%v: f64 factor blocked=%v precision=%v", name, ord, b64.Blocked(), b64.FactorPrecision())
+			}
+			if !b32.Blocked() || b32.FactorPrecision() != PrecisionFloat32 {
+				t.Fatalf("%s/%v: auto factor blocked=%v precision=%v, want blocked float32", name, ord, b32.Blocked(), b32.FactorPrecision())
+			}
+			n := a.NRows
+			r := make([]float64, n)
+			for i := range r {
+				r[i] = rng.NormFloat64()
+			}
+			want := make([]float64, n)
+			scalar.applyPar(want, r, 1, nil)
+			scale := 1 + maxAbsVec(want)
+
+			got := make([]float64, n)
+			b64.applyPar(got, r, 1, nil)
+			if d := maxAbsDiff(got, want); d > 1e-9*scale {
+				t.Fatalf("%s/%v: blocked f64 apply differs from scalar by %g", name, ord, d)
+			}
+			want64 := make([]float64, n)
+			copy(want64, got)
+
+			got32 := make([]float64, n)
+			b32.applyPar(got32, r, 1, nil)
+			if d := maxAbsDiff(got32, want); d > 2e-4*scale {
+				t.Fatalf("%s/%v: blocked f32 apply differs from scalar by %g", name, ord, d)
+			}
+			want32 := make([]float64, n)
+			copy(want32, got32)
+
+			// Worker counts and pooled dispatch stay bitwise per layout.
+			for _, w := range workerCounts {
+				ws := NewWorkspace(w)
+				for prec, pair := range map[string][2][]float64{
+					"f64": {want64, got}, "f32": {want32, got32},
+				} {
+					p := b64
+					if prec == "f32" {
+						p = b32
+					}
+					p.applyPar(pair[1], r, w, nil)
+					for i := range pair[0] {
+						if pair[1][i] != pair[0][i] {
+							t.Fatalf("%s/%v %s spawn workers=%d: dst[%d] = %x, want %x", name, ord, prec, w, i, pair[1][i], pair[0][i])
+						}
+					}
+					p.applyPar(pair[1], r, w, ws)
+					for i := range pair[0] {
+						if pair[1][i] != pair[0][i] {
+							t.Fatalf("%s/%v %s pool workers=%d: dst[%d] = %x, want %x", name, ord, prec, w, i, pair[1][i], pair[0][i])
+						}
+					}
+				}
+				ws.Close()
+			}
+		}
+	}
+}
+
+// TestPrecisionDegradesOnScalarLayout: an explicit float32 request on a
+// matrix that keeps the scalar factor layout (dimension not a multiple of
+// the block size) must degrade honestly to float64 storage and say so.
+func TestPrecisionDegradesOnScalarLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	a := randSPDSparse(rng, 700, 4) // 700 % 3 != 0: scalar layout
+	p, err := newIC0Prec(a, OrderingNatural, PrecisionFloat32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Blocked() {
+		t.Fatal("700-DoF factor committed to tiles")
+	}
+	if got := p.FactorPrecision(); got != PrecisionFloat64 {
+		t.Fatalf("scalar-layout factor precision = %v, want float64", got)
+	}
+	b := make([]float64, a.NRows)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	_, stats, err := PCG(a, b, nil, Options{Tol: 1e-8, Precond: PrecondIC0, Precision: PrecisionFloat32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Precision != PrecisionFloat64 {
+		t.Fatalf("Stats.Precision = %v, want float64 on the scalar layout", stats.Precision)
+	}
+	// A dimension that divides by the block size but whose tiles are mostly
+	// padding must also stay scalar: elasticity3's off-diagonal node tiles
+	// hold 3 of 9 entries, below BlockFillMin.
+	sparse3 := elasticity3(6, 6, 5)
+	p, err = newIC0Prec(sparse3, OrderingNatural, PrecisionAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Blocked() {
+		t.Error("sparse-tile factor committed to tiles below BlockFillMin")
+	}
+	if got := p.FactorPrecision(); got != PrecisionFloat64 {
+		t.Errorf("sparse-tile factor precision = %v, want float64", got)
+	}
+}
+
+// TestMixedPrecisionPCGMatchesFloat64 is the solve-level equivalence
+// contract: on golden lattice systems the float32-factor PCG must reproduce
+// the float64-factor solution to 1e-8. Both runs converge to the same tight
+// tolerance; the rounded factor may cost extra iterations but not accuracy.
+func TestMixedPrecisionPCGMatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	systems := map[string]*sparse.CSR{
+		"lattice-12x12": latticeLike(12, 12, 3),
+		"lattice-11x11": latticeLike(11, 11, 3),
+	}
+	for name, a := range systems {
+		b := make([]float64, a.NRows)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x64, s64, err := PCG(a, b, nil, Options{Tol: 1e-11, Precond: PrecondIC0, Precision: PrecisionFloat64})
+		if err != nil {
+			t.Fatalf("%s f64: %v", name, err)
+		}
+		if s64.Precision != PrecisionFloat64 {
+			t.Fatalf("%s f64: Stats.Precision = %v", name, s64.Precision)
+		}
+		for _, prec := range []Precision{PrecisionFloat32, PrecisionAuto} {
+			x32, s32, err := PCG(a, b, nil, Options{Tol: 1e-11, Precond: PrecondIC0, Precision: prec})
+			if err != nil {
+				t.Fatalf("%s %v: %v", name, prec, err)
+			}
+			if s32.Precision != PrecisionFloat32 {
+				t.Fatalf("%s %v: Stats.Precision = %v, want float32", name, prec, s32.Precision)
+			}
+			tol := 1e-8 * (1 + maxAbsVec(x64))
+			if d := maxAbsDiff(x32, x64); d > tol {
+				t.Fatalf("%s %v: float32 solution differs from float64 by %g (tol %g)", name, prec, d, tol)
+			}
+		}
+	}
+}
+
+// TestPCGPrecisionStall forces the float32 refinement guard to exhaustion:
+// at a tolerance below the true-residual floor the recurrence keeps
+// claiming convergence, each verification fails, and after pcgMaxRefinements
+// restarts the solve must surface ErrPrecision (which also matches
+// ErrStalled so warm-start fallbacks fire too).
+func TestPCGPrecisionStall(t *testing.T) {
+	a := latticeLike(8, 8, 3)
+	rng := rand.New(rand.NewSource(73))
+	b := make([]float64, a.NRows)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	_, stats, err := PCG(a, b, nil, Options{
+		Tol: 1e-17, MaxIter: 40 * a.NRows,
+		Precond: PrecondIC0, Precision: PrecisionFloat32,
+	})
+	if err == nil {
+		t.Fatal("PCG converged below the float64 residual floor")
+	}
+	if !errors.Is(err, ErrPrecision) {
+		t.Fatalf("error %v does not match ErrPrecision", err)
+	}
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("error %v does not match ErrStalled", err)
+	}
+	if stats.Refinements != pcgMaxRefinements {
+		t.Errorf("Refinements = %d, want the full budget %d", stats.Refinements, pcgMaxRefinements)
+	}
+	// The same impossible tolerance with a float64 factor must never report
+	// a precision failure — the guard is float32-specific. (Unguarded PCG
+	// trusts the recurrence residual, so it may well claim convergence.)
+	_, s64, err := PCG(a, b, nil, Options{
+		Tol: 1e-17, MaxIter: 2 * a.NRows,
+		Precond: PrecondIC0, Precision: PrecisionFloat64,
+	})
+	if errors.Is(err, ErrPrecision) {
+		t.Fatalf("float64 solve reported ErrPrecision: %v", err)
+	}
+	if s64.Refinements != 0 {
+		t.Errorf("float64 solve took %d refinements, want 0", s64.Refinements)
+	}
+}
+
+// TestPCGZeroAllocsBlockedPrecision extends the allocation-free hot-loop
+// contract to the tiled factor in both storage precisions: workspace +
+// prebuilt blocked preconditioner + blocked mat-vec, zero allocations in
+// steady state (the float32 path includes the true-residual verification
+// mat-vec on convergence).
+func TestPCGZeroAllocsBlockedPrecision(t *testing.T) {
+	a := latticeLike(16, 16, 3) // 768 DoFs of dense tiles: the factor commits to the blocked layout
+	bm, err := sparse.NewBCSR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(79))
+	b := make([]float64, a.NRows)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	for _, prec := range []Precision{PrecisionFloat64, PrecisionFloat32} {
+		for _, workers := range []int{1, 4} {
+			m, err := NewPreconditionerPrec(PrecondIC0, OrderingAuto, prec, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ic, ok := m.(*ic0); !ok || !ic.Blocked() || ic.FactorPrecision() != prec {
+				t.Fatalf("%v: preconditioner not a blocked factor of the requested precision", prec)
+			}
+			ws := NewWorkspace(workers)
+			opt := Options{Tol: 1e-8, Precond: PrecondIC0, M: m, Work: ws, Workers: workers, MatBlocked: bm}
+			if _, _, err := PCG(a, b, nil, opt); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(5, func() {
+				if _, _, err := PCG(a, b, nil, opt); err != nil {
+					t.Fatal(err)
+				}
+			})
+			ws.Close()
+			if allocs != 0 {
+				t.Errorf("%v workers=%d: %.1f allocs per steady-state blocked PCG solve, want 0", prec, workers, allocs)
+			}
+		}
+	}
+}
+
+// TestWorkspaceBlockedMatVecMatchesScalar: the workspace binds the tiled
+// mat-vec to one matrix identity; for that matrix the dispatch must agree
+// with the scalar product to rounding noise, and a different matrix through
+// the same workspace must fall back to the scalar path untouched.
+func TestWorkspaceBlockedMatVecMatchesScalar(t *testing.T) {
+	a := elasticity3(8, 8, 6)
+	bm, err := sparse.NewBCSR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := elasticity3(5, 5, 4)
+	rng := rand.New(rand.NewSource(83))
+	x := make([]float64, a.NRows)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, a.NRows)
+	a.MulVec(want, x)
+
+	ws := NewWorkspace(4)
+	defer ws.Close()
+	ws.reset()
+	ws.prepMatVec(a, bm, 4)
+	got := make([]float64, a.NRows)
+	ws.matvec(a, got, x, 4)
+	if d := maxAbsDiff(got, want); d > 1e-10*(1+maxAbsVec(want)) {
+		t.Fatalf("blocked workspace mat-vec differs from scalar by %g", d)
+	}
+
+	// A matrix the workspace was not prepped for must not use the tiles.
+	xo := x[:other.NRows]
+	wantO := make([]float64, other.NRows)
+	other.MulVec(wantO, xo)
+	gotO := make([]float64, other.NRows)
+	ws.matvec(other, gotO, xo, 4)
+	for i := range wantO {
+		if gotO[i] != wantO[i] {
+			t.Fatalf("unbound matrix: dst[%d] = %x, want scalar %x", i, gotO[i], wantO[i])
+		}
+	}
+}

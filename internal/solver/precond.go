@@ -152,14 +152,22 @@ func NewPreconditioner(kind PrecondKind, a *sparse.CSR) (Preconditioner, error) 
 // P·A·Pᵀ and applies Pᵀ·(L·Lᵀ)⁻¹·P, so the ordering shapes the factor's
 // dependency DAG without changing the preconditioned operator's symmetry.
 // The Jacobi family and the identity are ordering-invariant and ignore ord.
+// Factor storage precision defaults to PrecisionAuto.
 func NewPreconditionerOrdered(kind PrecondKind, ord OrderingKind, a *sparse.CSR) (Preconditioner, error) {
+	return NewPreconditionerPrec(kind, ord, PrecisionAuto, a)
+}
+
+// NewPreconditionerPrec is NewPreconditionerOrdered with an explicit factor
+// storage precision for the factorizing kinds (see Precision); the
+// ordering-invariant kinds ignore both ord and prec.
+func NewPreconditionerPrec(kind PrecondKind, ord OrderingKind, prec Precision, a *sparse.CSR) (Preconditioner, error) {
 	switch kind.Resolve(a.NRows) {
 	case PrecondJacobi:
 		return jacobiPrecond{inv: jacobi(a)}, nil
 	case PrecondBlockJacobi3:
 		return newBlockJacobi3(a)
 	case PrecondIC0:
-		return newIC0Ordered(a, ord)
+		return newIC0Prec(a, ord, prec)
 	case PrecondNone:
 		return identityPrecond{}, nil
 	}
@@ -276,29 +284,59 @@ func (p *blockJacobi3) Apply(dst, r []float64) {
 
 func (p *blockJacobi3) MemoryBytes() int64 { return int64(8 * len(p.inv)) }
 
+// BlockFillMin is the minimum blocked-storage fill ratio (scalar entries per
+// stored tile entry, sparse.BlockLowerTri.Fill) at which IC0 commits to the
+// 3×3-tiled factor layout. Node-blocked FEM factors sit near 0.9 (only the
+// diagonal tiles' zero upper halves are padding); patterns that scatter
+// isolated scalars across tiles fall below and keep the scalar layout, where
+// zero-fill would inflate factor bytes instead of saving bandwidth. 0.45
+// marks the break-even: below it the padded value bytes exceed the ~⅓ index
+// bytes the tiles save.
+const BlockFillMin = 0.45
+
 // ic0 is a zero-fill incomplete Cholesky factorization: L has the sparsity
 // of the lower triangle of (possibly symmetrically permuted) A and
-// P·A·Pᵀ ≈ L·Lᵀ. The factor is held as a sparse.LowerTri, whose
-// dependency-level schedules let each application's forward/backward solves
-// run rows in parallel — and, because each row is a gather computed by one
-// shared kernel, the parallel application is bitwise identical to the serial
-// one for every worker count. Under a non-natural ordering the application
-// is Pᵀ·(L·Lᵀ)⁻¹·P: scatter into permuted order, two triangular solves in
+// P·A·Pᵀ ≈ L·Lᵀ. The factor is held either as a scalar sparse.LowerTri or,
+// when the matrix is 3-DoF node-blocked and dense enough in tiles
+// (BlockFillMin), as a sparse.BlockLowerTri — 3×3 tile micro-kernels,
+// optionally float32 values. Either way the dependency-level schedules let
+// each application's forward/backward solves run rows in parallel — and,
+// because each row (or block row) is computed by one shared kernel, the
+// parallel application is bitwise identical to the serial one for every
+// worker count. Under a non-natural ordering the application is
+// Pᵀ·(L·Lᵀ)⁻¹·P: scatter into permuted order, two triangular solves in
 // place, gather back — the permutes are deterministic, so the worker-count
 // bitwise contract holds for every ordering. An ic0 is immutable after
 // construction and safe to share across concurrent solves.
 type ic0 struct {
-	t *sparse.LowerTri
+	// Exactly one of t (scalar factor) and bt (blocked factor) is non-nil.
+	t  *sparse.LowerTri
+	bt *sparse.BlockLowerTri
 	// perm maps original→permuted index (nil for the natural ordering).
 	perm []int32
 	ord  OrderingKind
+	// prec is the concrete storage precision of the factor values
+	// (PrecisionFloat32 only on the blocked path).
+	prec Precision
 }
 
 // newIC0 factors in natural order (the serial-reference construction the
-// tests pin down); production paths go through newIC0Ordered.
+// tests pin down); production paths go through newIC0Prec.
 func newIC0(a *sparse.CSR) (*ic0, error) { return newIC0Ordered(a, OrderingNatural) }
 
 func newIC0Ordered(a *sparse.CSR, ord OrderingKind) (*ic0, error) {
+	return newIC0Prec(a, ord, PrecisionAuto)
+}
+
+func newIC0Prec(a *sparse.CSR, ord OrderingKind, prec Precision) (*ic0, error) {
+	return newIC0Layout(a, ord, prec, true)
+}
+
+// newIC0Layout is newIC0Prec with the blocked-layout commit gated: block ==
+// false keeps the scalar factor even when the tiles would engage, so the
+// equivalence tests can compare the tiled kernels against a scalar factor of
+// the same system. Production paths always pass block == true.
+func newIC0Layout(a *sparse.CSR, ord OrderingKind, prec Precision, block bool) (*ic0, error) {
 	if a.NRows != a.NCols {
 		return nil, fmt.Errorf("solver: IC0 requires a square matrix")
 	}
@@ -383,7 +421,23 @@ func newIC0Ordered(a *sparse.CSR, ord OrderingKind) (*ic0, error) {
 	if err != nil {
 		return nil, fmt.Errorf("solver: IC0: %w", err)
 	}
-	return &ic0{t: t, perm: perm, ord: ord}, nil
+	p := &ic0{t: t, perm: perm, ord: ord, prec: PrecisionFloat64}
+	// Commit to the 3×3-tiled layout when the dimension is node-blocked and
+	// the tiles are dense enough to pay (reduced global matrices always are;
+	// unstructured patterns fall back to the scalar factor). PrecisionAuto
+	// resolves to float32 exactly when blocking engages — the scalar layout
+	// keeps float64 storage, so an explicit PrecisionFloat32 request on an
+	// unblockable matrix degrades gracefully and Stats report the truth.
+	if block && n%sparse.BlockSize == 0 {
+		single := prec != PrecisionFloat64
+		if bt, berr := sparse.NewBlockLowerTri(t, single); berr == nil && bt.Fill() >= BlockFillMin {
+			p.bt, p.t = bt, nil
+			if single {
+				p.prec = PrecisionFloat32
+			}
+		}
+	}
+	return p, nil
 }
 
 // Apply computes dst = Pᵀ·(L·Lᵀ)⁻¹·P·r via the level-scheduled
@@ -399,10 +453,16 @@ func (p *ic0) Apply(dst, r []float64) { p.applyPar(dst, r, normWorkers(0), nil) 
 func (p *ic0) applyPar(dst, r []float64, workers int, ws *Workspace) {
 	var pool *sparse.Pool
 	var sc *sparse.TriScratch
+	var bsc *sparse.BlockTriScratch
 	if ws != nil {
-		pool, sc = ws.pool, &ws.tri
+		pool, sc, bsc = ws.pool, &ws.tri, &ws.btri
 	}
 	if p.perm == nil {
+		if p.bt != nil {
+			p.bt.SolveLowerPar(dst, r, workers, pool, bsc)
+			p.bt.SolveUpperPar(dst, dst, workers, pool, bsc)
+			return
+		}
 		p.t.SolveLowerPar(dst, r, workers, pool, sc)
 		p.t.SolveUpperPar(dst, dst, workers, pool, sc)
 		return
@@ -420,8 +480,13 @@ func (p *ic0) applyPar(dst, r []float64, workers int, ws *Workspace) {
 	for i, v := range r {
 		buf[p.perm[i]] = v
 	}
-	p.t.SolveLowerPar(buf, buf, workers, pool, sc)
-	p.t.SolveUpperPar(buf, buf, workers, pool, sc)
+	if p.bt != nil {
+		p.bt.SolveLowerPar(buf, buf, workers, pool, bsc)
+		p.bt.SolveUpperPar(buf, buf, workers, pool, bsc)
+	} else {
+		p.t.SolveLowerPar(buf, buf, workers, pool, sc)
+		p.t.SolveUpperPar(buf, buf, workers, pool, sc)
+	}
 	for i := range dst {
 		dst[i] = buf[p.perm[i]]
 	}
@@ -433,14 +498,33 @@ func (p *ic0) Ordering() OrderingKind { return p.ord }
 
 // Levels reports the factor's forward-schedule shape: dependency-level count
 // and widest level in rows (implements FactorLevels; the measurement harness
-// and the BENCH snapshot read it).
+// and the BENCH snapshot read it). For a blocked factor the count is in
+// block levels (block rows advance together) and the width is converted to
+// scalar rows so the number stays comparable across layouts.
 func (p *ic0) Levels() (count, maxWidth int) {
+	if p.bt != nil {
+		return p.bt.Fwd.NumLevels(), sparse.BlockSize * p.bt.Fwd.MaxWidth()
+	}
 	return p.t.Fwd.NumLevels(), p.t.Fwd.MaxWidth()
 }
 
+// FactorPrecision reports the concrete storage precision of the factor
+// values (implements FactorPrecisioned; PCG keys its true-residual
+// verification guard off this).
+func (p *ic0) FactorPrecision() Precision { return p.prec }
+
+// Blocked reports whether the factor committed to the 3×3-tiled layout.
+func (p *ic0) Blocked() bool { return p.bt != nil }
+
 // MemoryBytes reports the factor's footprint (both triangles + schedules +
 // the ordering permutation, when present).
-func (p *ic0) MemoryBytes() int64 { return p.t.MemoryBytes() + int64(4*len(p.perm)) }
+func (p *ic0) MemoryBytes() int64 {
+	b := int64(4 * len(p.perm))
+	if p.bt != nil {
+		return b + p.bt.MemoryBytes()
+	}
+	return b + p.t.MemoryBytes()
+}
 
 // PCG is the preconditioned conjugate gradient for symmetric positive-
 // definite systems. The preconditioner comes from Options.M when prebuilt
@@ -472,19 +556,20 @@ func PCG(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error) 
 		// The ordering resolves against this solve's worker count: a
 		// 1-worker solve keeps the natural factor even on a parallel
 		// machine (no fan-out to pay for the coloring's extra iterations).
-		m, err = NewPreconditionerOrdered(kind, ResolveOrderingFor(opt.Ordering, a, opt.Workers), a)
+		m, err = NewPreconditionerPrec(kind, ResolveOrderingFor(opt.Ordering, a, opt.Workers), opt.Precision, a)
 		if err != nil {
 			return nil, st, err
 		}
 		st.PrecondBuild = time.Since(tBuild)
 	}
 	st.Ordering = orderingOf(m)
+	st.Precision = precisionOf(m)
 	ws := opt.Work
 	if ws == nil {
 		ws = &Workspace{}
 	}
 	ws.reset()
-	ws.prepMatVec(a, opt.Workers)
+	ws.prepMatVec(a, opt.MatBlocked, opt.Workers)
 	wa, _ := m.(parApplier)
 
 	x := ws.vec(n)
@@ -515,7 +600,7 @@ func PCG(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error) 
 	copy(p, z)
 	rz := linalg.Dot(r, z)
 
-	outcome, it, res, pap := pcgSteady(a, m, wa, ws, &st, opt, x, r, z, p, ap, bnorm, rz)
+	outcome, it, res, pap := pcgSteady(a, b, m, wa, ws, &st, opt, x, r, z, p, ap, bnorm, rz)
 	switch outcome {
 	case pcgConverged:
 		st.Iterations, st.Residual, st.Converged = it, res, true
@@ -526,6 +611,10 @@ func PCG(a *sparse.CSR, b, x0 []float64, opt Options) ([]float64, Stats, error) 
 	case pcgBreakdown:
 		st.Iterations, st.Residual = it, res
 		return x, st, fmt.Errorf("solver: PCG breakdown, pᵀAp=%g (matrix not SPD?)", pap)
+	case pcgPrecisionStall:
+		st.Iterations, st.Residual = it, res
+		return x, st, fmt.Errorf("solver: PCG float32 factor could not reach tol %g (true residual %g after %d refinements): %w (%w)",
+			opt.Tol, res, st.Refinements, ErrPrecision, ErrStalled)
 	}
 	st.Iterations, st.Residual = it, res
 	return x, st, fmt.Errorf("solver: PCG did not converge in %d iterations (residual %g): %w", it, res, ErrStalled)
@@ -540,25 +629,107 @@ const (
 	pcgConverged
 	pcgNonFinite
 	pcgBreakdown
+	pcgPrecisionStall
 )
+
+// pcgMaxRefinements caps the iterative-refinement restarts a float32-factor
+// solve may take before giving up (pcgPrecisionStall → the array layer
+// rebuilds with a float64 factor). Each refinement restarts the recurrence
+// from the true residual, which recovers the usual rounding drift in one
+// shot; needing more than a couple means the rounded factor genuinely cannot
+// steer this system to the requested tolerance.
+const pcgMaxRefinements = 3
+
+// pcgVerifyEvery is the iteration stride of the float32 drift check: every
+// so many iterations the true residual ‖b−Ax‖ is recomputed and compared
+// against the recurrence residual, catching divergence long before a false
+// convergence — at ~1–2% amortized cost (one extra mat-vec per stride).
+const pcgVerifyEvery = 64
+
+// pcgDriftFactor flags drift when the true residual exceeds the recurrence
+// residual by this factor at a periodic check. Exact-arithmetic PCG keeps
+// them equal; float64 rounding alone stays within a small constant, so an
+// order of magnitude of divergence is a reliable float32-rounding signature.
+const pcgDriftFactor = 10
+
+// pcgTrueResidual recomputes res = ‖b−A·x‖/bnorm from scratch, clobbering
+// scratch (the ap vector between mat-vecs).
+//
+//stressvet:noalloc
+func pcgTrueResidual(a *sparse.CSR, ws *Workspace, opt Options, x, b, scratch []float64, bnorm float64) float64 {
+	ws.matvec(a, scratch, x, opt.Workers)
+	var ss float64
+	for i := range b {
+		d := b[i] - scratch[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss) / bnorm
+}
 
 // pcgSteady is the steady-state PCG iteration: with the workspace and
 // preconditioner prebuilt, it performs zero allocations per call
 // (BenchmarkPCGNoAlloc pins the runtime contract; stressvet's noalloc rules
 // and -escape gate pin it statically).
 //
+// For float32-factor preconditioners (Stats.Precision), the recurrence
+// residual is verified against the true residual ‖b−A·x‖ on convergence and
+// at a periodic drift check. When they diverge, the loop iteratively
+// refines: recompute r = b−A·x exactly, reapply the preconditioner, and
+// restart the recurrence from the true state — recovering the float64
+// trajectory at the cost of one extra mat-vec + apply. Refinement is bounded
+// by pcgMaxRefinements; exhaustion is pcgPrecisionStall and the caller falls
+// back to a float64 factor.
+//
 //stressvet:noalloc
-func pcgSteady(a *sparse.CSR, m Preconditioner, wa parApplier, ws *Workspace, st *Stats, opt Options, x, r, z, p, ap []float64, bnorm, rz float64) (outcome pcgOutcome, it int, res, pap float64) {
+func pcgSteady(a *sparse.CSR, b []float64, m Preconditioner, wa parApplier, ws *Workspace, st *Stats, opt Options, x, r, z, p, ap []float64, bnorm, rz float64) (outcome pcgOutcome, it int, res, pap float64) {
+	verify := st.Precision == PrecisionFloat32
 	for it = 0; it < opt.MaxIter; it++ {
 		res = linalg.Norm2(r) / bnorm
+		refine := false
 		if res <= opt.Tol {
-			return pcgConverged, it, res, 0
+			if !verify {
+				return pcgConverged, it, res, 0
+			}
+			// The recurrence claims convergence on a rounded factor: trust
+			// only the true residual.
+			trueRes := pcgTrueResidual(a, ws, opt, x, b, ap, bnorm)
+			if trueRes <= opt.Tol {
+				return pcgConverged, it, trueRes, 0
+			}
+			if st.Refinements >= pcgMaxRefinements {
+				return pcgPrecisionStall, it, trueRes, 0
+			}
+			refine = true
+			res = trueRes
+		} else if verify && it > 0 && it%pcgVerifyEvery == 0 {
+			// Long solves: catch recurrence drift before a false convergence.
+			trueRes := pcgTrueResidual(a, ws, opt, x, b, ap, bnorm)
+			if trueRes > pcgDriftFactor*res && st.Refinements < pcgMaxRefinements {
+				refine = true
+				res = trueRes
+			}
 		}
 		// A non-finite residual (NaN/Inf seed or mid-iteration blow-up) can
 		// never converge; fail now instead of burning MaxIter iterations —
 		// warm-start callers fall back to a cold solve on this error.
 		if math.IsNaN(res) || math.IsInf(res, 0) {
 			return pcgNonFinite, it, res, 0
+		}
+		if refine {
+			// Restart the recurrence from the exact residual (ap still holds
+			// A·x from pcgTrueResidual): r = b − A·x, z = M⁻¹r, p = z.
+			st.Refinements++
+			linalg.Sub(r, b, ap)
+			tApply := time.Now() //stressvet:allow determinism -- wall clock feeds Stats timing only, never numerics
+			if wa != nil {
+				wa.applyPar(z, r, opt.Workers, ws)
+			} else {
+				m.Apply(z, r)
+			}
+			st.PrecondApply += time.Since(tApply)
+			copy(p, z)
+			rz = linalg.Dot(r, z)
+			continue
 		}
 		ws.matvec(a, ap, p, opt.Workers)
 		pap = linalg.Dot(p, ap)

@@ -25,7 +25,17 @@ type Workspace struct {
 	mv       sparse.MatVec
 	mvBounds []int32
 	mvReady  bool
-	tri      sparse.TriScratch
+	// Blocked mat-vec binding: when prepMatVec receives the 3×3-tiled form
+	// of the matrix, matvec runs the blocked kernel instead — pooled over
+	// tile-balanced block-row chunks when the gang is resident, serial
+	// otherwise. bmFor records which CSR the binding stands in for.
+	bmv       sparse.BlockMatVec
+	bmvBounds []int32
+	bmvReady  bool
+	bm        *sparse.BCSR
+	bmFor     *sparse.CSR
+	tri       sparse.TriScratch
+	btri      sparse.BlockTriScratch
 	// permBuf is the scratch of permuted preconditioner applications
 	// (ic0 under a non-natural ordering). A dedicated field rather than a
 	// vec(): applyPar runs once per iteration, and the vec free-list is
@@ -57,11 +67,14 @@ func (w *Workspace) Close() {
 }
 
 // reset starts a new solve: every pooled vector returns to the free list and
-// the mat-vec binding is cleared.
+// the mat-vec bindings are cleared.
 func (w *Workspace) reset() {
 	w.used = 0
 	w.mvReady = false
 	w.mv = sparse.MatVec{}
+	w.bmvReady = false
+	w.bmv = sparse.BlockMatVec{}
+	w.bm, w.bmFor = nil, nil
 }
 
 // vec returns a length-n scratch vector with unspecified contents (callers
@@ -93,11 +106,29 @@ func (w *Workspace) permScratch(n int) []float64 {
 	return w.permBuf[:n]
 }
 
-// prepMatVec binds the pooled matrix-vector product to a for the duration of
-// a solve: the nnz-balanced row partition is computed once here and reused
-// by every matvec call of the solve.
-func (w *Workspace) prepMatVec(a *sparse.CSR, workers int) {
+// prepMatVec binds the matrix-vector product to a for the duration of a
+// solve: the work-balanced row partition is computed once here and reused by
+// every matvec call of the solve. When bm supplies the 3×3-tiled form of the
+// same matrix, the blocked kernel takes over — the partition is then over
+// block rows, weighted by tile count (the blocked work profile), and the
+// serial path runs the tiled kernel too.
+func (w *Workspace) prepMatVec(a *sparse.CSR, bm *sparse.BCSR, workers int) {
 	w.mvReady = false
+	w.bmvReady = false
+	w.bm, w.bmFor = nil, nil
+	if bm != nil && bm.NRows == a.NRows && bm.NCols == a.NCols {
+		w.bm, w.bmFor = bm, a
+		if w.pool == nil || workers <= 1 || a.NRows < sparse.MinParRows {
+			return
+		}
+		if pw := w.pool.Workers(); workers > pw {
+			workers = pw
+		}
+		w.bmvBounds = sparse.PartitionByWorkInto(w.bmvBounds, bm.BRowPtr, 0, bm.NBRows(), workers)
+		w.bmv.M = bm
+		w.bmvReady = true
+		return
+	}
 	if w.pool == nil || workers <= 1 || a.NRows < sparse.MinParRows {
 		return
 	}
@@ -109,11 +140,21 @@ func (w *Workspace) prepMatVec(a *sparse.CSR, workers int) {
 	w.mvReady = true
 }
 
-// matvec computes dst = a·x, through the resident gang when prepMatVec bound
-// it (allocation-free), falling back to MulVecPar otherwise.
+// matvec computes dst = a·x, preferring the blocked binding when prepMatVec
+// installed one for this matrix, then the pooled scalar binding
+// (allocation-free), falling back to MulVecPar otherwise.
 //
 //stressvet:noalloc
 func (w *Workspace) matvec(a *sparse.CSR, dst, x []float64, workers int) {
+	if w.bmFor == a {
+		if w.bmvReady {
+			w.bmv.Dst, w.bmv.X = dst, x
+			w.pool.Run(w.bmvBounds, &w.bmv)
+			return
+		}
+		w.bm.MulVecPar(dst, x, workers)
+		return
+	}
 	if w.mvReady && w.mv.M == a {
 		w.mv.Dst, w.mv.X = dst, x
 		w.pool.Run(w.mvBounds, &w.mv)

@@ -1,0 +1,503 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// blockCSR builds a random n×n CSR with n divisible by BlockSize, via the
+// same triplet path assembly uses.
+func blockCSR(n, nnzPerRow int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	t := NewTriplet(n, n, n*nnzPerRow)
+	for r := 0; r < n; r++ {
+		t.Add(r, r, float64(nnzPerRow)+1) // keep every row non-empty
+		for k := 0; k < nnzPerRow-1; k++ {
+			t.Add(r, rng.Intn(n), rng.NormFloat64())
+		}
+	}
+	return t.ToCSR()
+}
+
+// partialBlockCSR stresses zero-fill: one scalar entry per row, scattered so
+// most 3×3 tiles hold a single value and eight explicit zeros.
+func partialBlockCSR(n int) *CSR {
+	t := NewTriplet(n, n, n)
+	for r := 0; r < n; r++ {
+		t.Add(r, (r*7+3)%n, float64(r%5)+1)
+	}
+	return t.ToCSR()
+}
+
+// blockDiagCSR builds a block-diagonal matrix of dense 3×3 tiles — exactly
+// one, fully dense, tile per block row.
+func blockDiagCSR(nb int) *CSR {
+	t := NewTriplet(nb*BlockSize, nb*BlockSize, nb*BlockSize*BlockSize)
+	for b := 0; b < nb; b++ {
+		for i := 0; i < BlockSize; i++ {
+			for j := 0; j < BlockSize; j++ {
+				v := float64(i*BlockSize+j) + 1
+				if i == j {
+					v += 10
+				}
+				t.Add(b*BlockSize+i, b*BlockSize+j, v)
+			}
+		}
+	}
+	return t.ToCSR()
+}
+
+func infNorm(v []float64) float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+func TestNewBCSRRejectsBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{4, 4}, {6, 4}, {4, 6}, {1, 1}} {
+		tr := NewTriplet(dims[0], dims[1], 1)
+		tr.Add(0, 0, 1)
+		if _, err := NewBCSR(tr.ToCSR()); err == nil {
+			t.Errorf("%dx%d accepted, want divisibility error", dims[0], dims[1])
+		}
+	}
+}
+
+// TestBCSRMatchesScalarMulVec is the tolerance-equivalence contract of the
+// blocked matvec: tiles accumulate three products at a time, so the result
+// is not bitwise equal to scalar CSR, but must agree to rounding noise on
+// every shape — random fill, partial tiles, single-tile rows.
+func TestBCSRMatchesScalarMulVec(t *testing.T) {
+	cases := map[string]*CSR{
+		"random-999":       blockCSR(999, 9, 11),
+		"random-dense-300": blockCSR(300, 40, 12),
+		"partial-tiles":    partialBlockCSR(600),
+		"single-tile-rows": blockDiagCSR(150),
+		"one-block":        blockDiagCSR(1),
+	}
+	rng := rand.New(rand.NewSource(21))
+	for name, m := range cases {
+		b, err := NewBCSR(m)
+		if err != nil {
+			t.Fatalf("%s: NewBCSR: %v", name, err)
+		}
+		if b.ScalarNNZ != int(m.RowPtr[m.NRows]) {
+			t.Errorf("%s: ScalarNNZ = %d, want %d", name, b.ScalarNNZ, m.RowPtr[m.NRows])
+		}
+		x := make([]float64, m.NCols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, m.NRows)
+		m.MulVec(want, x)
+		got := make([]float64, m.NRows)
+		b.MulVec(got, x)
+		tol := 1e-10 * (1 + infNorm(want))
+		for i := range want {
+			if d := got[i] - want[i]; d > tol || d < -tol {
+				t.Fatalf("%s: dst[%d] = %g, want %g (|Δ| > %g)", name, i, got[i], want[i], tol)
+			}
+		}
+	}
+}
+
+// TestBCSRZeroFill pins the tile padding semantics: entries absent from the
+// scalar matrix must be explicit zeros in their tile, so padded positions
+// contribute exactly nothing (not stale garbage) to the matvec.
+func TestBCSRZeroFill(t *testing.T) {
+	m := partialBlockCSR(60)
+	b, err := NewBCSR(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	present := make(map[[2]int32]bool, b.ScalarNNZ)
+	for r := int32(0); r < int32(m.NRows); r++ {
+		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+			present[[2]int32{r, m.ColIdx[p]}] = true
+		}
+	}
+	nonzero := 0
+	for br := 0; br < b.NBRows(); br++ {
+		for q := b.BRowPtr[br]; q < b.BRowPtr[br+1]; q++ {
+			bc := b.BColIdx[q]
+			for i := 0; i < BlockSize; i++ {
+				for j := 0; j < BlockSize; j++ {
+					v := b.Vals[9*int(q)+i*BlockSize+j]
+					r, c := int32(br*BlockSize+i), bc*int32(BlockSize)+int32(j)
+					if v != 0 {
+						nonzero++
+						if !present[[2]int32{r, c}] {
+							t.Fatalf("tile (%d,%d) has value %g at (%d,%d), absent from scalar matrix", br, bc, v, r, c)
+						}
+					} else if present[[2]int32{r, c}] && v == 0 {
+						// A stored zero is fine; just keep counting.
+						nonzero++
+					}
+				}
+			}
+		}
+	}
+	if nonzero != b.ScalarNNZ {
+		t.Errorf("tiles hold %d stored scalar entries, want %d", nonzero, b.ScalarNNZ)
+	}
+	if f := b.Fill(); f <= 0 || f > 3.0/9.0+1e-15 {
+		t.Errorf("partial-tile fill = %g, want in (0, 1/3]", f)
+	}
+}
+
+func TestBCSRFillAndMemory(t *testing.T) {
+	dense := blockDiagCSR(40)
+	b, err := NewBCSR(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := b.Fill(); f != 1 {
+		t.Errorf("dense-tile fill = %g, want 1", f)
+	}
+	if b.NNZBlocks() != 40 {
+		t.Errorf("NNZBlocks = %d, want 40", b.NNZBlocks())
+	}
+	if b.MemoryBytes() <= 0 {
+		t.Errorf("MemoryBytes = %d, want > 0", b.MemoryBytes())
+	}
+}
+
+// TestBCSRMulVecParBitwiseMatchesSerial: partitioning never splits a block
+// row, so every worker count and dispatch mode must reproduce the serial
+// blocked matvec bit for bit. The matrix clears MinParRows so the parallel
+// path actually engages.
+func TestBCSRMulVecParBitwiseMatchesSerial(t *testing.T) {
+	m := blockCSR(3*((MinParRows+3000)/3), 9, 31)
+	b, err := NewBCSR(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(32))
+	x := make([]float64, m.NCols)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, m.NRows)
+	b.MulVec(want, x)
+	check := func(mode string, workers int, got []float64) {
+		t.Helper()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s workers=%d: dst[%d] = %x, want %x (not bitwise equal)", mode, workers, i, got[i], want[i])
+			}
+		}
+	}
+	for _, w := range []int{1, 2, runtime.GOMAXPROCS(0), 8} {
+		got := make([]float64, m.NRows)
+		b.MulVecPar(got, x, w)
+		check("spawn", w, got)
+
+		// The pooled path the solver Workspace drives: explicit chunk
+		// bounds through a resident pool.
+		pool := NewPool(w)
+		for _, parts := range []int{1, 3, 16} {
+			for i := range got {
+				got[i] = -1
+			}
+			op := &BlockMatVec{M: b, Dst: got, X: x}
+			pool.Run(PartitionByWork(b.BRowPtr, 0, b.NBRows(), parts), op)
+			check("pool", w, got)
+		}
+		pool.Close()
+	}
+}
+
+// TestBCSRPartitionWeighsBlockRows: PartitionByWork over BRowPtr balances by
+// tiles per block row, so a single dense block row among light rows must be
+// isolated in its own chunk — the blocked analogue of the scalar heavy-row
+// regression, covering the degenerate single-tile-row shape around it.
+func TestBCSRPartitionWeighsBlockRows(t *testing.T) {
+	const nb = 100
+	n := nb * BlockSize
+	tr := NewTriplet(n, n, n+3*n)
+	for i := 0; i < n; i++ {
+		tr.Add(i, i, 2) // light: one diagonal tile per block row
+	}
+	for i := n - BlockSize; i < n; i++ { // heavy: last block row dense
+		for j := 0; j < n; j++ {
+			tr.Add(i, j, 0.25)
+		}
+	}
+	m := tr.ToCSR()
+	b, err := NewBCSR(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(b.BRowPtr[nb] - b.BRowPtr[nb-1]); got != nb {
+		t.Fatalf("heavy block row holds %d tiles, want %d", got, nb)
+	}
+	bounds := PartitionByWork(b.BRowPtr, 0, b.NBRows(), 4)
+	if int(bounds[len(bounds)-2]) != nb-1 {
+		t.Fatalf("heavy block row not isolated: bounds %v", bounds)
+	}
+	// And the partitioned matvec still matches the serial one bitwise.
+	rng := rand.New(rand.NewSource(33))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, n)
+	b.MulVec(want, x)
+	got := make([]float64, n)
+	pool := NewPool(4)
+	defer pool.Close()
+	pool.Run(bounds, &BlockMatVec{M: b, Dst: got, X: x})
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dst[%d] = %x, want %x (not bitwise equal)", i, got[i], want[i])
+		}
+	}
+}
+
+// blockTris builds the blocked-factor test set: the lowertri_test.go shapes
+// at dimensions divisible by BlockSize.
+func blockTris(t *testing.T) map[string]*LowerTri {
+	t.Helper()
+	rng := rand.New(rand.NewSource(41))
+	cases := map[string]*CSC{
+		"random-300":    randLowerCSC(rng, 300, 6),
+		"random-3000":   randLowerCSC(rng, 3000, 12),
+		"diagonal":      diagCSC(501),
+		"dense-row":     denseLastRowCSC(402),
+		"serial-chain":  chainCSC(300),
+		"single-block":  diagCSC(3),
+		"random-sparse": randLowerCSC(rng, 801, 2),
+	}
+	out := make(map[string]*LowerTri, len(cases))
+	for name, csc := range cases {
+		tri, err := NewLowerTriFromCSC(csc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = tri
+	}
+	return out
+}
+
+func TestNewBlockLowerTriRejectsBadDims(t *testing.T) {
+	tri, err := NewLowerTriFromCSC(chainCSC(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBlockLowerTri(tri, false); err == nil {
+		t.Error("N=4 accepted, want divisibility error")
+	}
+	if _, err := NewBlockLowerTri(tri, true); err == nil {
+		t.Error("N=4 accepted in single precision, want divisibility error")
+	}
+}
+
+// TestBlockLowerTriMatchesScalar: the float64 blocked solves regroup the
+// same products as the scalar reference (three columns per tile instead of
+// one), so they agree to rounding noise on every factor shape.
+func TestBlockLowerTriMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for name, tri := range blockTris(t) {
+		bt, err := NewBlockLowerTri(tri, false)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if bt.Single() {
+			t.Fatalf("%s: double-precision factor reports Single()", name)
+		}
+		n := tri.N
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		for dir, solves := range map[string][2]func([]float64, []float64){
+			"lower": {tri.SolveLower, bt.SolveLower},
+			"upper": {tri.SolveUpper, bt.SolveUpper},
+		} {
+			want := make([]float64, n)
+			solves[0](want, b)
+			got := make([]float64, n)
+			solves[1](got, b)
+			tol := 1e-9 * (1 + infNorm(want))
+			for i := range want {
+				if d := got[i] - want[i]; d > tol || d < -tol {
+					t.Fatalf("%s %s: dst[%d] = %g, want %g (|Δ| > %g)", name, dir, i, got[i], want[i], tol)
+				}
+			}
+		}
+	}
+}
+
+// TestBlockLowerTriSingleMatchesRoundedScalar: the float32 factor stores
+// tile values rounded to single precision but accumulates in float64, so it
+// must track a scalar float64 solve of the *rounded* factor to grouping
+// noise — this isolates the storage rounding from the kernel itself, and
+// holds even on ill-conditioned factors where comparing against the
+// unrounded solve would need a condition-number-sized tolerance.
+func TestBlockLowerTriSingleMatchesRoundedScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	cases := map[string]*CSC{
+		"random-300":   randLowerCSC(rng, 300, 6),
+		"diagonal":     diagCSC(501),
+		"dense-row":    denseLastRowCSC(402),
+		"serial-chain": chainCSC(300),
+	}
+	for name, csc := range cases {
+		tri, err := NewLowerTriFromCSC(csc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		bt, err := NewBlockLowerTri(tri, true)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bt.Single() {
+			t.Fatalf("%s: single-precision factor does not report Single()", name)
+		}
+		// Scalar reference over the same rounded values.
+		rounded := &CSC{NRows: csc.NRows, NCols: csc.NCols, ColPtr: csc.ColPtr,
+			RowIdx: csc.RowIdx, Vals: make([]float64, len(csc.Vals))}
+		for i, v := range csc.Vals {
+			rounded.Vals[i] = float64(float32(v))
+		}
+		rtri, err := NewLowerTriFromCSC(rounded)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		n := tri.N
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		for dir, solves := range map[string][2]func([]float64, []float64){
+			"lower": {rtri.SolveLower, bt.SolveLower},
+			"upper": {rtri.SolveUpper, bt.SolveUpper},
+		} {
+			want := make([]float64, n)
+			solves[0](want, b)
+			got := make([]float64, n)
+			solves[1](got, b)
+			tol := 1e-9 * (1 + infNorm(want))
+			for i := range want {
+				if d := got[i] - want[i]; d > tol || d < -tol {
+					t.Fatalf("%s %s: dst[%d] = %g, want %g (|Δ| > %g)", name, dir, i, got[i], want[i], tol)
+				}
+			}
+		}
+	}
+}
+
+// TestBlockLowerTriParBitwiseMatchesSerial is the blocked analogue of the
+// scalar level-scheduling contract: the parallel sweeps share the serial row
+// kernels, so every worker count, dispatch mode, and precision must be
+// bitwise identical to the serial blocked solve.
+func TestBlockLowerTriParBitwiseMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0), 8}
+	for name, tri := range blockTris(t) {
+		for _, single := range []bool{false, true} {
+			bt, err := NewBlockLowerTri(tri, single)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			prec := "f64"
+			if single {
+				prec = "f32"
+			}
+			n := tri.N
+			b := make([]float64, n)
+			for i := range b {
+				b[i] = rng.NormFloat64()
+			}
+			wantL := make([]float64, n)
+			bt.SolveLower(wantL, b)
+			wantU := make([]float64, n)
+			bt.SolveUpper(wantU, b)
+			check := func(mode string, workers int, got, want []float64) {
+				t.Helper()
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s/%s %s workers=%d: dst[%d] = %x, want %x (not bitwise equal)",
+							name, prec, mode, workers, i, got[i], want[i])
+					}
+				}
+			}
+			for _, w := range workerCounts {
+				got := make([]float64, n)
+				bt.SolveLowerPar(got, b, w, nil, nil)
+				check("lower/spawn", w, got, wantL)
+				bt.SolveUpperPar(got, b, w, nil, nil)
+				check("upper/spawn", w, got, wantU)
+
+				pool := NewPool(w)
+				var sc BlockTriScratch
+				bt.SolveLowerPar(got, b, w, pool, &sc)
+				check("lower/pool", w, got, wantL)
+				bt.SolveUpperPar(got, b, w, pool, &sc)
+				check("upper/pool", w, got, wantU)
+				pool.Close()
+			}
+			inPlace := make([]float64, n)
+			copy(inPlace, b)
+			bt.SolveLowerPar(inPlace, inPlace, 4, nil, nil)
+			check("lower/in-place", 4, inPlace, wantL)
+		}
+	}
+}
+
+// TestBlockScheduleWeighsTiles pins the unitWork=9 calibration: a block
+// diagonal with 500 tiles carries 4500 scalar-entry units of work per level
+// and must pre-split for parallel sweeps, while the scalar schedule of the
+// same 1500-row factor (1500 units) stays serial. Without the scale the
+// blocked schedule would count 500 raw pointer units and collapse too.
+func TestBlockScheduleWeighsTiles(t *testing.T) {
+	tri, err := NewLowerTriFromCSC(diagCSC(1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := NewBlockLowerTri(tri, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tri.Fwd.parallel {
+		t.Error("scalar diagonal-1500 schedule claims to be parallelizable")
+	}
+	if !bt.Fwd.parallel || !bt.Bwd.parallel {
+		t.Error("blocked diagonal-1500 schedule is not parallelizable; tile work not scaled by 9")
+	}
+	if bt.Fwd.NumLevels() != 1 || bt.Bwd.NumLevels() != 1 {
+		t.Errorf("blocked diagonal: %d/%d levels, want 1/1", bt.Fwd.NumLevels(), bt.Bwd.NumLevels())
+	}
+}
+
+// TestBlockLowerTriMemoryHalvedBySingle: the float32 factor stores the same
+// tiles in half the value bytes; index and schedule overhead is unchanged.
+func TestBlockLowerTriMemoryHalvedBySingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	tri, err := NewLowerTriFromCSC(randLowerCSC(rng, 900, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	double, err := NewBlockLowerTri(tri, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := NewBlockLowerTri(tri, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := double.MemoryBytes() - single.MemoryBytes()
+	want := 4 * int64(len(double.Vals)+len(double.UpVals))
+	if saved != want {
+		t.Errorf("single precision saves %d bytes, want %d (half the value arrays)", saved, want)
+	}
+	if single.MemoryBytes() >= double.MemoryBytes() {
+		t.Errorf("single (%d bytes) not smaller than double (%d bytes)", single.MemoryBytes(), double.MemoryBytes())
+	}
+}

@@ -314,6 +314,15 @@ func (t *LowerTri) buildSchedules() {
 // but schedules built from externally supplied level arrays, e.g. coloring
 // classes, may).
 func newLevelSchedule(level []int32, rowPtr []int32) *LevelSchedule {
+	return newLevelScheduleScaled(level, rowPtr, 1)
+}
+
+// newLevelScheduleScaled is newLevelSchedule with a per-entry work scale:
+// blocked schedules pass tile pointers with unitWork 9 (scalar entries per
+// tile), so the levelChunkWork calibration — tuned in scalar-entry units —
+// carries over to tiled sweeps unchanged and chunks stay balanced by actual
+// flops rather than raw pointer deltas.
+func newLevelScheduleScaled(level []int32, rowPtr []int32, unitWork int32) *LevelSchedule {
 	n := len(level)
 	var maxLv int32 = -1
 	for _, lv := range level {
@@ -355,10 +364,10 @@ func newLevelSchedule(level []int32, rowPtr []int32) *LevelSchedule {
 		s.Order[next[lv]] = int32(r)
 		next[lv]++
 	}
-	// Work prefix over the scheduled order: pw[i+1]−pw[i] = nnz of Order[i].
+	// Work prefix over the scheduled order: pw[i+1]−pw[i] = work of Order[i].
 	pw := make([]int32, n+1)
 	for i, r := range s.Order {
-		pw[i+1] = pw[i] + (rowPtr[r+1] - rowPtr[r])
+		pw[i+1] = pw[i] + unitWork*(rowPtr[r+1]-rowPtr[r])
 	}
 	s.LevelChunk = make([]int32, nlevels+1)
 	for l := int32(0); l < nlevels; l++ {

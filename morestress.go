@@ -38,6 +38,9 @@ type (
 	// Ordering selects the symmetric ordering the factorizing
 	// preconditioners (IC0) are built under, via SolverOptions.Ordering.
 	Ordering = solver.OrderingKind
+	// Precision selects the storage precision of the factorizing
+	// preconditioners (IC0), via SolverOptions.Precision.
+	Precision = solver.Precision
 	// Vec3 is a 3-D point (µm).
 	Vec3 = mesh.Vec3
 	// Structure selects the fine structure inside the unit block.
@@ -93,6 +96,25 @@ const (
 // ParseOrdering maps the flag/JSON spellings ("auto", "natural", "rcm",
 // "multicolor") to an Ordering.
 func ParseOrdering(s string) (Ordering, error) { return solver.ParseOrdering(s) }
+
+// Factor-precision choices for SolverOptions.Precision.
+const (
+	// PrecisionAuto (the default) stores the IC0 factor in float32 exactly
+	// when the factor commits to the 3×3-tiled kernels, float64 otherwise.
+	PrecisionAuto = solver.PrecisionAuto
+	// PrecisionFloat64 forces double-precision factor storage.
+	PrecisionFloat64 = solver.PrecisionFloat64
+	// PrecisionFloat32 requests single-precision factor storage — roughly
+	// half the factor bytes; PCG guards convergence with iterative
+	// refinement and the array layer retries against a float64 rebuild if
+	// the refinement budget runs out. Degrades to float64 when the factor
+	// cannot tile.
+	PrecisionFloat32 = solver.PrecisionFloat32
+)
+
+// ParsePrecision maps the flag/JSON spellings ("auto", "float64"/"f64"/
+// "double", "float32"/"f32"/"single") to a Precision.
+func ParsePrecision(s string) (Precision, error) { return solver.ParsePrecision(s) }
 
 // PaperGeometry returns the geometry used throughout the paper's
 // experiments: h = 50 µm, d = 5 µm, t = 0.5 µm at the given pitch.
