@@ -10,12 +10,26 @@
 // floor, and a baseline with duplicate JSON keys (which encoding/json would
 // silently collapse) is rejected, so the guard cannot be weakened silently.
 //
+// Since bench-global/v2 the snapshot also carries per-host-profile sections
+// keyed "(GOOS)/(GOARCH)/n(nproc)" (see internal/solver/tuning), so the
+// single-thread dev-container numbers and real multi-core CI numbers stop
+// overwriting each other and gates compare like against like. The -ingest
+// mode folds measurement artifacts — `go test -bench` output and
+// cmd/loadgen JSON reports — into the profile matching the running (or
+// -profile-named) host: new numbers are gated against the pinned profile
+// first (ns/op and loadgen p99 beyond -tolerance× fail, and nothing is
+// written then), -write persists the updated baseline, and -snapshot
+// regenerates the embedded tuning snapshot the serve/router binaries derive
+// their solver thresholds from. docs/MEASUREMENT.md documents the loop.
+//
 // Usage:
 //
 //	benchcheck -baseline BENCH_global.json                      # schema only
 //	go test -bench . -benchmem | benchcheck -baseline BENCH_global.json -bench -
 //	benchcheck -baseline BENCH_global.json -bench out.txt \
 //	    -tolerance 3 -require BenchmarkBatchEngine,BenchmarkPCGNoAlloc
+//	benchcheck -baseline BENCH_global.json -ingest bench.txt,loadgen.json \
+//	    [-profile linux/amd64/n4] [-write] [-snapshot internal/solver/tuning/snapshot.json]
 package main
 
 import (
@@ -29,6 +43,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/solver/tuning"
 )
 
 func main() {
@@ -36,6 +52,10 @@ func main() {
 	benchPath := flag.String("bench", "", "go test -bench output to check against the baselines (\"-\" for stdin; empty = schema validation only)")
 	tolerance := flag.Float64("tolerance", 3.0, "ns/op regression factor that fails the gate (generous: absorbs CI noise and machine differences)")
 	require := flag.String("require", "", "comma-separated benchmark entries that must appear in the measured output")
+	ingest := flag.String("ingest", "", "comma-separated measurement artifacts (go test -bench output and/or cmd/loadgen JSON reports) to fold into the host profile, gating against its pinned values first")
+	profile := flag.String("profile", "", "host-profile key goos/goarch/nN the ingested artifacts were measured on (default: the running host)")
+	write := flag.Bool("write", false, "persist the ingested host profile back into -baseline (skipped when the gate fails)")
+	snapshot := flag.String("snapshot", "", "also write the updated host_profiles section to this path (the internal/solver/tuning embedded snapshot)")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*baselinePath)
@@ -46,7 +66,22 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("%s: %w", *baselinePath, err))
 	}
-	fmt.Printf("benchcheck: %s schema ok (%d benchmark entries, pr %d)\n", *baselinePath, len(base.Benchmarks), base.PR)
+	fmt.Printf("benchcheck: %s schema ok (%d benchmark entries, %d host profiles, pr %d)\n",
+		*baselinePath, len(base.Benchmarks), len(base.HostProfiles), base.PR)
+	if *ingest != "" {
+		if err := runIngest(*baselinePath, raw, base, ingestConfig{
+			Files:     strings.Split(*ingest, ","),
+			Profile:   *profile,
+			Tolerance: *tolerance,
+			Write:     *write,
+			Snapshot:  *snapshot,
+		}); err != nil {
+			fatal(err)
+		}
+		if *benchPath == "" {
+			return
+		}
+	}
 	if *benchPath == "" {
 		return
 	}
@@ -83,9 +118,10 @@ func fatal(err error) {
 
 // baseline is the decoded BENCH_global.json.
 type baseline struct {
-	Schema     string
-	PR         int
-	Benchmarks map[string]*baseEntry
+	Schema       string
+	PR           int
+	Benchmarks   map[string]*baseEntry
+	HostProfiles tuning.Set
 }
 
 // baseEntry is one benchmark entry of the snapshot. Exactly one of Value
@@ -100,10 +136,11 @@ type baseEntry struct {
 	HasAllocs   bool
 }
 
-// parseBaseline validates the bench-global/v1 schema: required top-level
-// keys, and per benchmark entry a unit plus exactly one of value/values
-// (numbers). This replaces the old parse-only check — a snapshot that
-// decodes but lost its fields would silently disarm the gate.
+// parseBaseline validates the bench-global/v2 schema: required top-level
+// keys, per benchmark entry a unit plus exactly one of value/values
+// (numbers), and — new in v2 — an optional host_profiles section validated
+// by internal/solver/tuning. This replaces the old parse-only check — a
+// snapshot that decodes but lost its fields would silently disarm the gate.
 func parseBaseline(raw []byte) (*baseline, error) {
 	if err := checkDuplicateKeys(raw); err != nil {
 		return nil, err
@@ -113,8 +150,14 @@ func parseBaseline(raw []byte) (*baseline, error) {
 		return nil, err
 	}
 	out := &baseline{Benchmarks: make(map[string]*baseEntry)}
-	if err := json.Unmarshal(top["schema"], &out.Schema); err != nil || out.Schema != "bench-global/v1" {
-		return nil, fmt.Errorf("schema key missing or not \"bench-global/v1\"")
+	if err := json.Unmarshal(top["schema"], &out.Schema); err != nil || out.Schema != "bench-global/v2" {
+		if out.Schema == "bench-global/v1" {
+			return nil, fmt.Errorf("schema is bench-global/v1: v1 snapshots predate per-host profiles — " +
+				"set \"schema\": \"bench-global/v2\" and move host-specific measurements into a " +
+				"\"host_profiles\" section keyed \"<goos>/<goarch>/n<nproc>\" (see docs/MEASUREMENT.md " +
+				"and `benchcheck -ingest` for regenerating it from measurement artifacts)")
+		}
+		return nil, fmt.Errorf("schema key missing or not \"bench-global/v2\"")
 	}
 	if err := json.Unmarshal(top["pr"], &out.PR); err != nil || out.PR < 1 {
 		return nil, fmt.Errorf("pr key missing or not a positive number")
@@ -158,6 +201,14 @@ func parseBaseline(raw []byte) (*baseline, error) {
 		}
 		out.Benchmarks[name] = e
 	}
+	// The host_profiles section shares its schema (and validation) with the
+	// runtime consumer, internal/solver/tuning — the file serving tunes
+	// itself from is the same file CI gates.
+	set, err := tuning.Parse(raw)
+	if err != nil {
+		return nil, err
+	}
+	out.HostProfiles = set
 	return out, nil
 }
 

@@ -7,7 +7,7 @@ import (
 )
 
 const goodBaseline = `{
-  "schema": "bench-global/v1",
+  "schema": "bench-global/v2",
   "pr": 5,
   "benchmarks": {
     "BenchmarkBatchEngine": { "unit": "ns/op", "value": 1000000, "allocs_per_op": 2048, "what": "warm batch" },
@@ -22,20 +22,37 @@ func TestParseBaselineSchema(t *testing.T) {
 		t.Fatalf("good baseline rejected: %v", err)
 	}
 	bad := map[string]string{
-		"not json":        `{`,
-		"wrong schema":    `{"schema":"bench/v0","pr":5,"benchmarks":{"B":{"unit":"ns/op","value":1}}}`,
-		"missing pr":      `{"schema":"bench-global/v1","benchmarks":{"B":{"unit":"ns/op","value":1}}}`,
-		"no benchmarks":   `{"schema":"bench-global/v1","pr":5}`,
-		"empty bench map": `{"schema":"bench-global/v1","pr":5,"benchmarks":{}}`,
-		"missing unit":    `{"schema":"bench-global/v1","pr":5,"benchmarks":{"B":{"value":1}}}`,
-		"value+values":    `{"schema":"bench-global/v1","pr":5,"benchmarks":{"B":{"unit":"ns/op","value":1,"values":{"a":1}}}}`,
-		"neither value":   `{"schema":"bench-global/v1","pr":5,"benchmarks":{"B":{"unit":"ns/op"}}}`,
-		"string value":    `{"schema":"bench-global/v1","pr":5,"benchmarks":{"B":{"unit":"ns/op","value":"fast"}}}`,
-		"negative allocs": `{"schema":"bench-global/v1","pr":5,"benchmarks":{"B":{"unit":"ns/op","value":1,"allocs_per_op":-1}}}`,
+		"not json":     `{`,
+		"wrong schema": `{"schema":"bench/v0","pr":5,"benchmarks":{"B":{"unit":"ns/op","value":1}}}`,
+		"bad host profile key": `{"schema":"bench-global/v2","pr":5,"benchmarks":{"B":{"unit":"ns/op","value":1}},
+			"host_profiles":{"linux/amd64/n4":{"goos":"linux","goarch":"amd64","nproc":2}}}`,
+		"missing pr":      `{"schema":"bench-global/v2","benchmarks":{"B":{"unit":"ns/op","value":1}}}`,
+		"no benchmarks":   `{"schema":"bench-global/v2","pr":5}`,
+		"empty bench map": `{"schema":"bench-global/v2","pr":5,"benchmarks":{}}`,
+		"missing unit":    `{"schema":"bench-global/v2","pr":5,"benchmarks":{"B":{"value":1}}}`,
+		"value+values":    `{"schema":"bench-global/v2","pr":5,"benchmarks":{"B":{"unit":"ns/op","value":1,"values":{"a":1}}}}`,
+		"neither value":   `{"schema":"bench-global/v2","pr":5,"benchmarks":{"B":{"unit":"ns/op"}}}`,
+		"string value":    `{"schema":"bench-global/v2","pr":5,"benchmarks":{"B":{"unit":"ns/op","value":"fast"}}}`,
+		"negative allocs": `{"schema":"bench-global/v2","pr":5,"benchmarks":{"B":{"unit":"ns/op","value":1,"allocs_per_op":-1}}}`,
 	}
 	for name, raw := range bad {
 		if _, err := parseBaseline([]byte(raw)); err == nil {
 			t.Errorf("%s: invalid baseline accepted", name)
+		}
+	}
+}
+
+// TestV1SchemaRejectedWithMigrationMessage: pre-host-profile snapshots must
+// fail with a pointer at the v2 migration, not a generic schema error.
+func TestV1SchemaRejectedWithMigrationMessage(t *testing.T) {
+	v1 := `{"schema":"bench-global/v1","pr":9,"benchmarks":{"B":{"unit":"ns/op","value":1}}}`
+	_, err := parseBaseline([]byte(v1))
+	if err == nil {
+		t.Fatal("bench-global/v1 accepted")
+	}
+	for _, want := range []string{"host_profiles", "bench-global/v2", "MEASUREMENT.md"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("v1 rejection message lacks %q: %v", want, err)
 		}
 	}
 }
@@ -158,14 +175,14 @@ func TestCheckFailsOnInjectedRegressions(t *testing.T) {
 // baseline; the token-level scan must reject it at any nesting depth.
 func TestDuplicateKeysRejected(t *testing.T) {
 	cases := map[string]string{
-		"duplicate benchmark entry": `{"schema":"bench-global/v1","pr":5,"benchmarks":{
+		"duplicate benchmark entry": `{"schema":"bench-global/v2","pr":5,"benchmarks":{
 			"BenchmarkX":{"unit":"ns/op","value":1000},
 			"BenchmarkX":{"unit":"ns/op","value":9999999}}}`,
-		"duplicate sub-benchmark value": `{"schema":"bench-global/v1","pr":5,"benchmarks":{
+		"duplicate sub-benchmark value": `{"schema":"bench-global/v2","pr":5,"benchmarks":{
 			"BenchmarkX":{"unit":"ns/op","values":{"a":1000,"a":9999999}}}}`,
-		"duplicate entry field": `{"schema":"bench-global/v1","pr":5,"benchmarks":{
+		"duplicate entry field": `{"schema":"bench-global/v2","pr":5,"benchmarks":{
 			"BenchmarkX":{"unit":"ns/op","value":1000,"value":9999999}}}`,
-		"duplicate top-level key": `{"schema":"bench-global/v1","pr":5,"pr":6,"benchmarks":{
+		"duplicate top-level key": `{"schema":"bench-global/v2","pr":5,"pr":6,"benchmarks":{
 			"BenchmarkX":{"unit":"ns/op","value":1000}}}`,
 	}
 	for name, raw := range cases {
@@ -180,7 +197,7 @@ func TestDuplicateKeysRejected(t *testing.T) {
 // TestRequiredNeedsAllocsFloor: a -require entry whose baseline pins no
 // allocs_per_op would gate ns/op but let allocation regressions through.
 func TestRequiredNeedsAllocsFloor(t *testing.T) {
-	base, err := parseBaseline([]byte(`{"schema":"bench-global/v1","pr":5,"benchmarks":{
+	base, err := parseBaseline([]byte(`{"schema":"bench-global/v2","pr":5,"benchmarks":{
 		"BenchmarkX":{"unit":"ns/op","value":1000000}}}`))
 	if err != nil {
 		t.Fatal(err)
@@ -229,7 +246,7 @@ func TestReportOrderStable(t *testing.T) {
 
 // TestCheckToleranceBoundary: the limit is tolerance × baseline, inclusive.
 func TestCheckToleranceBoundary(t *testing.T) {
-	base, err := parseBaseline([]byte(`{"schema":"bench-global/v1","pr":5,"benchmarks":{"BenchmarkX":{"unit":"ns/op","value":1000}}}`))
+	base, err := parseBaseline([]byte(`{"schema":"bench-global/v2","pr":5,"benchmarks":{"BenchmarkX":{"unit":"ns/op","value":1000}}}`))
 	if err != nil {
 		t.Fatal(err)
 	}

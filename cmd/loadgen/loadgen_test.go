@@ -1,0 +1,267 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serveapi"
+)
+
+// fakeServer mimics the slice of the serve/router surface loadgen touches:
+// solve/batch/jobs plus SSE events and a /stats counter document. Every Nth
+// job submit is rejected with 429 to exercise the backpressure accounting.
+type fakeServer struct {
+	requests    atomic.Int64
+	solves      atomic.Int64
+	submits     atomic.Int64
+	rejectEvery int64
+}
+
+func (f *fakeServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"requests": %d, "solver": {"solves": %d}, "replicas": [{"submits": %d}]}`,
+			f.requests.Load(), f.solves.Load(), f.submits.Load())
+	})
+	mux.HandleFunc("POST /solve", func(w http.ResponseWriter, r *http.Request) {
+		f.requests.Add(1)
+		var job serveapi.JobRequest
+		if err := json.NewDecoder(r.Body).Decode(&job); err != nil || job.Rows < 1 || job.DeltaT == nil {
+			http.Error(w, "bad solve payload", http.StatusBadRequest)
+			return
+		}
+		f.solves.Add(1)
+		fmt.Fprint(w, `{"converged": true}`)
+	})
+	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+		f.requests.Add(1)
+		var batch serveapi.BatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&batch); err != nil || len(batch.Jobs) == 0 {
+			http.Error(w, "bad batch payload", http.StatusBadRequest)
+			return
+		}
+		f.solves.Add(int64(len(batch.Jobs)))
+		fmt.Fprint(w, `{"results": []}`)
+	})
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		f.requests.Add(1)
+		var batch serveapi.BatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&batch); err != nil || len(batch.Jobs) == 0 {
+			http.Error(w, "bad jobs payload", http.StatusBadRequest)
+			return
+		}
+		n := f.submits.Add(1)
+		if f.rejectEvery > 0 && n%f.rejectEvery == 0 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+			return
+		}
+		id := fmt.Sprintf("job-%d", n)
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(serveapi.SubmitResponse{
+			ID: id, State: "pending", Poll: "/jobs/" + id, Events: "/jobs/" + id + "/events",
+		})
+	})
+	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "event: state\ndata: {\"type\":\"state\",\"state\":\"running\"}\n\n")
+		fmt.Fprint(w, "event: scenario\ndata: {\"type\":\"scenario\",\"scenario\":0}\n\n")
+		fmt.Fprint(w, "event: state\ndata: {\"type\":\"state\",\"state\":\"done\"}\n\n")
+	})
+	return mux
+}
+
+// TestRunSmoke drives the full generator loop against the fake server and
+// checks the report invariants: every scheduled arrival accounted for, the
+// latency quantiles ordered, 429s filed as rejections not errors, and the
+// /stats delta matching the server-side counters.
+func TestRunSmoke(t *testing.T) {
+	fake := &fakeServer{rejectEvery: 3}
+	srv := httptest.NewServer(fake.handler())
+	defer srv.Close()
+
+	g := &generator{
+		target:     srv.URL,
+		client:     srv.Client(),
+		sseClient:  srv.Client(),
+		sseTimeout: 5 * time.Second,
+		sseSample:  1.0, // follow every accepted submit
+		rows:       3,
+		cols:       3,
+		col:        newCollector(),
+	}
+	if err := g.waitReady(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	before := g.fetchStats()
+	stages := []Stage{{Rate: 400, Duration: 200 * time.Millisecond}}
+	arrivals, err := Schedule(stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := ParseMix("solve=50,batch=20,jobs=30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := g.run(arrivals, mix, KeyPicker{Space: 8, Hot: 2, HotFraction: 0.5}, rand.New(rand.NewSource(42)))
+	after := g.fetchStats()
+
+	entries := g.col.entries(wall)
+	var total, rejected, errs int64
+	for ep, e := range entries {
+		if ep == "sse" {
+			continue // follow-ups, not scheduled arrivals
+		}
+		total += e.Count
+		rejected += e.Rejected
+		errs += e.Errors
+		if e.P50MS > e.P95MS || e.P95MS > e.P99MS || e.P99MS > e.MaxMS {
+			t.Errorf("%s: quantiles out of order: %+v", ep, e)
+		}
+		if e.ThroughputRPS <= 0 {
+			t.Errorf("%s: non-positive throughput: %+v", ep, e)
+		}
+	}
+	if total != int64(len(arrivals)) {
+		t.Errorf("endpoints account for %d requests, want %d scheduled arrivals", total, len(arrivals))
+	}
+	if errs != 0 {
+		t.Errorf("clean run recorded %d errors", errs)
+	}
+	if rejected == 0 {
+		t.Error("server rejected every 3rd submit but the report counts no 429s")
+	}
+	if entries["jobs"] == nil || entries["jobs"].Rejected != rejected {
+		t.Errorf("rejections filed outside the jobs endpoint: %+v", entries)
+	}
+	// Every accepted submit was followed to its terminal SSE event.
+	accepted := entries["jobs"].Count - entries["jobs"].Rejected
+	if sse := entries["sse"]; sse == nil || sse.Count != accepted || sse.Errors != 0 {
+		t.Errorf("sse follow-ups = %+v, want %d clean terminal events", entries["sse"], accepted)
+	}
+
+	delta := statsDelta(before, after)
+	if delta["requests"] != float64(total) {
+		t.Errorf("stats_delta[requests] = %v, want %v", delta["requests"], total)
+	}
+	if delta["solver.solves"] <= 0 {
+		t.Errorf("nested counter delta missing: %v", delta)
+	}
+	if delta["replicas[0].submits"] != float64(entries["jobs"].Count) {
+		t.Errorf("array-leaf delta = %v, want %d", delta["replicas[0].submits"], entries["jobs"].Count)
+	}
+}
+
+// TestRunCountsServerErrors: non-2xx answers (other than 429) must land in
+// the error column the -max-error-rate gate reads.
+func TestRunCountsServerErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	g := &generator{
+		target: srv.URL, client: srv.Client(), sseClient: srv.Client(),
+		sseTimeout: time.Second, rows: 3, cols: 3, col: newCollector(),
+	}
+	arrivals, err := Schedule([]Stage{{Rate: 100, Duration: 100 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := ParseMix("solve=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.run(arrivals, mix, KeyPicker{Space: 1}, rand.New(rand.NewSource(1)))
+	count, errs := g.col.totals()
+	if count == 0 || errs != count {
+		t.Errorf("500-only server: %d/%d requests filed as errors", errs, count)
+	}
+}
+
+// TestWarmCoversEveryKey: the warmup pass must solve each key exactly once
+// (deterministic coverage is its whole point — a random pass can miss one)
+// and must survive a failing target without aborting the run.
+func TestWarmCoversEveryKey(t *testing.T) {
+	fake := &fakeServer{}
+	srv := httptest.NewServer(fake.handler())
+	defer srv.Close()
+	g := &generator{
+		target: srv.URL, client: srv.Client(), sseClient: srv.Client(),
+		rows: 3, cols: 3, col: newCollector(),
+	}
+	g.warm(5)
+	if got := fake.solves.Load(); got != 5 {
+		t.Errorf("warm(5) issued %d solves, want one per key", got)
+	}
+	if count, _ := g.col.totals(); count != 0 {
+		t.Errorf("warmup requests leaked into the report: %d recorded", count)
+	}
+
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer down.Close()
+	g2 := &generator{target: down.URL, client: down.Client(), sseClient: down.Client(), rows: 3, cols: 3, col: newCollector()}
+	g2.warm(3) // must not panic or exit
+}
+
+func TestWaitReadyTimesOut(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "warming up", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	g := &generator{target: srv.URL, client: srv.Client(), col: newCollector()}
+	if err := g.waitReady(300 * time.Millisecond); err == nil {
+		t.Error("waitReady returned nil against a never-ready target")
+	}
+}
+
+// TestReportShapeForIngest locks the report fields benchcheck -ingest
+// depends on: the schema marker and the endpoints section shape.
+func TestReportShapeForIngest(t *testing.T) {
+	col := newCollector()
+	col.record("solve", 12.5, 200)
+	col.record("solve", 40, 200)
+	col.record("solve", 9, 429)
+	rep := Report{
+		Schema:    "loadgen-report/v1",
+		Target:    "http://example",
+		Endpoints: col.entries(2 * time.Second),
+	}
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Schema    string `json:"schema"`
+		Endpoints map[string]struct {
+			Count    int64   `json:"count"`
+			Rejected int64   `json:"rejected"`
+			P99MS    float64 `json:"p99_ms"`
+		} `json:"endpoints"`
+	}
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(decoded.Schema, "loadgen-report/") {
+		t.Errorf("schema marker %q", decoded.Schema)
+	}
+	ep := decoded.Endpoints["solve"]
+	if ep.Count != 3 || ep.Rejected != 1 || ep.P99MS != 40 {
+		t.Errorf("endpoint row: %+v", ep)
+	}
+}

@@ -1,0 +1,368 @@
+// Command loadgen is the open-loop traffic harness that closes the
+// measurement loop for the serving layer: it fires a fixed-arrival-rate mix
+// of synchronous /solve, /batch, and async /jobs traffic (with sampled SSE
+// subscriptions) at a cmd/serve or cmd/router target and emits a
+// machine-readable JSON report — per-endpoint p50/p95/p99/max latency,
+// throughput, error/429 counts, and the server's /stats delta over the run.
+// `benchcheck -ingest` folds the report into BENCH_global.json's host
+// profiles and gates p99 regressions (docs/MEASUREMENT.md).
+//
+// Open-loop means arrivals are scheduled by rate alone: a request fires at
+// its appointed offset whether or not earlier responses came back, so
+// server slowdowns surface as latency and backlog instead of silently
+// throttling the generator (the coordinated-omission trap of closed-loop
+// harnesses).
+//
+// The lattice-key skew knobs shape cache and shard behavior: every key maps
+// to a distinct lattice geometry (its own assembly-cache entry and, behind
+// cmd/router, its own shard placement), so -hot-keys/-hot-fraction move the
+// workload between cache-friendly hot-key traffic and cache-hostile uniform
+// traffic without touching the server.
+//
+// Usage:
+//
+//	loadgen -target http://127.0.0.1:8080 -rate 20 -duration 60s -out report.json
+//	loadgen -target http://127.0.0.1:8080 -stages 10x30s,50x30s \
+//	    -mix solve=60,batch=15,jobs=25 -hot-keys 2 -hot-fraction 0.8
+//
+// -warmup solves every key once before the clock starts, so the report
+// measures steady state rather than the one-shot ROM/assembly builds.
+// -warmup-only does just that and exits: warm each replica of a fleet
+// directly before loading the router (replicas do not share in-memory
+// caches, so a failover onto an unwarmed replica pays a cold build).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/serveapi"
+	"repro/internal/solver/tuning"
+)
+
+func main() {
+	target := flag.String("target", "http://127.0.0.1:8080", "base URL of the cmd/serve or cmd/router instance under load")
+	rate := flag.Float64("rate", 20, "arrival rate in requests/s (ignored when -stages is set)")
+	duration := flag.Duration("duration", 30*time.Second, "run length (ignored when -stages is set)")
+	stagesSpec := flag.String("stages", "", "ramp spec <rate>x<duration>[,...], e.g. 10x30s,50x30s; overrides -rate/-duration")
+	mixSpec := flag.String("mix", "solve=60,batch=15,jobs=25", "endpoint weights")
+	keySpace := flag.Int("key-space", 16, "number of distinct lattice keys (each is its own geometry, cache entry, and shard placement)")
+	hotKeys := flag.Int("hot-keys", 2, "size of the hot key set")
+	hotFraction := flag.Float64("hot-fraction", 0.0, "fraction of requests confined to the hot keys (0 = uniform)")
+	sseSample := flag.Float64("sse-sample", 0.25, "fraction of submitted jobs whose SSE event stream is followed to a terminal state")
+	rows := flag.Int("rows", 3, "lattice rows per request")
+	cols := flag.Int("cols", 3, "lattice cols per request")
+	seed := flag.Int64("seed", 1, "PRNG seed for the mix/key/deltaT draws (the draw sequence is deterministic per seed)")
+	reqTimeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	sseTimeout := flag.Duration("sse-timeout", 60*time.Second, "per-subscription SSE timeout")
+	readyWait := flag.Duration("ready-wait", 30*time.Second, "how long to wait for the target's /readyz before starting")
+	warmup := flag.Bool("warmup", false,
+		"solve every key once, sequentially, before the measured run (covers the one-shot ROM/assembly builds so the report measures steady state)")
+	warmupOnly := flag.Bool("warmup-only", false,
+		"warm every key and exit without running the schedule or writing a report (warm each replica of a fleet directly before loading the router: replicas do not share in-memory caches)")
+	out := flag.String("out", "", "report path (empty = stdout)")
+	maxErrorRate := flag.Float64("max-error-rate", 0.01, "exit non-zero when errors/requests exceeds this (429s excluded: backpressure is not an error)")
+	flag.Parse()
+
+	stages, err := ParseStages(*stagesSpec, *rate, *duration)
+	if err != nil {
+		fatal(err)
+	}
+	mix, err := ParseMix(*mixSpec)
+	if err != nil {
+		fatal(err)
+	}
+	picker := KeyPicker{Space: *keySpace, Hot: *hotKeys, HotFraction: *hotFraction}
+	if err := picker.Validate(); err != nil {
+		fatal(err)
+	}
+	arrivals, err := Schedule(stages)
+	if err != nil {
+		fatal(err)
+	}
+
+	g := &generator{
+		target:     strings.TrimRight(*target, "/"),
+		client:     &http.Client{Timeout: *reqTimeout},
+		sseClient:  &http.Client{}, // streams outlive any fixed body timeout; the per-subscription context bounds them
+		sseTimeout: *sseTimeout,
+		sseSample:  *sseSample,
+		rows:       *rows,
+		cols:       *cols,
+		col:        newCollector(),
+	}
+	if err := g.waitReady(*readyWait); err != nil {
+		fatal(err)
+	}
+	if *warmup || *warmupOnly {
+		g.warm(*keySpace)
+		if *warmupOnly {
+			return
+		}
+	}
+	before := g.fetchStats()
+	fmt.Fprintf(os.Stderr, "loadgen: %d arrivals over %d stage(s) against %s\n", len(arrivals), len(stages), g.target)
+	wall := g.run(arrivals, mix, picker, rand.New(rand.NewSource(*seed)))
+	after := g.fetchStats()
+
+	rep := Report{
+		Schema:  "loadgen-report/v1",
+		Target:  g.target,
+		Profile: tuning.Key(runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
+		Config: ReportConfig{
+			Stages:      *stagesSpec,
+			Mix:         *mixSpec,
+			KeySpace:    *keySpace,
+			HotKeys:     *hotKeys,
+			HotFraction: *hotFraction,
+			SSESample:   *sseSample,
+			Seed:        *seed,
+			Rows:        *rows,
+			Cols:        *cols,
+		},
+		DurationS:  round2(wall.Seconds()),
+		Arrivals:   len(arrivals),
+		Endpoints:  g.col.entries(wall),
+		StatsDelta: statsDelta(before, after),
+	}
+	if rep.Config.Stages == "" {
+		rep.Config.Stages = fmt.Sprintf("%gx%s", *rate, *duration)
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+	} else if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+
+	count, errs := g.col.totals()
+	fmt.Fprintf(os.Stderr, "loadgen: %d requests, %d errors in %.1fs\n", count, errs, wall.Seconds())
+	if count > 0 && float64(errs)/float64(count) > *maxErrorRate {
+		fatal(fmt.Errorf("error rate %.3f exceeds -max-error-rate %.3f", float64(errs)/float64(count), *maxErrorRate))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}
+
+// generator holds the run-wide state shared by the request goroutines.
+type generator struct {
+	target     string
+	client     *http.Client
+	sseClient  *http.Client
+	sseTimeout time.Duration
+	sseSample  float64
+	rows, cols int
+	col        *collector
+}
+
+// waitReady polls the target's /readyz until it answers 200 or the deadline
+// passes, so a just-booted server's warmup does not read as latency.
+func (g *generator) waitReady(wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := g.client.Get(g.target + "/readyz")
+		if err == nil {
+			drain(resp)
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("target %s not ready within %s", g.target, wait)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// warm solves each lattice key once, sequentially, before the clock starts:
+// the first request for a geometry pays its one-shot ROM and assembly build
+// (seconds, vs milliseconds warm), and a random warmup pass can miss a key,
+// so deterministic coverage is the only way a steady-state report is
+// reproducible. Failures are logged, not fatal — the measured run will
+// surface a genuinely broken target on its own.
+func (g *generator) warm(space int) {
+	t0 := time.Now()
+	for key := 0; key < space; key++ {
+		payload := g.payload("solve", key, 40)
+		resp, err := g.sseClient.Post(g.target+paths["solve"], "application/json", bytes.NewReader(payload))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: warmup key %d: %v\n", key, err)
+			continue
+		}
+		drain(resp)
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "loadgen: warmup key %d: status %d\n", key, resp.StatusCode)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: warmed %d keys in %.1fs\n", space, time.Since(t0).Seconds())
+}
+
+// fetchStats snapshots the target's /stats (nil when unavailable — the
+// report simply omits the delta then).
+func (g *generator) fetchStats() []byte {
+	resp, err := g.client.Get(g.target + "/stats")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil
+	}
+	return raw
+}
+
+// run fires the schedule. All randomness (mix, key, deltaT, SSE sampling)
+// is drawn on this goroutine in arrival order, so the request sequence is a
+// pure function of the seed; only the network I/O fans out.
+//
+//stressvet:gang -- one goroutine per scheduled arrival (finite schedule, capped at maxArrivals), WaitGroup-joined before the report is built; unbounded in-flight count is the point of open-loop load
+func (g *generator) run(arrivals []time.Duration, mix *Mix, picker KeyPicker, rng *rand.Rand) time.Duration {
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, at := range arrivals {
+		if d := time.Until(start.Add(at)); d > 0 {
+			time.Sleep(d)
+		}
+		ep := mix.Pick(rng)
+		key := picker.Pick(rng)
+		deltaT := 40 + float64(rng.Intn(12))*5 // sweep the load point so warm-start paths engage
+		follow := ep == "jobs" && rng.Float64() < g.sseSample
+		payload := g.payload(ep, key, deltaT)
+		wg.Add(1)
+		go func(ep string, payload []byte, follow bool) {
+			defer wg.Done()
+			g.fire(ep, payload, follow)
+		}(ep, payload, follow)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// payload builds the request body for one arrival. Each key is a distinct
+// pitch (so a distinct lattice geometry, assembly-cache entry, and shard
+// placement); batches sweep three load points of one key, the paper's
+// canonical sweep workload.
+func (g *generator) payload(ep string, key int, deltaT float64) []byte {
+	job := func(dt float64) serveapi.JobRequest {
+		return serveapi.JobRequest{
+			Pitch:  12 + 0.5*float64(key),
+			Rows:   g.rows,
+			Cols:   g.cols,
+			DeltaT: &dt,
+		}
+	}
+	var body any
+	switch ep {
+	case "solve":
+		body = job(deltaT)
+	default: // batch and jobs share the BatchRequest shape
+		body = serveapi.BatchRequest{Jobs: []serveapi.JobRequest{
+			job(deltaT), job(deltaT + 5), job(deltaT + 10),
+		}}
+	}
+	blob, err := json.Marshal(body)
+	if err != nil {
+		panic(err) // static request shapes cannot fail to marshal
+	}
+	return blob
+}
+
+var paths = map[string]string{"solve": "/solve", "batch": "/batch", "jobs": "/jobs"}
+
+// fire sends one request and records its latency; for sampled job
+// submissions it then follows the SSE stream to a terminal state and
+// records the submit-to-terminal latency as the "sse" endpoint.
+func (g *generator) fire(ep string, payload []byte, follow bool) {
+	t0 := time.Now()
+	resp, err := g.client.Post(g.target+paths[ep], "application/json", bytes.NewReader(payload))
+	if err != nil {
+		g.col.record(ep, ms(time.Since(t0)), 0)
+		return
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	g.col.record(ep, ms(time.Since(t0)), resp.StatusCode)
+	if !follow || resp.StatusCode != http.StatusAccepted {
+		return
+	}
+	var sub serveapi.SubmitResponse
+	if json.Unmarshal(body, &sub) != nil || sub.Events == "" {
+		return
+	}
+	g.followSSE(sub.Events, t0)
+}
+
+// terminalStates are the job states that end an SSE lifecycle stream.
+var terminalStates = map[string]bool{"done": true, "failed": true, "cancelled": true}
+
+// followSSE reads the job's event stream until a terminal event (recorded
+// as "sse" latency since submit) or the subscription timeout (recorded as
+// an error — a stream that never terminates is a served-side bug).
+func (g *generator) followSSE(eventsPath string, submitted time.Time) {
+	ctx, cancel := context.WithTimeout(context.Background(), g.sseTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, g.target+eventsPath, nil)
+	if err != nil {
+		g.col.record("sse", ms(time.Since(submitted)), 0)
+		return
+	}
+	resp, err := g.sseClient.Do(req)
+	if err != nil {
+		g.col.record("sse", ms(time.Since(submitted)), 0)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		g.col.record("sse", ms(time.Since(submitted)), resp.StatusCode)
+		return
+	}
+	// The server names events by jobqueue type ("state", "scenario") and
+	// carries the actual lifecycle state in the data JSON.
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		var ev struct {
+			Type  string `json:"type"`
+			State string `json:"state"`
+		}
+		if json.Unmarshal([]byte(data), &ev) == nil && ev.Type == "state" && terminalStates[ev.State] {
+			g.col.record("sse", ms(time.Since(submitted)), http.StatusOK)
+			return
+		}
+	}
+	g.col.record("sse", ms(time.Since(submitted)), 0) // stream ended without a terminal event
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

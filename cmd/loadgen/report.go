@@ -1,0 +1,202 @@
+// Latency collection and the machine-readable report. The report's
+// per-endpoint rows reuse internal/solver/tuning's LoadgenEntry so
+// `benchcheck -ingest` folds them into the BENCH_global.json host profile
+// without a translation layer.
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/solver/tuning"
+)
+
+// Report is the loadgen output, written as JSON to -out (or stdout).
+type Report struct {
+	Schema string `json:"schema"` // "loadgen-report/v1"
+	Target string `json:"target"`
+	// Profile is the host-profile key of the machine the generator ran on
+	// (the client side — pass it to benchcheck -profile only when the server
+	// ran on the same host).
+	Profile   string       `json:"profile"`
+	Config    ReportConfig `json:"config"`
+	DurationS float64      `json:"duration_s"`
+	Arrivals  int          `json:"arrivals"`
+	// Endpoints holds one latency/throughput row per traffic class:
+	// solve/batch/jobs are request latencies, sse is submit-to-terminal-event
+	// latency of the sampled job subscriptions.
+	Endpoints map[string]*tuning.LoadgenEntry `json:"endpoints"`
+	// StatsDelta is the numeric-leaf delta of the server's /stats between
+	// run start and end (dotted paths) — server-side truth for cache hits,
+	// failovers, and rejections to set against the client-side view.
+	StatsDelta map[string]float64 `json:"stats_delta,omitempty"`
+}
+
+// ReportConfig echoes the generator configuration that produced the run.
+type ReportConfig struct {
+	Stages      string  `json:"stages"`
+	Mix         string  `json:"mix"`
+	KeySpace    int     `json:"key_space"`
+	HotKeys     int     `json:"hot_keys"`
+	HotFraction float64 `json:"hot_fraction"`
+	SSESample   float64 `json:"sse_sample"`
+	Seed        int64   `json:"seed"`
+	Rows        int     `json:"rows"`
+	Cols        int     `json:"cols"`
+}
+
+// digest accumulates one endpoint's samples.
+type digest struct {
+	ms       []float64
+	errors   int64
+	rejected int64
+}
+
+// collector gathers samples from the in-flight request goroutines.
+type collector struct {
+	mu  sync.Mutex
+	eps map[string]*digest
+}
+
+func newCollector() *collector {
+	return &collector{eps: make(map[string]*digest)}
+}
+
+// record files one sample: status 0 means a transport error, 429 counts as
+// rejected (backpressure working as designed, gated separately from
+// errors), any other non-2xx as an error.
+func (c *collector) record(ep string, ms float64, status int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.eps[ep]
+	if d == nil {
+		d = &digest{}
+		c.eps[ep] = d
+	}
+	d.ms = append(d.ms, ms)
+	switch {
+	case status == http.StatusTooManyRequests:
+		d.rejected++
+	case status < 200 || status > 299:
+		d.errors++
+	}
+}
+
+// entries folds the digests into report rows. wall is the full run length
+// (arrival span plus drain), the denominator for throughput.
+func (c *collector) entries(wall time.Duration) map[string]*tuning.LoadgenEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]*tuning.LoadgenEntry, len(c.eps))
+	secs := wall.Seconds()
+	for ep, d := range c.eps {
+		sorted := append([]float64(nil), d.ms...)
+		sort.Float64s(sorted)
+		e := &tuning.LoadgenEntry{
+			Count:    int64(len(d.ms)),
+			Errors:   d.errors,
+			Rejected: d.rejected,
+			P50MS:    percentile(sorted, 0.50),
+			P95MS:    percentile(sorted, 0.95),
+			P99MS:    percentile(sorted, 0.99),
+		}
+		if len(sorted) > 0 {
+			e.MaxMS = round2(sorted[len(sorted)-1])
+		}
+		if secs > 0 {
+			e.ThroughputRPS = round2(float64(len(d.ms)) / secs)
+		}
+		out[ep] = e
+	}
+	return out
+}
+
+// totals returns the overall request and error counts for the exit gate
+// (rejections are excluded — 429 under deliberate overload is the server
+// keeping its promises, not a failure).
+func (c *collector) totals() (count, errors int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range c.eps {
+		count += int64(len(d.ms))
+		errors += d.errors
+	}
+	return count, errors
+}
+
+// percentile returns the q-quantile of an ascending slice (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return round2(sorted[idx])
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+// statsDelta diffs two /stats documents leaf by leaf: every numeric leaf is
+// flattened to a dotted path and subtracted. Working on paths rather than a
+// decoded struct keeps the generator agnostic to whose stats shape it got —
+// cmd/serve's flat sections and cmd/router's fleet aggregate both work.
+func statsDelta(before, after []byte) map[string]float64 {
+	b := flattenStats(before)
+	a := flattenStats(after)
+	if a == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(a))
+	for path, av := range a {
+		if bv, ok := b[path]; ok {
+			if d := round2(av - bv); d != 0 {
+				out[path] = d
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// flattenStats maps every numeric leaf of a JSON document to its dotted
+// path. Arrays (per-replica breakdowns) are indexed into the path.
+func flattenStats(raw []byte) map[string]float64 {
+	var doc any
+	if len(raw) == 0 || json.Unmarshal(raw, &doc) != nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	var walk func(path string, v any)
+	walk = func(path string, v any) {
+		switch t := v.(type) {
+		case float64:
+			out[path] = t
+		case map[string]any:
+			for k, c := range t {
+				p := k
+				if path != "" {
+					p = path + "." + k
+				}
+				walk(p, c)
+			}
+		case []any:
+			for i, c := range t {
+				walk(path+"["+strconv.Itoa(i)+"]", c)
+			}
+		}
+	}
+	walk("", doc)
+	return out
+}

@@ -1,0 +1,169 @@
+// Arrival plan, endpoint mix, and lattice-key skew: the deterministic,
+// side-effect-free half of the load generator. Everything here is a pure
+// function of its inputs (plus an explicit rand.Rand), so the tests pin the
+// exact schedule and draw sequences without wall-time sleeps.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Stage is one constant-rate segment of the open-loop arrival plan.
+type Stage struct {
+	Rate     float64 // arrivals per second
+	Duration time.Duration
+}
+
+// maxArrivals bounds the expanded schedule: the generator holds every
+// arrival offset in memory, so a fat-fingered rate must fail up front, not
+// OOM mid-run.
+const maxArrivals = 1 << 20
+
+// ParseStages parses a ramp spec "20x30s,50x30s" (30 s at 20 rps, then 30 s
+// at 50 rps). An empty spec falls back to a single rate × duration stage.
+func ParseStages(spec string, rate float64, duration time.Duration) ([]Stage, error) {
+	if strings.TrimSpace(spec) == "" {
+		spec = fmt.Sprintf("%gx%s", rate, duration)
+	}
+	var stages []Stage
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		rateStr, durStr, ok := strings.Cut(part, "x")
+		if !ok {
+			return nil, fmt.Errorf("stage %q: want <rate>x<duration>, e.g. 20x30s", part)
+		}
+		r, err := strconv.ParseFloat(rateStr, 64)
+		if err != nil || math.IsNaN(r) || math.IsInf(r, 0) || r <= 0 {
+			return nil, fmt.Errorf("stage %q: rate must be a positive number", part)
+		}
+		d, err := time.ParseDuration(durStr)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("stage %q: duration must be positive, e.g. 30s", part)
+		}
+		stages = append(stages, Stage{Rate: r, Duration: d})
+	}
+	return stages, nil
+}
+
+// Schedule expands the stages into open-loop arrival offsets from the run
+// start: within a stage arrivals are evenly spaced at 1/rate, which is the
+// point of open-loop load — the next request fires on schedule whether or
+// not the previous response came back, so a slow server accumulates
+// in-flight requests instead of silently throttling the generator.
+func Schedule(stages []Stage) ([]time.Duration, error) {
+	if len(stages) == 0 {
+		return nil, errors.New("no stages")
+	}
+	var out []time.Duration
+	var base time.Duration
+	for _, st := range stages {
+		n := st.Rate * st.Duration.Seconds()
+		if n > maxArrivals || float64(len(out))+n > maxArrivals {
+			return nil, fmt.Errorf("schedule would hold over %d arrivals; lower the rate or shorten the stages", maxArrivals)
+		}
+		interval := time.Duration(float64(time.Second) / st.Rate)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+		for i := 0; i < int(n); i++ {
+			out = append(out, base+time.Duration(i)*interval)
+		}
+		base += st.Duration
+	}
+	if len(out) == 0 {
+		return nil, errors.New("stages expand to zero arrivals (rate × duration < 1)")
+	}
+	return out, nil
+}
+
+// Mix is a weighted draw over the three write endpoints.
+type Mix struct {
+	names   []string
+	weights []int
+	total   int
+}
+
+// ParseMix parses "solve=70,batch=10,jobs=20". Weights are non-negative
+// integers with a positive sum; only the solve/batch/jobs endpoints exist.
+func ParseMix(spec string) (*Mix, error) {
+	m := &Mix{}
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		name, wStr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: want <endpoint>=<weight>", part)
+		}
+		switch name {
+		case "solve", "batch", "jobs":
+		default:
+			return nil, fmt.Errorf("mix entry %q: endpoint must be solve, batch, or jobs", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("mix names %s twice", name)
+		}
+		seen[name] = true
+		w, err := strconv.Atoi(wStr)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("mix entry %q: weight must be a non-negative integer", part)
+		}
+		m.names = append(m.names, name)
+		m.weights = append(m.weights, w)
+		m.total += w
+	}
+	if m.total <= 0 {
+		return nil, errors.New("mix weights sum to zero")
+	}
+	return m, nil
+}
+
+// Pick draws one endpoint name with the configured weights.
+func (m *Mix) Pick(r *rand.Rand) string {
+	n := r.Intn(m.total)
+	for i, w := range m.weights {
+		if n < w {
+			return m.names[i]
+		}
+		n -= w
+	}
+	return m.names[len(m.names)-1]
+}
+
+// KeyPicker draws lattice keys with configurable hot-set skew: HotFraction
+// of draws land uniformly on the first Hot keys, the rest uniformly on the
+// whole space. Every key maps to a distinct lattice geometry, so the skew
+// directly shapes assembly-cache and shard-affinity behavior under load.
+type KeyPicker struct {
+	Space       int     // number of distinct lattice keys
+	Hot         int     // size of the hot set (first Hot keys)
+	HotFraction float64 // fraction of draws confined to the hot set
+}
+
+// Validate reports a configuration error, if any.
+func (k KeyPicker) Validate() error {
+	switch {
+	case k.Space < 1:
+		return errors.New("key space must be at least 1")
+	case k.Hot < 0 || k.Hot > k.Space:
+		return fmt.Errorf("hot-key count %d outside [0, key space %d]", k.Hot, k.Space)
+	case k.HotFraction < 0 || k.HotFraction > 1 || math.IsNaN(k.HotFraction):
+		return fmt.Errorf("hot fraction %v outside [0, 1]", k.HotFraction)
+	case k.HotFraction > 0 && k.Hot == 0:
+		return errors.New("hot fraction set but hot-key count is 0")
+	}
+	return nil
+}
+
+// Pick draws one key in [0, Space).
+func (k KeyPicker) Pick(r *rand.Rand) int {
+	if k.Hot > 0 && r.Float64() < k.HotFraction {
+		return r.Intn(k.Hot)
+	}
+	return r.Intn(k.Space)
+}

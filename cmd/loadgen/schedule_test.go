@@ -1,0 +1,198 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterministicArrivals pins the exact open-loop plan with no
+// wall-time involvement: evenly spaced within a stage, stages concatenated
+// at their nominal boundaries, identical across calls.
+func TestScheduleDeterministicArrivals(t *testing.T) {
+	stages := []Stage{
+		{Rate: 10, Duration: time.Second},
+		{Rate: 20, Duration: 500 * time.Millisecond},
+	}
+	got, err := Schedule(stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("schedule holds %d arrivals, want 20 (10×1s + 20×0.5s)", len(got))
+	}
+	// Stage 1: every 100 ms from 0; stage 2: every 50 ms from the 1 s mark.
+	for i := 0; i < 10; i++ {
+		if want := time.Duration(i) * 100 * time.Millisecond; got[i] != want {
+			t.Errorf("arrival %d at %v, want %v", i, got[i], want)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if want := time.Second + time.Duration(i)*50*time.Millisecond; got[10+i] != want {
+			t.Errorf("arrival %d at %v, want %v", 10+i, got[10+i], want)
+		}
+	}
+	again, err := Schedule(stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("schedule not deterministic at %d: %v vs %v", i, got[i], again[i])
+		}
+	}
+}
+
+func TestScheduleRejectsRunaway(t *testing.T) {
+	if _, err := Schedule([]Stage{{Rate: 1e9, Duration: time.Hour}}); err == nil {
+		t.Error("runaway schedule accepted")
+	}
+	if _, err := Schedule(nil); err == nil {
+		t.Error("empty stage list accepted")
+	}
+	if _, err := Schedule([]Stage{{Rate: 0.5, Duration: time.Second}}); err == nil {
+		t.Error("zero-arrival schedule accepted")
+	}
+}
+
+func TestParseStages(t *testing.T) {
+	got, err := ParseStages("", 20, 30*time.Second)
+	if err != nil || len(got) != 1 || got[0].Rate != 20 || got[0].Duration != 30*time.Second {
+		t.Errorf("fallback stage = %+v, %v", got, err)
+	}
+	got, err = ParseStages("10x30s, 50x1m", 0, 0)
+	if err != nil || len(got) != 2 || got[1].Rate != 50 || got[1].Duration != time.Minute {
+		t.Errorf("ramp spec = %+v, %v", got, err)
+	}
+	for _, bad := range []string{"10", "x30s", "10x", "0x30s", "-5x30s", "NaNx30s", "10x-30s", "10x30s,,", "10x30s,bad"} {
+		if _, err := ParseStages(bad, 20, time.Second); err == nil {
+			t.Errorf("ParseStages(%q) accepted", bad)
+		}
+	}
+	// The fallback flags flow through the same validation.
+	if _, err := ParseStages("", -1, time.Second); err == nil {
+		t.Error("negative fallback rate accepted")
+	}
+}
+
+func TestParseMixAndPick(t *testing.T) {
+	m, err := ParseMix("solve=60,batch=15,jobs=25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		counts[m.Pick(rng)]++
+	}
+	if counts["solve"] < 5000 || counts["batch"] < 500 || counts["jobs"] < 1500 {
+		t.Errorf("draw distribution off the 60/15/25 weights: %v", counts)
+	}
+	only, err := ParseMix("batch=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if only.Pick(rng) != "batch" {
+			t.Fatal("single-entry mix drew another endpoint")
+		}
+	}
+	// Zero-weight endpoints are legal and never drawn.
+	noJobs, err := ParseMix("solve=1,jobs=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if noJobs.Pick(rng) == "jobs" {
+			t.Fatal("zero-weight endpoint drawn")
+		}
+	}
+	for _, bad := range []string{"", "solve", "solve=x", "solve=-1", "stats=5", "solve=0,jobs=0", "solve=1,solve=2"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestKeyPickerSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	hot := KeyPicker{Space: 64, Hot: 2, HotFraction: 1}
+	for i := 0; i < 200; i++ {
+		if k := hot.Pick(rng); k >= 2 {
+			t.Fatalf("hot-fraction 1 drew key %d outside the hot set", k)
+		}
+	}
+	uniform := KeyPicker{Space: 8, Hot: 2, HotFraction: 0}
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		k := uniform.Pick(rng)
+		if k < 0 || k >= 8 {
+			t.Fatalf("key %d outside the space", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("uniform draw covered %d/8 keys", len(seen))
+	}
+	for _, bad := range []KeyPicker{
+		{Space: 0},
+		{Space: 4, Hot: 5},
+		{Space: 4, Hot: -1},
+		{Space: 4, Hot: 2, HotFraction: 1.5},
+		{Space: 4, Hot: 0, HotFraction: 0.5},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("KeyPicker %+v accepted", bad)
+		}
+	}
+}
+
+// FuzzLoadgenConfig throws arbitrary stage/mix/skew specs at the parsers:
+// whatever they accept must expand into a well-formed plan (monotone
+// bounded arrivals, draws inside the declared space), and nothing may
+// panic or hang.
+func FuzzLoadgenConfig(f *testing.F) {
+	f.Add("20x30s", "solve=60,batch=15,jobs=25", 16, 2, 0.8)
+	f.Add("", "solve=1", 1, 0, 0.0)
+	f.Add("10x30s,50x1m", "jobs=100", 64, 64, 1.0)
+	f.Add("1e6x1h", "solve=0", -1, 9, 2.0)
+	f.Fuzz(func(t *testing.T, spec, mixSpec string, space, hot int, hotFrac float64) {
+		stages, err := ParseStages(spec, 20, time.Second)
+		if err == nil {
+			for _, st := range stages {
+				if st.Rate <= 0 || st.Duration <= 0 {
+					t.Fatalf("ParseStages(%q) accepted non-positive stage %+v", spec, st)
+				}
+			}
+			arrivals, err := Schedule(stages)
+			if err == nil {
+				if len(arrivals) == 0 || len(arrivals) > maxArrivals {
+					t.Fatalf("schedule size %d outside (0, %d]", len(arrivals), maxArrivals)
+				}
+				for i := 1; i < len(arrivals); i++ {
+					if arrivals[i] < arrivals[i-1] {
+						t.Fatalf("arrivals not monotone at %d: %v < %v", i, arrivals[i], arrivals[i-1])
+					}
+				}
+			}
+		}
+		rng := rand.New(rand.NewSource(1))
+		if m, err := ParseMix(mixSpec); err == nil {
+			for i := 0; i < 32; i++ {
+				switch m.Pick(rng) {
+				case "solve", "batch", "jobs":
+				default:
+					t.Fatalf("ParseMix(%q) drew an unknown endpoint", mixSpec)
+				}
+			}
+		}
+		kp := KeyPicker{Space: space, Hot: hot, HotFraction: hotFrac}
+		if kp.Validate() == nil {
+			for i := 0; i < 32; i++ {
+				if k := kp.Pick(rng); k < 0 || k >= kp.Space {
+					t.Fatalf("KeyPicker %+v drew %d outside [0,%d)", kp, k, kp.Space)
+				}
+			}
+		}
+	})
+}

@@ -279,7 +279,9 @@ type Engine struct {
 // NewEngine creates an engine. A zero EngineOptions is valid.
 func NewEngine(opt EngineOptions) *Engine {
 	if opt.Workers <= 0 {
-		opt.Workers = runtime.GOMAXPROCS(0)
+		// solver.DefaultWorkers is GOMAXPROCS unless host-profile tuning
+		// installed a measured ceiling at startup (internal/solver/tuning).
+		opt.Workers = solver.DefaultWorkers()
 	}
 	if opt.MaxFactors <= 0 {
 		opt.MaxFactors = 16
@@ -351,7 +353,7 @@ func (e *Engine) Stats() EngineStats {
 // warm-starting). The returned JobResult always carries the outcome; the
 // error mirrors JobResult.Err for convenience.
 func (e *Engine) Solve(job Job) (*JobResult, error) {
-	res := e.solve(job, 0, runtime.GOMAXPROCS(0))
+	res := e.solve(job, 0, solver.DefaultWorkers())
 	return res, res.Err
 }
 

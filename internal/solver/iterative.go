@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
 	"time"
 
 	"repro/internal/linalg"
@@ -97,12 +96,13 @@ type Options struct {
 	Work *Workspace
 }
 
-// normWorkers applies the package-wide worker-count default (GOMAXPROCS) so
+// normWorkers applies the package-wide worker-count default (DefaultWorkers:
+// GOMAXPROCS unless host-profile tuning installed a measured ceiling) so
 // that every matrix-vector product — including the out-of-band true-residual
 // checks — agrees with Options.withDefaults.
 func normWorkers(w int) int {
 	if w <= 0 {
-		return runtime.GOMAXPROCS(0)
+		return DefaultWorkers()
 	}
 	return w
 }

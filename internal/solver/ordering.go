@@ -45,16 +45,18 @@ const (
 	NumOrderings = 4
 )
 
-// AutoMulticolorWidth is the natural-order schedule width (rows in the
-// widest dependency level of the lower-triangular pattern) below which
-// OrderingAuto switches IC0 to the multicolor ordering. Measured on the
-// reduced global lattices and the bench systems (docs/SOLVER_TUNING.md): the
-// natural-order reduced factors top out at 9–24 rows per level — far below
-// any useful fan-out — while systems whose natural DAGs already parallelize
-// (wideDAG: 600-row levels) sit well above. A level only splits into
-// multiple chunks near ~64 rows at the reduced matrices' row density, so the
-// threshold sits at that knee.
-const AutoMulticolorWidth = 64
+// DefaultAutoMulticolorWidth is the hand-measured fallback for the
+// natural-order schedule width (rows in the widest dependency level of the
+// lower-triangular pattern) below which OrderingAuto switches IC0 to the
+// multicolor ordering. Measured on the reduced global lattices and the
+// bench systems (docs/SOLVER_TUNING.md): the natural-order reduced factors
+// top out at 9–24 rows per level — far below any useful fan-out — while
+// systems whose natural DAGs already parallelize (wideDAG: 600-row levels)
+// sit well above. A level only splits into multiple chunks near ~64 rows at
+// the reduced matrices' row density, so the threshold sits at that knee.
+// The live value is AutoMulticolorWidth (tunable.go): host-profile tuning
+// may re-derive it — or zero it, disabling the switch — at startup.
+const DefaultAutoMulticolorWidth = 64
 
 // AutoMulticolorMinDoFs is the system size below which OrderingAuto keeps
 // the natural ordering even when the schedule is narrow. It equals
@@ -309,7 +311,7 @@ func OrderingFromWidth(k OrderingKind, n, width, workers int) OrderingKind {
 	if normWorkers(workers) <= 1 || n < AutoMulticolorMinDoFs {
 		return OrderingNatural
 	}
-	if width < AutoMulticolorWidth {
+	if width < AutoMulticolorWidth() {
 		return OrderingMulticolor
 	}
 	return OrderingNatural

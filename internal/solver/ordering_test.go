@@ -207,11 +207,11 @@ func TestOrderingResolve(t *testing.T) {
 			t.Errorf("concrete kind %v resolved to %v", k, got)
 		}
 	}
-	if w := NaturalLevelWidth(narrow); w >= AutoMulticolorWidth {
-		t.Fatalf("narrow test matrix has natural width %d, want < %d", w, AutoMulticolorWidth)
+	if w := NaturalLevelWidth(narrow); w >= AutoMulticolorWidth() {
+		t.Fatalf("narrow test matrix has natural width %d, want < %d", w, AutoMulticolorWidth())
 	}
-	if w := NaturalLevelWidth(wide); w < AutoMulticolorWidth {
-		t.Fatalf("wide test matrix has natural width %d, want >= %d", w, AutoMulticolorWidth)
+	if w := NaturalLevelWidth(wide); w < AutoMulticolorWidth() {
+		t.Fatalf("wide test matrix has natural width %d, want >= %d", w, AutoMulticolorWidth())
 	}
 	if runtime.GOMAXPROCS(0) > 1 {
 		if got := ResolveOrdering(OrderingAuto, narrow); got != OrderingMulticolor {

@@ -44,16 +44,18 @@ const (
 	PrecondNone
 )
 
-// AutoIC0Threshold is the system size (DoFs) at and above which PrecondAuto
-// resolves to IC0 *when the construction amortizes* — the assembly-cached
-// path (array.Assembly.Preconditioner), where the factor is built at most
-// once per lattice. Re-measured for this release with the cached build and
-// the level-scheduled apply: once the build amortizes, IC0's ~6×
-// iteration-count reduction wins wall time at every measured lattice (28 vs
-// 45 ms at 2 709 DoFs, 482 vs 1 364 ms at 21 717 —
-// docs/SOLVER_TUNING.md has the table), so the threshold sits just below
-// the smallest measured crossover.
-const AutoIC0Threshold = 2500
+// DefaultAutoIC0Threshold is the hand-measured fallback for the system size
+// (DoFs) at and above which PrecondAuto resolves to IC0 *when the
+// construction amortizes* — the assembly-cached path
+// (array.Assembly.Preconditioner), where the factor is built at most once
+// per lattice. Measured with the cached build and the level-scheduled
+// apply: once the build amortizes, IC0's ~6× iteration-count reduction wins
+// wall time at every measured lattice (28 vs 45 ms at 2 709 DoFs, 482 vs
+// 1 364 ms at 21 717 — docs/SOLVER_TUNING.md has the table), so the
+// threshold sits just below the smallest measured crossover. The live value
+// is AutoIC0Threshold (tunable.go): host-profile tuning may re-derive it
+// from that host's own measurements at startup.
+const DefaultAutoIC0Threshold = 2500
 
 // AutoIC0OneShotThreshold is the crossover for solves that pay the IC0
 // construction every time (bare PCG/GMRES calls with no prebuilt Options.M,
@@ -73,7 +75,7 @@ func (k PrecondKind) Resolve(n int) PrecondKind {
 // preconditioner's construction is shared across many solves (the
 // assembly-cache path), where IC0 pays off at much smaller systems.
 func (k PrecondKind) ResolveAmortized(n int) PrecondKind {
-	return k.resolve(n, AutoIC0Threshold)
+	return k.resolve(n, AutoIC0Threshold())
 }
 
 func (k PrecondKind) resolve(n, ic0At int) PrecondKind {

@@ -204,7 +204,7 @@ func TestPrecondAutoResolution(t *testing.T) {
 		want PrecondKind
 	}{
 		{PrecondAuto, 300, PrecondBlockJacobi3},
-		{PrecondAuto, AutoIC0Threshold + 2, PrecondBlockJacobi3}, // amortized crossover is not the one-shot one (2502 % 3 == 0)
+		{PrecondAuto, AutoIC0Threshold() + 2, PrecondBlockJacobi3}, // amortized crossover is not the one-shot one (2502 % 3 == 0)
 		{PrecondAuto, AutoIC0OneShotThreshold, PrecondIC0},
 		{PrecondAuto, AutoIC0OneShotThreshold + 3, PrecondIC0},
 		{PrecondAuto, 301, PrecondJacobi}, // not divisible by 3
@@ -222,7 +222,7 @@ func TestPrecondAutoResolution(t *testing.T) {
 		want PrecondKind
 	}{
 		{300, PrecondBlockJacobi3},
-		{AutoIC0Threshold, PrecondIC0},
+		{AutoIC0Threshold(), PrecondIC0},
 		{AutoIC0OneShotThreshold, PrecondIC0},
 	}
 	for _, c := range amortized {
